@@ -1,0 +1,85 @@
+// Command icfpsim runs one benchmark workload on one simulated
+// micro-architecture and prints its statistics.
+//
+// Usage:
+//
+//	icfpsim [-model icfp] [-bench mcf] [-n 400000] [-warm 150000] [-l2lat 20]
+//
+// Models: inorder, runahead, multipass, sltp, icfp.
+// Benchmarks: the 24 SPEC2000 profile names (ammp..wupwise, bzip2..vpr),
+// or scenario:a..scenario:f for the Figure 1 micro-scenarios.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"icfp/internal/sim"
+	"icfp/internal/workload"
+)
+
+var (
+	flagModel = flag.String("model", "icfp", "inorder | runahead | multipass | sltp | icfp")
+	flagBench = flag.String("bench", "mcf", "SPEC2000 profile name or scenario:a..scenario:f")
+	flagN     = flag.Int("n", 400_000, "timed instructions")
+	flagWarm  = flag.Int("warm", 150_000, "warmup instructions")
+	flagL2    = flag.Int("l2lat", 20, "L2 hit latency in cycles")
+	flagBase  = flag.Bool("baseline", false, "also run the in-order baseline and print speedup")
+)
+
+var models = map[string]sim.Model{
+	"inorder": sim.InOrder, "runahead": sim.Runahead,
+	"multipass": sim.Multipass, "sltp": sim.SLTP, "icfp": sim.ICFP,
+}
+
+var scenarios = map[string]workload.Scenario{
+	"scenario:a": workload.ScenarioLoneL2,
+	"scenario:b": workload.ScenarioIndependentL2,
+	"scenario:c": workload.ScenarioDependentL2,
+	"scenario:d": workload.ScenarioChains,
+	"scenario:e": workload.ScenarioD1IndependentL2,
+	"scenario:f": workload.ScenarioD1DependentL2,
+}
+
+func main() {
+	flag.Parse()
+	model, ok := models[strings.ToLower(*flagModel)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *flagModel)
+		os.Exit(2)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInsts = *flagWarm
+	cfg.Hier.L2HitLat = *flagL2
+
+	var load func() *workload.Workload
+	if sc, ok := scenarios[*flagBench]; ok {
+		cfg.WarmupInsts = 0
+		load = func() *workload.Workload { return workload.NewScenario(sc) }
+	} else {
+		name := *flagBench
+		load = func() *workload.Workload { return workload.SPEC(name, cfg.WarmupInsts+*flagN) }
+	}
+
+	r := sim.Run(model, cfg, load())
+	fmt.Printf("%s on %s:\n", model, r.Name)
+	fmt.Printf("  cycles        %12d\n", r.Cycles)
+	fmt.Printf("  instructions  %12d   (IPC %.3f)\n", r.Insts, r.IPC())
+	fmt.Printf("  D$ miss/KI    %12.1f   L2 miss/KI %.1f\n", r.DCacheMissPerKI, r.L2MissPerKI)
+	fmt.Printf("  D$ MLP        %12.2f   L2 MLP     %.2f\n", r.DCacheMLP, r.L2MLP)
+	fmt.Printf("  mispredicts   %12d\n", r.BranchMispredicts)
+	if r.Advances > 0 {
+		fmt.Printf("  advances      %12d   advance insts %d\n", r.Advances, r.AdvanceInsts)
+		fmt.Printf("  rally passes  %12d   rally/KI %.0f\n", r.RallyPasses, r.RallyPerKI)
+		fmt.Printf("  squashes      %12d   slice/SB overflows %d/%d\n", r.Squashes, r.SliceOverflows, r.SBOverflows)
+	}
+	if r.SBForwards > 0 {
+		fmt.Printf("  SB forwards   %12d   mean extra hops %.3f\n", r.SBForwards, r.SBExtraHops)
+	}
+	if *flagBase && model != sim.InOrder {
+		base := sim.Run(sim.InOrder, cfg, load())
+		fmt.Printf("  speedup over in-order: %+.1f%%\n", r.SpeedupOver(base))
+	}
+}

@@ -1,0 +1,33 @@
+// Latency sweep: reproduce the shape of the paper's Figure 6 on the
+// equake profile — the benchmark whose secondary data-cache misses create
+// Runahead's "D$-blocking vs D$-non-blocking" dilemma. As the L2 hit
+// latency grows, advancing under data-cache misses becomes profitable;
+// iCFP advances under every miss at every latency without regret.
+package main
+
+import (
+	"fmt"
+
+	"icfp/internal/sim"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	lats := []int{10, 20, 30, 40, 50}
+	const timed = 250_000
+
+	fmt.Println("equake-profile speedup over in-order vs L2 hit latency")
+	fmt.Printf("%-18s", "config")
+	for _, l := range lats {
+		fmt.Printf(" %7dc", l)
+	}
+	fmt.Println()
+	for _, m := range sim.Figure6Machines()[1:] {
+		sp := sim.SweepL2Latency(m.Machine, cfg, "equake", timed, lats)
+		fmt.Printf("%-18s", m.Label)
+		for _, v := range sp {
+			fmt.Printf(" %+7.1f%%", v)
+		}
+		fmt.Println()
+	}
+}

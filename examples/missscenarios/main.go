@@ -1,0 +1,39 @@
+// Miss scenarios: run the six abstract miss patterns of the paper's
+// Figure 1 on all five machines and print the cycle counts. The table
+// makes the paper's qualitative argument concrete:
+//
+//   - (a) lone L2 miss: SLTP/iCFP win by committing the miss-independent
+//     tail; Runahead gains nothing (it re-executes everything).
+//   - (b) independent L2 misses: every advance design overlaps them.
+//   - (c) dependent L2 misses: nobody can overlap them; commit still helps.
+//   - (d) independent chains of dependent misses: Runahead and iCFP
+//     overlap chain with chain; SLTP's blocking rally serializes.
+//   - (e,f) data-cache miss under an L2 miss: iCFP confidently poisons the
+//     secondary miss in both cases; Runahead must choose a policy.
+package main
+
+import (
+	"fmt"
+
+	"icfp/internal/sim"
+	"icfp/internal/workload"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInsts = 0 // scenarios pre-warm their caches explicitly
+
+	fmt.Printf("%-22s", "scenario")
+	for _, m := range sim.AllModels {
+		fmt.Printf(" %10s", m)
+	}
+	fmt.Println(" (cycles)")
+	for _, sc := range workload.AllScenarios {
+		fmt.Printf("%-22s", sc)
+		for _, m := range sim.AllModels {
+			r := sim.Run(m, cfg, workload.NewScenario(sc))
+			fmt.Printf(" %10d", r.Cycles)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,31 @@
+// Quickstart: build the Table 1 machine, run one workload on the in-order
+// baseline and on iCFP, and print the speedup. This is the minimal use of
+// the library's public surface: sim.DefaultConfig, workload.SPEC, sim.Run.
+package main
+
+import (
+	"fmt"
+
+	"icfp/internal/sim"
+	"icfp/internal/workload"
+)
+
+func main() {
+	cfg := sim.DefaultConfig() // the paper's Table 1 machine
+
+	// A deterministic mcf-profile workload: pointer chasing over a
+	// working set larger than the L2, the worst case for an in-order
+	// pipeline.
+	const timed = 300_000
+	w := func() *workload.Workload { return workload.SPEC("mcf", cfg.WarmupInsts+timed) }
+
+	base := sim.Run(sim.InOrder, cfg, w())
+	icfp := sim.Run(sim.ICFP, cfg, w())
+
+	fmt.Printf("workload: %s (%d timed instructions)\n", base.Name, base.Insts)
+	fmt.Printf("in-order: %8d cycles  IPC %.3f\n", base.Cycles, base.IPC())
+	fmt.Printf("iCFP:     %8d cycles  IPC %.3f\n", icfp.Cycles, icfp.IPC())
+	fmt.Printf("speedup:  %+.1f%%\n", icfp.SpeedupOver(base))
+	fmt.Printf("iCFP rallied %.0f instructions per 1000 committed across %d passes\n",
+		icfp.RallyPerKI, icfp.RallyPasses)
+}

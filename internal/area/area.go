@@ -1,0 +1,136 @@
+// Package area estimates the silicon overhead of each latency-tolerance
+// design (§5.3 of the paper). The paper used a modified CACTI-4.1 at
+// 45 nm; we substitute a small analytic model — per-structure periphery
+// plus per-bit array cost, with distinct costs for RAM and CAM cells and
+// for shadow-bitcell register-file checkpoints — whose constants are
+// calibrated so the four totals land near the paper's 0.12 / 0.22 / 0.36
+// / 0.26 mm² for Runahead / Multipass / SLTP / iCFP. Only the relative
+// footprints carry the paper's argument.
+package area
+
+// Cell cost constants (mm² per bit) and per-structure periphery (mm²).
+const (
+	ramPerBit   = 2.5e-6
+	camPerBit   = 12.0e-6
+	periphery   = 0.008
+	ckptPerPort = 0.005 // shadow-bitcell checkpoint of a 64x64b RF, per port
+	rfPorts     = 6     // the paper prices a 6-port register file
+)
+
+// Structure is one hardware array in a design's overhead budget.
+type Structure struct {
+	Name    string
+	Entries int
+	Bits    int  // bits per entry
+	CAM     bool // associatively searched
+}
+
+// MM2 returns the structure's estimated area in mm².
+func (s Structure) MM2() float64 {
+	per := ramPerBit
+	if s.CAM {
+		per = camPerBit
+	}
+	return periphery + float64(s.Entries*s.Bits)*per
+}
+
+// Design is a named set of structures plus checkpoint count.
+type Design struct {
+	Name        string
+	Structures  []Structure
+	Checkpoints int // shadow-bitcell register-file checkpoints
+}
+
+// Total returns the design's estimated overhead in mm².
+func (d Design) Total() float64 {
+	a := float64(d.Checkpoints) * ckptPerPort * rfPorts
+	for _, s := range d.Structures {
+		a += s.MM2()
+	}
+	return a
+}
+
+// Common structure widths (bits): a 40-bit physical address tag, 64-bit
+// data word, 8-bit poison vector, 12-bit SSN link, 10-bit sequence number.
+const (
+	addrBits = 40
+	dataBits = 64
+	poisVec  = 8
+	ssnBits  = 12
+	seqBits  = 10
+)
+
+// RunaheadDesign prices Runahead execution: per-register poison bits, the
+// 256-entry runahead cache, and one checkpoint.
+func RunaheadDesign() Design {
+	return Design{
+		Name:        "Runahead",
+		Checkpoints: 1,
+		Structures: []Structure{
+			{Name: "poison bits", Entries: 64, Bits: 1},
+			{Name: "runahead cache", Entries: 256, Bits: addrBits + dataBits + 1},
+		},
+	}
+}
+
+// MultipassDesign prices Multipass: poison bits, the 128-entry result
+// buffer, a 256-entry forwarding cache, and the load disambiguation unit.
+func MultipassDesign() Design {
+	return Design{
+		Name:        "Multipass",
+		Checkpoints: 1,
+		Structures: []Structure{
+			{Name: "poison bits", Entries: 64, Bits: 1},
+			{Name: "result buffer", Entries: 128, Bits: dataBits + 16},
+			{Name: "forwarding cache", Entries: 256, Bits: addrBits + dataBits + 1},
+			{Name: "load disambiguation", Entries: 128, Bits: addrBits, CAM: true},
+		},
+	}
+}
+
+// SLTPDesign prices SLTP: poison bits, the SRL, the slice buffer with
+// captured side inputs, a 256-entry associative load queue, and two
+// checkpoints (§4: "a single register file and two checkpoints").
+func SLTPDesign() Design {
+	return Design{
+		Name:        "SLTP",
+		Checkpoints: 2,
+		Structures: []Structure{
+			{Name: "poison bits", Entries: 64, Bits: 1},
+			{Name: "SRL", Entries: 128, Bits: addrBits + dataBits + 1},
+			{Name: "slice buffer", Entries: 128, Bits: 2*dataBits + 32},
+			{Name: "load queue", Entries: 256, Bits: addrBits + 16, CAM: true},
+		},
+	}
+}
+
+// ICFPDesign prices iCFP: poison vectors, last-writer sequence numbers,
+// the slice buffer, the chained (indexed, non-associative) store buffer,
+// the chain table, the load signature, and one checkpoint. The scratch
+// register file is not counted: it is the second thread context the core
+// already has (§5.3).
+func ICFPDesign() Design {
+	return Design{
+		Name:        "iCFP",
+		Checkpoints: 1,
+		Structures: []Structure{
+			{Name: "poison vectors", Entries: 64, Bits: poisVec},
+			{Name: "sequence numbers", Entries: 64, Bits: seqBits},
+			{Name: "slice buffer (instructions)", Entries: 128, Bits: 32 + seqBits + poisVec + ssnBits + 16},
+			{Name: "slice buffer (side inputs)", Entries: 128, Bits: 2 * (dataBits + 8)},
+			{Name: "chained store buffer", Entries: 128, Bits: addrBits + dataBits + poisVec + ssnBits},
+			{Name: "chain table", Entries: 512, Bits: 16},
+			{Name: "signature", Entries: 1024, Bits: 1},
+		},
+	}
+}
+
+// AllDesigns returns the four designs in the paper's order.
+func AllDesigns() []Design {
+	return []Design{RunaheadDesign(), MultipassDesign(), SLTPDesign(), ICFPDesign()}
+}
+
+// PaperMM2 records the paper's reported totals for comparison.
+var PaperMM2 = map[string]float64{
+	"Runahead": 0.12, "Multipass": 0.22, "SLTP": 0.36, "iCFP": 0.26,
+}

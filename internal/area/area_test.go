@@ -1,0 +1,51 @@
+package area
+
+import "testing"
+
+func TestStructureArea(t *testing.T) {
+	s := Structure{Name: "x", Entries: 100, Bits: 10}
+	want := periphery + 1000*ramPerBit
+	if got := s.MM2(); got != want {
+		t.Fatalf("MM2 = %v, want %v", got, want)
+	}
+	c := Structure{Name: "x", Entries: 100, Bits: 10, CAM: true}
+	if c.MM2() <= s.MM2() {
+		t.Fatal("CAM must cost more than RAM")
+	}
+}
+
+func TestDesignTotals(t *testing.T) {
+	for _, d := range AllDesigns() {
+		got := d.Total()
+		want := PaperMM2[d.Name]
+		if got < want*0.5 || got > want*1.6 {
+			t.Errorf("%s: %.3f mm² vs paper %.2f (outside 0.5x-1.6x band)", d.Name, got, want)
+		}
+	}
+}
+
+func TestRelativeOrdering(t *testing.T) {
+	// The paper's ordering: Runahead < Multipass < iCFP < SLTP.
+	ds := map[string]float64{}
+	for _, d := range AllDesigns() {
+		ds[d.Name] = d.Total()
+	}
+	if !(ds["Runahead"] < ds["Multipass"] && ds["Multipass"] < ds["iCFP"] && ds["iCFP"] < ds["SLTP"]) {
+		t.Fatalf("ordering wrong: %v", ds)
+	}
+}
+
+func TestICFPBeatsSLTPDespiteMoreFeatures(t *testing.T) {
+	// The §5.3 punchline: iCFP outperforms SLTP with a smaller footprint,
+	// because SLTP needs an associative load queue and a second checkpoint.
+	if ICFPDesign().Total() >= SLTPDesign().Total() {
+		t.Fatal("iCFP must be smaller than SLTP")
+	}
+}
+
+func TestCheckpointCharged(t *testing.T) {
+	d := Design{Name: "d", Checkpoints: 2}
+	if d.Total() != 2*ckptPerPort*rfPorts {
+		t.Fatalf("checkpoint-only total = %v", d.Total())
+	}
+}

@@ -1,0 +1,239 @@
+// Package bpred implements the front-end prediction structures from
+// Table 1: a PPM-like tagged multi-table direction predictor (after
+// Michaud, JILP 2005) within a 24 KB budget, a 2K-entry branch target
+// buffer, and a 32-entry return address stack.
+//
+// The PPM predictor consults a bimodal base table and three tagged tables
+// indexed by progressively longer global-history hashes; the longest
+// matching table provides the prediction, and allocation on a mispredict
+// moves the branch into a longer-history table.
+package bpred
+
+// Config sizes the predictor.
+type Config struct {
+	BimodalBits int   // log2 entries of the base bimodal table
+	TaggedBits  int   // log2 entries of each tagged table
+	HistLens    []int // global history length per tagged table
+	BTBBits     int   // log2 entries of the branch target buffer
+	RASEntries  int   // return address stack depth
+}
+
+// DefaultConfig matches the paper's 24 KB 3-table PPM predictor, 2K-entry
+// BTB and 32-entry RAS.
+func DefaultConfig() Config {
+	return Config{
+		BimodalBits: 13, // 8K 2-bit counters = 2 KB
+		TaggedBits:  11, // 3 x 2K entries x ~12 bits ≈ 9 KB
+		HistLens:    []int{5, 15, 40},
+		BTBBits:     11, // 2K entries
+		RASEntries:  32,
+	}
+}
+
+type taggedEntry struct {
+	tag   uint16
+	ctr   int8 // -2..1, taken if >= 0
+	valid bool
+}
+
+// Predictor is the combined direction predictor, BTB, and RAS.
+type Predictor struct {
+	cfg     Config
+	bimodal []int8 // 2-bit saturating counters, taken if >= 2 (range 0..3)
+	tagged  [][]taggedEntry
+	hist    uint64 // global history, youngest outcome in bit 0
+
+	btbTags    []uint32
+	btbTargets []uint64
+
+	ras    []uint64
+	rasTop int
+
+	// Stats
+	Lookups, Mispredicts   uint64
+	BTBLookups, BTBMisses  uint64
+	RASPushes, RASOverflow uint64
+}
+
+// New builds a predictor from cfg.
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:        cfg,
+		bimodal:    make([]int8, 1<<cfg.BimodalBits),
+		btbTags:    make([]uint32, 1<<cfg.BTBBits),
+		btbTargets: make([]uint64, 1<<cfg.BTBBits),
+		ras:        make([]uint64, cfg.RASEntries),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 2 // weakly taken
+	}
+	p.tagged = make([][]taggedEntry, len(cfg.HistLens))
+	for i := range p.tagged {
+		p.tagged[i] = make([]taggedEntry, 1<<cfg.TaggedBits)
+	}
+	return p
+}
+
+// foldHistory compresses histLen bits of global history into bits wide.
+func foldHistory(hist uint64, histLen, bits int) uint64 {
+	if histLen > 64 {
+		histLen = 64
+	}
+	var masked uint64
+	if histLen == 64 {
+		masked = hist
+	} else {
+		masked = hist & ((1 << uint(histLen)) - 1)
+	}
+	var folded uint64
+	for masked != 0 {
+		folded ^= masked & ((1 << uint(bits)) - 1)
+		masked >>= uint(bits)
+	}
+	return folded
+}
+
+func (p *Predictor) taggedIndex(table int, pc uint64) (idx uint64, tag uint16) {
+	bits := p.cfg.TaggedBits
+	h := foldHistory(p.hist, p.cfg.HistLens[table], bits)
+	idx = ((pc >> 2) ^ h ^ (pc >> uint(bits+2))) & ((1 << uint(bits)) - 1)
+	t := foldHistory(p.hist, p.cfg.HistLens[table], 9)
+	tag = uint16(((pc >> 2) ^ (t << 1)) & 0x1FF)
+	return idx, tag
+}
+
+func (p *Predictor) bimodalIndex(pc uint64) uint64 {
+	return (pc >> 2) & ((1 << uint(p.cfg.BimodalBits)) - 1)
+}
+
+// Predict returns the predicted direction for a conditional branch at pc.
+func (p *Predictor) Predict(pc uint64) bool {
+	p.Lookups++
+	for t := len(p.tagged) - 1; t >= 0; t-- {
+		idx, tag := p.taggedIndex(t, pc)
+		e := &p.tagged[t][idx]
+		if e.valid && e.tag == tag {
+			return e.ctr >= 0
+		}
+	}
+	return p.bimodal[p.bimodalIndex(pc)] >= 2
+}
+
+// Update trains the predictor with the resolved direction and shifts the
+// global history. Call it exactly once per dynamic conditional branch, in
+// program order.
+func (p *Predictor) Update(pc uint64, taken bool) {
+	pred := p.predictInternal(pc)
+	correct := pred == taken
+
+	// Train the provider (longest matching table, else bimodal).
+	provider := -1
+	for t := len(p.tagged) - 1; t >= 0; t-- {
+		idx, tag := p.taggedIndex(t, pc)
+		e := &p.tagged[t][idx]
+		if e.valid && e.tag == tag {
+			provider = t
+			if taken && e.ctr < 1 {
+				e.ctr++
+			} else if !taken && e.ctr > -2 {
+				e.ctr--
+			}
+			break
+		}
+	}
+	if provider < 0 {
+		bi := p.bimodalIndex(pc)
+		if taken && p.bimodal[bi] < 3 {
+			p.bimodal[bi]++
+		} else if !taken && p.bimodal[bi] > 0 {
+			p.bimodal[bi]--
+		}
+	}
+
+	// On a mispredict, allocate in one longer-history table.
+	if !correct {
+		p.Mispredicts++
+		for t := provider + 1; t < len(p.tagged); t++ {
+			idx, tag := p.taggedIndex(t, pc)
+			e := &p.tagged[t][idx]
+			if !e.valid || e.ctr == 0 || e.ctr == -1 {
+				var ctr int8 = -1
+				if taken {
+					ctr = 0
+				}
+				*e = taggedEntry{tag: tag, ctr: ctr, valid: true}
+				break
+			}
+		}
+	}
+
+	p.hist = p.hist<<1 | boolBit(taken)
+}
+
+// predictInternal is Predict without stats, used by Update to determine
+// correctness against the same state Predict saw.
+func (p *Predictor) predictInternal(pc uint64) bool {
+	for t := len(p.tagged) - 1; t >= 0; t-- {
+		idx, tag := p.taggedIndex(t, pc)
+		e := &p.tagged[t][idx]
+		if e.valid && e.tag == tag {
+			return e.ctr >= 0
+		}
+	}
+	return p.bimodal[p.bimodalIndex(pc)] >= 2
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// PredictTarget consults the BTB for the target of a taken control
+// transfer at pc. ok is false on a BTB miss.
+func (p *Predictor) PredictTarget(pc uint64) (target uint64, ok bool) {
+	p.BTBLookups++
+	idx := (pc >> 2) & ((1 << uint(p.cfg.BTBBits)) - 1)
+	if p.btbTags[idx] == uint32(pc>>2) && p.btbTargets[idx] != 0 {
+		return p.btbTargets[idx], true
+	}
+	p.BTBMisses++
+	return 0, false
+}
+
+// UpdateTarget installs the resolved target for pc.
+func (p *Predictor) UpdateTarget(pc, target uint64) {
+	idx := (pc >> 2) & ((1 << uint(p.cfg.BTBBits)) - 1)
+	p.btbTags[idx] = uint32(pc >> 2)
+	p.btbTargets[idx] = target
+}
+
+// Push records a return address on the RAS (for calls).
+func (p *Predictor) Push(ret uint64) {
+	p.RASPushes++
+	if p.rasTop == len(p.ras) {
+		p.RASOverflow++
+		copy(p.ras, p.ras[1:])
+		p.rasTop--
+	}
+	p.ras[p.rasTop] = ret
+	p.rasTop++
+}
+
+// Pop predicts a return target from the RAS. ok is false when empty.
+func (p *Predictor) Pop() (ret uint64, ok bool) {
+	if p.rasTop == 0 {
+		return 0, false
+	}
+	p.rasTop--
+	return p.ras[p.rasTop], true
+}
+
+// MispredictRate returns the fraction of mispredicted direction lookups.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}

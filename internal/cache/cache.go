@@ -1,0 +1,280 @@
+// Package cache implements a set-associative cache tag array with LRU
+// replacement, an optional victim buffer, and per-line speculative tagging.
+//
+// The simulator is trace-driven, so caches track tags only (no data — the
+// functional values live in the resolved trace and the memory image).
+// Speculative tagging exists for SLTP's SRL-based memory system, which
+// writes advance stores speculatively into the data cache and must flush
+// them when a rally begins (paper §4).
+package cache
+
+import "fmt"
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes     int // total capacity
+	Assoc         int // ways per set
+	LineBytes     int // line size (power of two)
+	VictimEntries int // victim buffer entries; 0 disables it
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d is not a positive power of two", c.LineBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache: associativity %d must be positive", c.Assoc)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cache: size %d is not a multiple of line*assoc", c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	spec  bool // written speculatively (SLTP SRL mode)
+	used  uint64
+}
+
+// Cache is a set-associative tag array. Create with New.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	clock     uint64
+	victim    []victimLine
+	victimCap int
+
+	// Stats
+	Hits, Misses, VictimHits uint64
+}
+
+type victimLine struct {
+	lineAddr uint64
+	dirty    bool
+}
+
+// New builds a cache from cfg. It panics on invalid geometry, which is a
+// programming error in machine configuration, not a runtime condition.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(numSets - 1),
+		lineShift: shift,
+		victimCap: cfg.VictimEntries,
+	}
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineBytes-1) }
+
+// LineBytes returns the configured line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+func (c *Cache) set(addr uint64) []line { return c.sets[(addr>>c.lineShift)&c.setMask] }
+
+func (c *Cache) find(addr uint64) *line {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup performs an access. On a hit it updates LRU state and returns
+// true. On a miss it checks the victim buffer; a victim hit re-inserts the
+// line (counted in VictimHits and reported as a hit). write marks the line
+// dirty on a hit.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	c.clock++
+	if l := c.find(addr); l != nil {
+		l.used = c.clock
+		if write {
+			l.dirty = true
+		}
+		c.Hits++
+		return true
+	}
+	// Victim buffer probe.
+	la := c.LineAddr(addr)
+	for i := range c.victim {
+		if c.victim[i].lineAddr == la {
+			dirty := c.victim[i].dirty
+			c.victim = append(c.victim[:i], c.victim[i+1:]...)
+			c.insertLine(addr, dirty || write, false)
+			c.VictimHits++
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Probe reports whether addr is present without updating LRU or stats.
+// The victim buffer is included.
+func (c *Cache) Probe(addr uint64) bool {
+	if c.find(addr) != nil {
+		return true
+	}
+	la := c.LineAddr(addr)
+	for i := range c.victim {
+		if c.victim[i].lineAddr == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line containing addr (e.g. on miss return). It returns
+// the evicted line address and whether a valid dirty line was displaced to
+// memory (after passing through the victim buffer if one is configured).
+func (c *Cache) Insert(addr uint64, write bool) (evicted uint64, dirtyEvict bool) {
+	return c.insertLine(addr, write, false)
+}
+
+// InsertSpeculative fills the line and tags it speculative (SLTP advance
+// stores). FlushSpeculative removes all such lines.
+func (c *Cache) InsertSpeculative(addr uint64) {
+	c.insertLine(addr, true, true)
+}
+
+// MarkSpeculative tags an already-present line as speculatively written.
+// It reports whether the line was present.
+func (c *Cache) MarkSpeculative(addr uint64) bool {
+	if l := c.find(addr); l != nil {
+		l.spec = true
+		l.dirty = true
+		return true
+	}
+	return false
+}
+
+func (c *Cache) insertLine(addr uint64, dirty, spec bool) (evicted uint64, dirtyEvict bool) {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	c.clock++
+	// Refill into an existing copy (MSHR merge already filled it).
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].used = c.clock
+			set[i].dirty = set[i].dirty || dirty
+			set[i].spec = set[i].spec || spec
+			return 0, false
+		}
+	}
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			goto fill
+		}
+		if set[i].used < set[vi].used {
+			vi = i
+		}
+	}
+	// Evict set[vi], optionally into the victim buffer.
+	{
+		evLine := set[vi].tag << c.lineShift
+		evDirty := set[vi].dirty
+		if c.victimCap > 0 {
+			c.victim = append(c.victim, victimLine{evLine, evDirty})
+			if len(c.victim) > c.victimCap {
+				old := c.victim[0]
+				c.victim = c.victim[1:]
+				evicted, dirtyEvict = old.lineAddr, old.dirty
+			}
+		} else {
+			evicted, dirtyEvict = evLine, evDirty
+		}
+	}
+fill:
+	set[vi] = line{tag: tag, valid: true, dirty: dirty, spec: spec, used: c.clock}
+	return evicted, dirtyEvict
+}
+
+// Invalidate removes the line containing addr if present (victim buffer
+// included). It reports whether a line was removed.
+func (c *Cache) Invalidate(addr uint64) bool {
+	if l := c.find(addr); l != nil {
+		l.valid = false
+		return true
+	}
+	la := c.LineAddr(addr)
+	for i := range c.victim {
+		if c.victim[i].lineAddr == la {
+			c.victim = append(c.victim[:i], c.victim[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// FlushSpeculative invalidates every speculatively tagged line and returns
+// how many were flushed. SLTP calls this at the start of each rally.
+func (c *Cache) FlushSpeculative() int {
+	n := 0
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			if c.sets[si][i].valid && c.sets[si][i].spec {
+				c.sets[si][i].valid = false
+				c.sets[si][i].spec = false
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CommitSpeculative clears the speculative tag on every line, making the
+// writes permanent (SLTP does this when a rally completes successfully).
+func (c *Cache) CommitSpeculative() int {
+	n := 0
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			if c.sets[si][i].valid && c.sets[si][i].spec {
+				c.sets[si][i].spec = false
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Reset invalidates the whole cache and clears statistics.
+func (c *Cache) Reset() {
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			c.sets[si][i] = line{}
+		}
+	}
+	c.victim = c.victim[:0]
+	c.clock = 0
+	c.Hits, c.Misses, c.VictimHits = 0, 0, 0
+}

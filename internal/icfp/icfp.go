@@ -1,0 +1,987 @@
+// The iCFP machine: a 2-way in-order pipeline that, on a cache miss at
+// any level, checkpoints the register file and continues in "advance"
+// mode — committing miss-independent instructions and diverting
+// miss-dependent ones (with their side inputs) into the slice buffer.
+// Each miss return triggers a "rally" pass that re-executes only the
+// slice, merging results into primary register state gated by last-writer
+// sequence numbers. Rallies are non-blocking (a slice load that misses
+// again is re-poisoned in place for a later pass) and can be
+// multithreaded with continued advance at the program tail.
+package icfp
+
+import (
+	"fmt"
+
+	"icfp/internal/bpred"
+	"icfp/internal/isa"
+	"icfp/internal/mem"
+	"icfp/internal/pipeline"
+	"icfp/internal/stats"
+	"icfp/internal/workload"
+)
+
+// Machine is an iCFP pipeline.
+type Machine struct {
+	cfg    pipeline.Config
+	sbMode SBMode
+
+	// ExternalStores optionally injects coherence probes from another
+	// processor (§3.3): at each event's cycle, the address probes the
+	// load signature and forces a squash to the checkpoint on a hit.
+	ExternalStores []ExternalStoreEvent
+}
+
+// ExternalStoreEvent is one remote store visible to this core.
+type ExternalStoreEvent struct {
+	Cycle int64
+	Addr  uint64
+}
+
+// New returns a full iCFP machine: advance under all misses, chained
+// store buffer, non-blocking multithreaded rallies, poison vectors as
+// configured.
+func New(cfg pipeline.Config) *Machine {
+	cfg.Trigger = pipeline.TriggerAll
+	return &Machine{cfg: cfg}
+}
+
+// NewWithOptions returns an iCFP machine with an explicit advance trigger
+// (Figure 6's iCFP-L2 vs iCFP-all) and store-buffer design (Figure 8).
+func NewWithOptions(cfg pipeline.Config, trig pipeline.AdvanceTrigger, sb SBMode) *Machine {
+	cfg.Trigger = trig
+	return &Machine{cfg: cfg, sbMode: sb}
+}
+
+// watchdogCycles bounds any single simulation; exceeding it indicates a
+// scheduling deadlock rather than a slow workload.
+const watchdogCycles = int64(1) << 36
+
+type mode int
+
+const (
+	modeNormal mode = iota
+	modeAdvance
+)
+
+type pendingMiss struct {
+	cycle int64
+	bit   uint8
+}
+
+// staged is the next tail instruction, with its front-end state resolved
+// exactly once.
+type staged struct {
+	idx       int
+	in        *isa.Inst
+	avail     int64
+	predTaken bool
+	valid     bool
+}
+
+type run struct {
+	cfg     *pipeline.Config
+	sbMode  SBMode
+	ext     []ExternalStoreEvent
+	tr      *isa.Trace
+	hier    *mem.Hierarchy
+	front   *pipeline.Frontend
+	slots   *pipeline.SlotAlloc
+	board   pipeline.Scoreboard // RF0: main register file state
+	scratch pipeline.Scoreboard // RF1: rally scratch register file
+	csb     *ChainedStoreBuffer
+	slice   *sliceBuffer
+	sig     *Signature
+
+	mode    mode
+	ckpt    pipeline.Checkpoint
+	ckptSSN uint64
+	seqCtr  uint64
+
+	// Poison-bit pool.
+	nBits      int
+	bitNext    int
+	bitPending [8]int
+	pending    []pendingMiss
+
+	// Last poisoned writer of each register (slice entry id), valid while
+	// board.Poison[reg] != 0.
+	lastWriter [isa.NumRegs]uint64
+
+	// pendingBranches counts unresolved poisoned branches in the slice
+	// buffer. Tail advance pauses once it exceeds a small bound: work past
+	// many unresolved low-confidence branches is likely to be squashed,
+	// so a real front end gates fetch instead (confidence throttling).
+	pendingBranches int
+
+	// Rally pass state.
+	passActive   bool
+	passBits     uint8
+	cursor       uint64
+	retsDuring   bool
+	rallyReadyAt int64
+
+	// Tail state.
+	i         int
+	st        staged
+	lastIssue int64
+	stallSSN  uint64 // SBLimited: waiting for this store to drain
+
+	cycle    int64
+	finish   int64
+	sraUntil int64 // simple-runahead episode active until this cycle
+
+	dTrack, l2Track stats.MLPTracker
+	res             pipeline.Result
+	warm            int
+}
+
+// Run simulates the workload to completion.
+func (m *Machine) Run(w *workload.Workload) pipeline.Result {
+	cfg := m.cfg
+	r := &run{cfg: &cfg, sbMode: m.sbMode, tr: w.Trace, ext: m.ExternalStores}
+	r.hier = mem.New(cfg.Hier)
+	if w.Prewarm != nil {
+		w.Prewarm(r.hier)
+	}
+	pred := bpred.New(cfg.Bpred)
+	r.front = pipeline.NewFrontend(&cfg, r.hier, pred)
+	r.slots = pipeline.NewSlotAlloc(&cfg)
+	r.csb = NewChainedStoreBuffer(cfg.ChainedSBEntries, cfg.ChainTableEntries, m.sbMode)
+	r.slice = newSliceBuffer(cfg.SliceEntries)
+	r.sig = NewSignature(1024)
+	r.nBits = cfg.PoisonBits
+	if r.nBits < 1 {
+		r.nBits = 1
+	}
+	if r.nBits > 8 {
+		r.nBits = 8
+	}
+
+	r.warm = cfg.WarmupInsts
+	if r.warm > r.tr.Len() {
+		r.warm = r.tr.Len()
+	}
+	pipeline.Warmup(r.hier, pred, r.tr, r.warm)
+	r.i = r.warm
+
+	r.hier.MissObserver = func(start, done int64, l2 bool) {
+		r.dTrack.Add(start, done)
+		if l2 {
+			r.l2Track.Add(start, done)
+		}
+	}
+
+	r.loop()
+
+	insts := int64(r.tr.Len() - r.warm)
+	if insts == 0 {
+		return pipeline.Result{Name: w.Name}
+	}
+	ki := float64(insts) / 1000
+	hs := r.hier.Stats
+	res := r.res
+	res.Name = w.Name
+	res.Cycles = r.finish
+	res.Insts = insts
+	res.DCacheMissPerKI = float64(hs.DataL1Misses) / ki
+	res.L2MissPerKI = float64(hs.DataL2Misses) / ki
+	res.DCacheMLP = r.dTrack.MLP()
+	res.L2MLP = r.l2Track.MLP()
+	res.RallyPerKI = float64(res.RallyInsts) / ki
+	res.SBForwards = r.csb.Forwards
+	res.SBExtraHops = r.csb.MeanExtraHops()
+	res.SBHopsAtLeast = r.csb.Hops.FractionAtLeast(5)
+	return res
+}
+
+// loop is the cycle-driven core: each iteration is one cycle (with
+// skip-ahead when nothing can possibly happen).
+func (r *run) loop() {
+	for r.i < r.tr.Len() || !r.slice.Empty() || len(r.pending) > 0 {
+		if r.cycle > watchdogCycles {
+			panic("icfp: simulation exceeded the watchdog cycle bound (deadlock?)")
+		}
+		r.fireReturns()
+		for len(r.ext) > 0 && r.ext[0].Cycle <= r.cycle {
+			r.externalStore(r.ext[0].Addr)
+			r.ext = r.ext[1:]
+		}
+		prog := r.drainStores()
+		if r.rallyStep() {
+			prog = true
+		}
+		if r.tailStep() {
+			prog = true
+		}
+		r.maybeExitAdvance()
+		if prog {
+			r.cycle++
+			continue
+		}
+		r.cycle = r.nextEvent()
+	}
+	if r.cycle > r.finish {
+		r.finish = r.cycle
+	}
+}
+
+// nextEvent finds the earliest cycle at which anything can change.
+func (r *run) nextEvent() int64 {
+	next := r.cycle + 1_000_000 // far horizon
+	for _, p := range r.pending {
+		if p.cycle > r.cycle && p.cycle < next {
+			next = p.cycle
+		}
+	}
+	if r.passActive {
+		// An active pass processes or skips entries every cycle once its
+		// ready point passes; never skip beyond that.
+		c := r.rallyReadyAt
+		if c <= r.cycle {
+			c = r.cycle + 1
+		}
+		if c < next {
+			next = c
+		}
+	}
+	if r.st.valid {
+		e := r.tailEarliest()
+		if e > r.cycle && e < next {
+			next = e
+		}
+	}
+	if r.csb.Live() > 0 {
+		// Drains retry next cycle (cheap; bounded by buffer size).
+		if c := r.cycle + 1; c < next {
+			next = c
+		}
+	}
+	if len(r.ext) > 0 && r.ext[0].Cycle > r.cycle && r.ext[0].Cycle < next {
+		next = r.ext[0].Cycle
+	}
+	if next <= r.cycle {
+		next = r.cycle + 1
+	}
+	return next
+}
+
+// ---- poison bits and miss returns ----
+
+// allocBit assigns a poison bit (round-robin, §3.4) to a new miss
+// returning at the given cycle.
+func (r *run) allocBit(ret int64) uint8 {
+	b := uint8(r.bitNext % r.nBits)
+	r.bitNext++
+	r.bitPending[b]++
+	r.pending = append(r.pending, pendingMiss{cycle: ret, bit: b})
+	return 1 << b
+}
+
+// fireReturns retires pending misses whose data has arrived and starts or
+// extends rally passes.
+func (r *run) fireReturns() {
+	live := r.pending[:0]
+	for _, p := range r.pending {
+		if p.cycle <= r.cycle {
+			r.bitPending[p.bit]--
+			r.passBits |= 1 << p.bit
+			if r.passActive {
+				r.retsDuring = true
+			}
+		} else {
+			live = append(live, p)
+		}
+	}
+	r.pending = live
+	if !r.passActive && !r.slice.Empty() {
+		// A pass must run whenever any active entry waits on a bit whose
+		// miss has returned — including entries that were (re)poisoned
+		// with an already-returned bit after the last pass ended (e.g. a
+		// tail load forwarding from a still-poisoned store).
+		if wb := r.waitingFreeBits(); wb != 0 {
+			r.passBits = wb
+			r.startPass()
+		}
+	}
+}
+
+func (r *run) startPass() {
+	r.passActive = true
+	r.retsDuring = false
+	r.cursor = r.slice.head
+	r.rallyReadyAt = r.cycle
+	r.res.RallyPasses++
+}
+
+// endPass completes a rally pass; a return that fired mid-pass starts the
+// next pass immediately.
+func (r *run) endPass() {
+	r.passActive = false
+	r.passBits = 0
+	if r.retsDuring && !r.slice.Empty() {
+		// Returns fired mid-pass: entries before the cursor missed their
+		// un-poisoning. Start the next pass over the free bits that still
+		// have waiting entries.
+		r.passBits = r.waitingFreeBits()
+		if r.passBits != 0 {
+			r.startPass()
+			return
+		}
+	}
+	if r.slice.Empty() {
+		r.sig.Clear()
+	}
+}
+
+// waitingFreeBits returns the union of poison bits that (a) have no
+// outstanding miss and (b) appear on at least one active slice entry.
+func (r *run) waitingFreeBits() uint8 {
+	var free uint8
+	for b := 0; b < r.nBits; b++ {
+		if r.bitPending[b] == 0 {
+			free |= 1 << b
+		}
+	}
+	var waiting uint8
+	for k := range r.slice.entries {
+		e := &r.slice.entries[k]
+		if e.active {
+			waiting |= e.poison
+		}
+	}
+	return free & waiting
+}
+
+// ---- store drains ----
+
+// drainStores writes at most one committed store per cycle to the cache.
+// While a checkpoint is outstanding, stores younger than it must stay
+// buffered (they are the squash-recovery state).
+func (r *run) drainStores() bool {
+	limit := r.csb.Tail()
+	if r.mode == modeAdvance {
+		limit = r.ckptSSN
+	}
+	addr, ok := r.csb.DrainNext(limit)
+	if !ok {
+		return false
+	}
+	r.hier.Data(r.cycle, addr, true)
+	return true
+}
+
+// ---- rally ----
+
+// rallyStep processes the rally pass: up to eight skips and one
+// instruction execution per cycle (§3.4: banked slice buffer).
+func (r *run) rallyStep() bool {
+	if !r.passActive {
+		return false
+	}
+	if r.rallyReadyAt > r.cycle {
+		return false
+	}
+	progress := false
+	for skips := 0; skips < 8; {
+		end := r.slice.head + uint64(len(r.slice.entries))
+		if r.cursor >= end {
+			r.endPass()
+			return progress
+		}
+		e := r.slice.Get(r.cursor)
+		if e == nil || !e.active {
+			r.cursor++
+			continue // reclaimed or executed: free skip
+		}
+		if e.poison&r.passBits == 0 {
+			if r.cfg.NonBlockingRally {
+				// Not un-poisoned by this pass: banked skip. Skips consume
+				// this cycle's skip bandwidth, so they count as progress
+				// (otherwise skip-ahead would leap over the pass walk).
+				r.cursor++
+				skips++
+				progress = true
+				continue
+			}
+			// Blocking rallies cannot skip: fall through and wait.
+		}
+		if done := r.execSliceEntry(e); done {
+			progress = true
+		}
+		return progress
+	}
+	return progress
+}
+
+// execSliceEntry attempts to execute one slice entry at the current
+// cycle. It returns true if rally bandwidth was consumed.
+func (r *run) execSliceEntry(e *sliceEntry) bool {
+	in := r.tr.At(e.idx)
+
+	// Gather register inputs: all slice-internal producers must have
+	// executed; otherwise re-poison with their current wait bits.
+	ready := r.cycle
+	var waitBits uint8
+	for _, s := range e.srcs {
+		if s.kind != srcSlice {
+			continue
+		}
+		if done, ok := r.slice.Executed(s.prod); ok {
+			if done > ready {
+				ready = done
+			}
+		} else if p := r.slice.Get(s.prod); p != nil {
+			waitBits |= p.poison
+		}
+	}
+	if waitBits != 0 {
+		if !r.cfg.NonBlockingRally {
+			// Blocking rallies stall until the producers' misses return.
+			r.rallyReadyAt = r.earliestReturn()
+			return false
+		}
+		e.poison = waitBits
+		r.cursor++
+		r.res.RallyInsts++
+		return true
+	}
+	if ready > r.cycle {
+		r.rallyReadyAt = ready // bypass wait within the slice
+		return false
+	}
+	if !r.slots.TryTake(r.cycle, in.Op) {
+		return false // port conflict with the tail this cycle
+	}
+	r.res.RallyInsts++
+
+	done := r.cycle + 1
+	switch in.Op {
+	case isa.OpLoad:
+		fwd := r.csb.Forward(e.ssn, in.Addr)
+		switch {
+		case fwd.Found && fwd.Poison != 0:
+			// Memory dependence on a still-poisoned store.
+			e.poison = fwd.Poison
+			r.cursor++
+			return true
+		case fwd.Found:
+			r.checkValue(in, fwd.Val)
+			done = r.cycle + int64(r.cfg.DCachePipe) + int64(fwd.Hops)
+		default:
+			acc := r.hier.Data(r.cycle, in.Addr, false)
+			if acc.Done > r.cycle+int64(r.cfg.DCachePipe)+2 {
+				if r.cfg.NonBlockingRally {
+					// Still (or newly) missing: re-poison and move on.
+					e.poison = r.allocBit(acc.Done)
+					r.cursor++
+					return true
+				}
+				// Blocking rally: wait the miss out.
+				done = acc.Done + int64(r.cfg.DCachePipe)
+				r.rallyReadyAt = acc.Done
+			} else {
+				done = r.cycle + int64(r.cfg.DCachePipe)
+				r.sig.Insert(in.Addr)
+			}
+		}
+	case isa.OpStore:
+		r.csb.UpdateValue(e.storeSSN, in.Val)
+	case isa.OpBranch, isa.OpJump, isa.OpCall, isa.OpRet:
+		r.front.Train(in)
+		r.pendingBranches--
+		if !e.predOK {
+			r.squash(e.idx, e.ssn)
+			return true
+		}
+	default:
+		done = r.cycle + int64(in.Op.ExecLatency())
+	}
+
+	// Writeback: scratch always; main register file only when this entry
+	// is still the architecturally last writer (sequence number gate).
+	if in.HasDst() {
+		r.scratch.Ready[in.Dst] = done
+		r.scratch.Poison[in.Dst] = 0
+		if r.board.Seq[in.Dst] == e.seq {
+			r.board.Ready[in.Dst] = done
+			r.board.Poison[in.Dst] = 0
+		}
+	}
+	r.slice.Deactivate(e.id, done)
+	r.cursor++
+	if done > r.finish {
+		r.finish = done
+	}
+	return true
+}
+
+// earliestReturn gives the soonest pending miss return (for blocking
+// rallies and skip-ahead).
+func (r *run) earliestReturn() int64 {
+	next := r.cycle + 1_000_000
+	for _, p := range r.pending {
+		if p.cycle < next {
+			next = p.cycle
+		}
+	}
+	return next
+}
+
+// ---- tail ----
+
+// stage resolves front-end state for the next tail instruction.
+func (r *run) stage() bool {
+	if r.st.valid {
+		return true
+	}
+	if r.i >= r.tr.Len() {
+		return false
+	}
+	in := r.tr.At(r.i)
+	r.st = staged{
+		idx:   r.i,
+		in:    in,
+		avail: r.front.Avail(in),
+		valid: true,
+	}
+	r.st.predTaken = r.front.Predict(in)
+	r.i++
+	return true
+}
+
+// tailEarliest computes the staged instruction's earliest issue cycle.
+func (r *run) tailEarliest() int64 {
+	e := r.st.avail
+	if r.mode == modeNormal || r.board.SrcPoison(r.st.in) == 0 {
+		if v := r.board.SrcReady(r.st.in); v > e {
+			e = v
+		}
+	}
+	if e < r.lastIssue {
+		e = r.lastIssue
+	}
+	return e
+}
+
+// tailStep issues tail instructions into this cycle's remaining slots.
+// maxPendingBranches bounds how many unresolved poisoned branches the
+// tail may advance past before fetch gating pauses it.
+const maxPendingBranches = 6
+
+func (r *run) tailStep() bool {
+	if r.passActive && !r.cfg.MultithreadRally {
+		return false // rallies own the pipeline when not multithreaded
+	}
+	if r.mode == modeAdvance && r.pendingBranches >= maxPendingBranches {
+		return false // confidence throttle: wait for rallies to resolve
+	}
+	progress := false
+	for {
+		if !r.stage() {
+			return progress
+		}
+		if r.tailEarliest() > r.cycle {
+			return progress
+		}
+		if r.stallSSN != 0 {
+			// SBLimited: a prior load is stalled on a colliding store.
+			if r.csb.ssnComplete < r.stallSSN {
+				return progress
+			}
+			r.stallSSN = 0
+		}
+		if !r.slots.TryTake(r.cycle, r.st.in.Op) {
+			return progress
+		}
+		if !r.issueTail() {
+			return progress
+		}
+		progress = true
+	}
+}
+
+// issueTail processes the staged instruction at the current cycle. It
+// returns false if the instruction could not issue after all (structural
+// stall) and must retry.
+func (r *run) issueTail() bool {
+	in := r.st.in
+	idx := r.st.idx
+	t := r.cycle
+
+	if r.mode == modeAdvance && r.board.SrcPoison(in) != 0 {
+		if !r.sliceOut() {
+			return false
+		}
+		r.st.valid = false
+		r.lastIssue = t
+		return true
+	}
+
+	var done int64
+	switch in.Op {
+	case isa.OpLoad:
+		out, d := r.execLoad(idx, t)
+		switch out {
+		case loadStall:
+			return false
+		case loadSliced:
+			r.st.valid = false
+			r.lastIssue = t
+			return true // fully handled via the slice path
+		}
+		done = d
+	case isa.OpStore:
+		if _, ok := r.csb.Insert(in.Addr, in.Val, 0, idx); !ok {
+			r.stallAdvance(idx, &r.res.SBOverflows)
+			return false
+		}
+		done = t + 1
+	default:
+		done = t + int64(in.Op.ExecLatency())
+	}
+
+	seq := r.nextSeq()
+	r.board.WriteDst(in, done, 0, seq)
+	if in.Op.IsCtrl() {
+		r.front.Train(in)
+		if r.st.predTaken != in.Taken {
+			r.res.BranchMispredicts++
+			r.front.Redirect(t + 1)
+		}
+	}
+	if r.mode == modeAdvance {
+		r.res.AdvanceInsts++
+	}
+	if done > r.finish {
+		r.finish = done
+	}
+	r.st.valid = false
+	r.lastIssue = t
+	return true
+}
+
+// nextSeq returns the instruction's last-writer sequence number: distance
+// from the checkpoint while one is outstanding, zero otherwise.
+func (r *run) nextSeq() uint64 {
+	if r.mode != modeAdvance {
+		return 0
+	}
+	r.seqCtr++
+	return r.seqCtr
+}
+
+// loadOutcome reports how a tail load was handled.
+type loadOutcome int
+
+const (
+	loadDone   loadOutcome = iota // executed; write back the result
+	loadSliced                    // diverted to the slice buffer
+	loadStall                     // structural stall; retry next cycle
+)
+
+// execLoad performs a tail load: store-buffer forwarding, then the
+// hierarchy; misses poison and slice (in advance mode) or trigger the
+// transition (in normal mode).
+func (r *run) execLoad(idx int, t int64) (loadOutcome, int64) {
+	in := r.tr.At(idx)
+	pipe := int64(r.cfg.DCachePipe)
+
+	fwd := r.csb.Forward(r.csb.Tail(), in.Addr)
+	if fwd.StallSSN != 0 {
+		r.stallSSN = fwd.StallSSN
+		return loadStall, 0
+	}
+	if fwd.Found {
+		if fwd.Poison != 0 {
+			// Forward from a poisoned store: the load is miss-dependent.
+			return r.poisonLoad(idx, fwd.Poison, 0), 0
+		}
+		r.checkValue(in, fwd.Val)
+		return loadDone, t + pipe + int64(fwd.Hops)
+	}
+
+	acc := r.hier.Data(t, in.Addr, false)
+	if acc.Done <= t+pipe+int64(r.cfg.FrontDepth) {
+		r.sig.Insert(in.Addr)
+		d := acc.Done + pipe
+		if m := t + pipe; d < m {
+			d = m
+		}
+		return loadDone, d
+	}
+
+	// A real miss.
+	if !r.triggered(acc.Level) {
+		// Configured not to advance under this miss level: behave like
+		// the in-order baseline (stall on use).
+		return loadDone, acc.Done + pipe
+	}
+	if r.mode == modeNormal {
+		r.enterAdvance(idx)
+	}
+	return r.poisonLoad(idx, 0, acc.Done), 0
+}
+
+// poisonLoad diverts a missing or poison-forwarded load into the slice
+// buffer. inherited is the poison from a forwarding store (0 for a real
+// miss returning at ret).
+func (r *run) poisonLoad(idx int, inherited uint8, ret int64) loadOutcome {
+	in := r.tr.At(idx)
+	var vec uint8
+	e := sliceEntry{idx: idx, seq: r.nextSeq(), ssn: r.csb.Tail()}
+	if inherited != 0 {
+		vec = inherited
+	} else {
+		vec = r.allocBit(ret)
+	}
+	e.poison = vec
+	r.captureSrcs(&e, in)
+	id, ok := r.slice.Append(e)
+	if !ok {
+		r.undoLoadPoison(inherited, vec)
+		r.stallAdvance(idx, &r.res.SliceOverflows)
+		return loadStall
+	}
+	r.board.WriteDst(in, r.cycle+1, vec, e.seq)
+	if in.HasDst() {
+		r.lastWriter[in.Dst] = id
+	}
+	r.res.AdvanceInsts++
+	return loadSliced
+}
+
+// undoLoadPoison rolls back a freshly allocated pending miss when the
+// slice buffer rejected the load (the access itself stands — it becomes a
+// prefetch).
+func (r *run) undoLoadPoison(inherited, vec uint8) {
+	if inherited != 0 {
+		return
+	}
+	for b := 0; b < r.nBits; b++ {
+		if vec == 1<<b {
+			r.bitPending[b]--
+			break
+		}
+	}
+	if n := len(r.pending); n > 0 {
+		r.pending = r.pending[:n-1]
+	}
+}
+
+// sliceOut diverts a poisoned (miss-dependent) non-load-miss instruction
+// into the slice buffer.
+func (r *run) sliceOut() bool {
+	in := r.st.in
+	if r.slice.Full() {
+		// Check capacity before touching the store buffer: a poisoned
+		// store inserted without a slice entry would never receive its
+		// value and would block drains forever.
+		r.stallAdvance(r.st.idx, &r.res.SliceOverflows)
+		return false
+	}
+	e := sliceEntry{idx: r.st.idx, seq: r.nextSeq(), ssn: r.csb.Tail()}
+	e.poison = r.board.SrcPoison(in)
+	r.captureSrcs(&e, in)
+
+	switch in.Op {
+	case isa.OpStore:
+		if in.Src1.Valid() && r.board.Poison[in.Src1] != 0 {
+			// Poisoned address: cannot chain into the store buffer.
+			r.stallAdvance(r.st.idx, &r.res.PoisonAddrObs)
+			return false // stall until the address un-poisons (§3.4)
+		}
+		ssn, ok := r.csb.Insert(in.Addr, 0, e.poison, r.st.idx)
+		if !ok {
+			r.stallAdvance(r.st.idx, &r.res.SBOverflows)
+			return false
+		}
+		e.storeSSN = ssn
+	case isa.OpBranch, isa.OpJump, isa.OpCall, isa.OpRet:
+		e.predOK = r.st.predTaken == in.Taken
+		r.pendingBranches++
+	}
+
+	id, ok := r.slice.Append(e)
+	if !ok {
+		r.stallAdvance(r.st.idx, &r.res.SliceOverflows)
+		return false
+	}
+	r.board.WriteDst(in, r.cycle+1, e.poison, e.seq)
+	if in.HasDst() {
+		r.lastWriter[in.Dst] = id
+	}
+	r.res.AdvanceInsts++
+	return true
+}
+
+// captureSrcs records where each input comes from: a captured
+// miss-independent side value, or an older slice entry.
+func (r *run) captureSrcs(e *sliceEntry, in *isa.Inst) {
+	srcs := [2]isa.Reg{in.Src1, in.Src2}
+	for k, s := range srcs {
+		switch {
+		case !s.Valid():
+			e.srcs[k] = sliceSrc{kind: srcNone}
+		case r.board.Poison[s] != 0:
+			e.srcs[k] = sliceSrc{kind: srcSlice, prod: r.lastWriter[s]}
+		default:
+			e.srcs[k] = sliceSrc{kind: srcCaptured}
+		}
+	}
+}
+
+// ---- mode transitions ----
+
+func (r *run) triggered(level mem.Level) bool {
+	switch r.cfg.Trigger {
+	case pipeline.TriggerL2Only:
+		return level == mem.LevelMem
+	case pipeline.TriggerPrimaryD1:
+		if r.mode == modeAdvance {
+			return level == mem.LevelMem
+		}
+		return level != mem.LevelL1
+	case pipeline.TriggerAll:
+		return level != mem.LevelL1
+	}
+	return false
+}
+
+// enterAdvance checkpoints the register file and transitions to advance
+// mode. Unlike Runahead, nothing is flushed: the pipeline keeps flowing.
+func (r *run) enterAdvance(idx int) {
+	r.mode = modeAdvance
+	r.res.Advances++
+	r.ckpt = pipeline.TakeCheckpoint(&r.board, idx)
+	r.ckptSSN = r.csb.Tail()
+	r.seqCtr = 0
+	for k := range r.board.Seq {
+		r.board.Seq[k] = 0
+	}
+	r.scratch = pipeline.Scoreboard{}
+}
+
+// maybeExitAdvance returns to normal mode once the slice buffer is empty,
+// no misses are pending, and no register is poisoned.
+func (r *run) maybeExitAdvance() {
+	if r.mode != modeAdvance {
+		return
+	}
+	if r.slice.Empty() && len(r.pending) == 0 && !r.board.AnyPoisoned() {
+		r.mode = modeNormal
+		r.sig.Clear()
+	}
+}
+
+// squash recovers from a mispredicted poisoned branch discovered during a
+// rally: drop all state younger than the branch and resume execution at
+// the branch itself.
+//
+// Recovering at the branch (rather than the epoch checkpoint) idealizes
+// the recovery point: committed register state older than the branch is
+// identified by the last-writer sequence numbers already maintained in
+// RF0, so a replay from the branch reconstructs exactly the state a
+// branch-local checkpoint would hold. DESIGN.md records this deviation
+// from the paper's single-checkpoint description.
+func (r *run) squash(branchIdx int, branchSSN uint64) {
+	r.res.Squashes++
+	// If a poisoned (value-pending) store older than the recovery point
+	// survives, its slice entry is about to be discarded — roll the
+	// recovery point back so that store re-executes.
+	if ssn, idx, ok := r.csb.OldestPoisoned(branchSSN); ok {
+		branchSSN = ssn - 1
+		if idx < branchIdx {
+			branchIdx = idx
+		}
+	}
+	restoreAt := r.cycle + int64(r.cfg.FrontDepth)
+	r.ckpt.Restore(&r.board, restoreAt)
+	r.slice.Clear()
+	r.csb.SquashTo(branchSSN)
+	r.pending = r.pending[:0]
+	for b := range r.bitPending {
+		r.bitPending[b] = 0
+	}
+	r.passActive = false
+	r.passBits = 0
+	r.pendingBranches = 0
+	r.sig.Clear()
+	r.front.Flush(r.cycle)
+	r.front.Redirect(r.cycle) // the mispredict itself
+	r.res.BranchMispredicts++
+	r.i = branchIdx
+	r.st.valid = false
+	r.lastIssue = restoreAt
+	r.mode = modeNormal
+	r.stallSSN = 0
+}
+
+// ExternalStore models a coherence probe from another processor (§3.3):
+// if the address hits the load signature while a checkpoint is
+// outstanding, iCFP squashes to the checkpoint. It reports whether a
+// squash occurred.
+func (r *run) externalStore(addr uint64) bool {
+	if r.mode != modeAdvance {
+		return false
+	}
+	if !r.sig.Probe(addr) {
+		return false
+	}
+	// External conflicts squash to the epoch checkpoint (§3.3).
+	r.squash(r.ckpt.Index, r.ckptSSN)
+	return true
+}
+
+// stallAdvance begins (at most once per stall episode) a simple-runahead
+// excursion and counts the episode against the given counter.
+func (r *run) stallAdvance(idx int, counter *uint64) {
+	if r.cycle < r.sraUntil {
+		return
+	}
+	*counter++
+	if r.cfg.PoisonAddrPolicy == pipeline.PoisonAddrSimpleRunahead {
+		r.prefetchAhead(idx)
+	}
+	r.sraUntil = r.earliestReturn()
+}
+
+// prefetchAhead approximates "simple runahead" mode (§3.4): when full
+// advance cannot proceed (slice or store buffer exhausted, or a
+// poisoned-address store), the machine keeps fetching and executing
+// non-committing instructions for their prefetch effect. We model the
+// prefetch effect without per-cycle simulation: walk forward issuing
+// cache accesses for miss-independent loads until the next miss return.
+func (r *run) prefetchAhead(from int) {
+	horizon := r.earliestReturn()
+	if horizon <= r.cycle {
+		return
+	}
+	var poison [isa.NumRegs]bool
+	for k := range poison {
+		poison[k] = r.board.Poison[k] != 0
+	}
+	clock := r.cycle
+	issued := 0
+	for j := from + 1; j < r.tr.Len() && clock < horizon && issued < 256; j++ {
+		in := r.tr.At(j)
+		p := (in.Src1.Valid() && poison[in.Src1]) || (in.Src2.Valid() && poison[in.Src2])
+		if in.HasDst() {
+			poison[in.Dst] = p
+		}
+		if in.Op == isa.OpLoad && !p {
+			r.hier.Prefetch(clock, in.Addr)
+			issued++
+		}
+		if in.Op == isa.OpBranch && p {
+			break // unknown direction: stop prefetching
+		}
+		clock += 1 // ~IPC 1 pacing for the non-committal walk
+	}
+}
+
+// checkValue asserts functional forwarding correctness when enabled.
+func (r *run) checkValue(in *isa.Inst, got uint64) {
+	if r.cfg.CheckValues && got != in.Val {
+		panic(fmt.Sprintf("icfp: forwarded value %#x != trace value %#x at pc %#x", got, in.Val, in.PC))
+	}
+}

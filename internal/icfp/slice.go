@@ -1,0 +1,141 @@
+package icfp
+
+// The slice buffer (§3.1, §3.4): a FIFO of miss-dependent instructions
+// and their miss-independent side inputs. Entries stay in place across
+// rally passes; executing un-poisons an entry in place, and re-poisoned
+// entries are simply re-activated, which keeps the buffer in program
+// order under multithreaded advance/rally (no dequeue-and-requeue).
+// Successive passes make the buffer sparse; space reclaims from the head.
+
+// srcKind describes where a slice instruction's input comes from.
+type srcKind uint8
+
+const (
+	srcNone     srcKind = iota // no such operand
+	srcCaptured                // miss-independent side input, captured on entry
+	srcSlice                   // produced by an older slice entry
+)
+
+// sliceSrc is one input of a slice entry.
+type sliceSrc struct {
+	kind srcKind
+	prod uint64 // producing entry id (kind == srcSlice)
+}
+
+// sliceEntry is one miss-dependent instruction awaiting rally.
+type sliceEntry struct {
+	id     uint64 // dense, monotonically increasing
+	idx    int    // trace index
+	seq    uint64 // distance from the checkpoint (last-writer gating)
+	ssn    uint64 // store-buffer tail at dispatch (forwarding window)
+	active bool
+	poison uint8 // union of poison bits the entry currently waits on
+	srcs   [2]sliceSrc
+
+	// Stores: SSN of the store-buffer entry whose value this instruction
+	// fills when it executes.
+	storeSSN uint64
+
+	// Poisoned branches: whether the advance-mode prediction matched the
+	// resolved direction. false forces a squash when the entry rallies.
+	predOK bool
+
+	done int64 // completion cycle once executed
+}
+
+// sliceBuffer holds entries in program order, indexed by id.
+type sliceBuffer struct {
+	cap     int
+	entries []sliceEntry // entries[i].id == head+uint64(i)
+	head    uint64       // id of entries[0]
+	live    int          // active entries
+}
+
+func newSliceBuffer(capacity int) *sliceBuffer {
+	return &sliceBuffer{cap: capacity}
+}
+
+// Full reports whether appending would exceed capacity. Capacity counts
+// occupied slots (active or not) because un-poisoned entries are not
+// compacted, only reclaimed from the head (§3.4).
+func (s *sliceBuffer) Full() bool { return len(s.entries) >= s.cap }
+
+// Empty reports whether no active entries remain.
+func (s *sliceBuffer) Empty() bool { return s.live == 0 }
+
+// Len returns the number of occupied slots.
+func (s *sliceBuffer) Len() int { return len(s.entries) }
+
+// Append adds an active entry and returns its id. ok is false when full.
+func (s *sliceBuffer) Append(e sliceEntry) (uint64, bool) {
+	if s.Full() {
+		return 0, false
+	}
+	e.id = s.head + uint64(len(s.entries))
+	e.active = true
+	s.entries = append(s.entries, e)
+	s.live++
+	return e.id, true
+}
+
+// Get returns the entry with the given id, or nil if reclaimed.
+func (s *sliceBuffer) Get(id uint64) *sliceEntry {
+	if id < s.head || id >= s.head+uint64(len(s.entries)) {
+		return nil
+	}
+	return &s.entries[id-s.head]
+}
+
+// Deactivate marks an entry executed and reclaims inactive space from the
+// head.
+func (s *sliceBuffer) Deactivate(id uint64, done int64) {
+	e := s.Get(id)
+	if e == nil || !e.active {
+		return
+	}
+	e.active = false
+	e.done = done
+	s.live--
+	s.reclaim()
+}
+
+// Repoison re-activates the entry with a new poison vector... entries are
+// re-poisoned in place when a rally finds their inputs still missing.
+func (s *sliceBuffer) Repoison(id uint64, poison uint8) {
+	if e := s.Get(id); e != nil {
+		e.poison = poison
+	}
+}
+
+// reclaim frees inactive entries at the head. Their ids remain resolvable
+// as "executed" via doneBefore.
+func (s *sliceBuffer) reclaim() {
+	n := 0
+	for n < len(s.entries) && !s.entries[n].active {
+		n++
+	}
+	if n > 0 {
+		s.head += uint64(n)
+		s.entries = s.entries[n:]
+	}
+}
+
+// Clear empties the buffer (squash to checkpoint).
+func (s *sliceBuffer) Clear() {
+	s.head += uint64(len(s.entries))
+	s.entries = s.entries[:0]
+	s.live = 0
+}
+
+// Executed reports whether the entry id has executed (inactive or already
+// reclaimed) and, if resolvable, its completion cycle.
+func (s *sliceBuffer) Executed(id uint64) (int64, bool) {
+	if id < s.head {
+		return 0, true // reclaimed: long done
+	}
+	e := s.Get(id)
+	if e == nil || e.active {
+		return 0, false
+	}
+	return e.done, true
+}

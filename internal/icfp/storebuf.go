@@ -1,0 +1,283 @@
+// Package icfp implements the paper's contribution: the in-order
+// Continual Flow Pipeline. The machine lives in icfp.go; this file
+// implements the address-hash-chained store buffer of §3.2, built on the
+// SSN (store sequence number) dynamic store naming scheme.
+//
+// Every store — committed or advance-mode, poisoned or not — is assigned
+// the next SSN and occupies store-buffer slot SSN mod capacity. A small
+// chain table maps an address hash to the SSN of the youngest store with
+// that hash; each buffer entry links to the next-youngest same-hash store.
+// Loads forward by walking the chain from the table head instead of an
+// associative search; SSNs at or below SSNcomplete name stores already
+// written to the cache and terminate the walk.
+package icfp
+
+import "icfp/internal/stats"
+
+// SBMode selects the store-buffer design (Figure 8).
+type SBMode int
+
+// Store buffer designs compared in Figure 8.
+const (
+	// SBChained is iCFP's address-hash-chained indexed buffer.
+	SBChained SBMode = iota
+	// SBIdeal is an idealized fully-associative buffer (no hop cost,
+	// no hash collisions).
+	SBIdeal
+	// SBLimited is an indexed buffer with limited forwarding: a load that
+	// hits in the chain table but does not match the head store's address
+	// must stall until that store drains (the in-order analogue of
+	// out-of-order CFP's SRL/LCF scheme).
+	SBLimited
+)
+
+// String names the mode.
+func (m SBMode) String() string {
+	switch m {
+	case SBChained:
+		return "chained"
+	case SBIdeal:
+		return "ideal-associative"
+	case SBLimited:
+		return "indexed-limited"
+	}
+	return "?"
+}
+
+type csbEntry struct {
+	addr   uint64
+	val    uint64
+	poison uint8
+	link   uint64 // SSN of the next-youngest same-hash store (0 = none)
+	ssn    uint64
+	idx    int // trace index of the store (squash recovery)
+}
+
+// ChainedStoreBuffer implements the §3.2 store buffer. SSNs start at 1 so
+// that 0 can serve as a null link.
+type ChainedStoreBuffer struct {
+	mode    SBMode
+	entries []csbEntry
+	chain   []uint64 // chain table: hash -> youngest SSN
+
+	ssnTail     uint64 // SSN of the youngest inserted store
+	ssnComplete uint64 // SSN of the youngest store written to the cache
+
+	// Hops histogram: excess chain hops per forwarded-or-missed load
+	// (first access is free, §3.2).
+	Hops     *stats.Histogram
+	Forwards uint64
+}
+
+// NewChainedStoreBuffer builds a buffer with the given entry count, chain
+// table size, and design mode.
+func NewChainedStoreBuffer(entries, chainEntries int, mode SBMode) *ChainedStoreBuffer {
+	return &ChainedStoreBuffer{
+		mode:    mode,
+		entries: make([]csbEntry, entries),
+		chain:   make([]uint64, chainEntries),
+		Hops:    stats.NewHistogram(32),
+	}
+}
+
+func (b *ChainedStoreBuffer) hash(addr uint64) int {
+	return int((addr >> 3) % uint64(len(b.chain)))
+}
+
+func (b *ChainedStoreBuffer) slot(ssn uint64) *csbEntry {
+	return &b.entries[ssn%uint64(len(b.entries))]
+}
+
+// Full reports whether no entry is free.
+func (b *ChainedStoreBuffer) Full() bool {
+	return b.ssnTail-b.ssnComplete >= uint64(len(b.entries))
+}
+
+// Live returns the number of not-yet-drained stores.
+func (b *ChainedStoreBuffer) Live() int { return int(b.ssnTail - b.ssnComplete) }
+
+// Tail returns the SSN of the youngest store (0 if none yet). A load
+// dispatched now forwards from stores with SSN <= Tail().
+func (b *ChainedStoreBuffer) Tail() uint64 { return b.ssnTail }
+
+// Insert appends a store, returning its SSN. ok is false when the buffer
+// is full (the caller must transition to simple-runahead mode, §3.4).
+// A store with unknown (poisoned) data carries its poison vector; its
+// value is filled in by UpdateValue during a rally.
+func (b *ChainedStoreBuffer) Insert(addr, val uint64, poison uint8, idx int) (ssn uint64, ok bool) {
+	if b.Full() {
+		return 0, false
+	}
+	b.ssnTail++
+	ssn = b.ssnTail
+	h := b.hash(addr)
+	*b.slot(ssn) = csbEntry{addr: addr, val: val, poison: poison, link: b.chain[h], ssn: ssn, idx: idx}
+	b.chain[h] = ssn
+	return ssn, true
+}
+
+// OldestPoisoned returns the oldest live store with unresolved (poisoned)
+// data at or below limit, if any. Squash recovery must roll back at least
+// this far: a poisoned store whose slice entry is discarded would
+// otherwise never receive its value and would block drains forever.
+func (b *ChainedStoreBuffer) OldestPoisoned(limit uint64) (ssn uint64, idx int, ok bool) {
+	for s := b.ssnComplete + 1; s <= b.ssnTail && s <= limit; s++ {
+		e := b.slot(s)
+		if e.ssn == s && e.poison != 0 {
+			return s, e.idx, true
+		}
+	}
+	return 0, 0, false
+}
+
+// UpdateValue fills a previously poisoned store's value (rally execution
+// of a miss-dependent store) and clears its poison, unblocking drains.
+func (b *ChainedStoreBuffer) UpdateValue(ssn uint64, val uint64) {
+	e := b.slot(ssn)
+	if e.ssn == ssn {
+		e.val = val
+		e.poison = 0
+	}
+}
+
+// ForwardResult reports the outcome of a forwarding lookup.
+type ForwardResult struct {
+	Found  bool
+	Val    uint64
+	Poison uint8
+	Hops   int // excess chain hops beyond the free first access
+	// StallSSN is nonzero in SBLimited mode when the load must stall
+	// until the store with this SSN drains.
+	StallSSN uint64
+}
+
+// Forward looks up the youngest store to addr with SSN <= loadSSN.
+// loadSSN is the buffer's Tail at the load's dispatch; rally loads pass
+// their recorded dispatch-time value so younger stores are skipped.
+func (b *ChainedStoreBuffer) Forward(loadSSN uint64, addr uint64) ForwardResult {
+	switch b.mode {
+	case SBIdeal:
+		return b.forwardIdeal(loadSSN, addr)
+	case SBLimited:
+		return b.forwardLimited(loadSSN, addr)
+	}
+	return b.forwardChained(loadSSN, addr)
+}
+
+func (b *ChainedStoreBuffer) forwardChained(loadSSN uint64, addr uint64) ForwardResult {
+	ssn := b.chain[b.hash(addr)]
+	visits := 0
+	for ssn > b.ssnComplete {
+		e := b.slot(ssn)
+		if e.ssn != ssn {
+			break // overwritten slot: the chain is stale past here
+		}
+		visits++
+		if e.addr == addr && ssn <= loadSSN {
+			b.Forwards++
+			b.Hops.Add(visits - 1)
+			return ForwardResult{Found: true, Val: e.val, Poison: e.poison, Hops: visits - 1}
+		}
+		ssn = e.link
+	}
+	if visits > 0 {
+		b.Hops.Add(visits - 1)
+	} else {
+		b.Hops.Add(0)
+	}
+	return ForwardResult{Hops: max0(visits - 1)}
+}
+
+func (b *ChainedStoreBuffer) forwardIdeal(loadSSN uint64, addr uint64) ForwardResult {
+	b.Hops.Add(0)
+	best := uint64(0)
+	var hit *csbEntry
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.ssn > b.ssnComplete && e.ssn <= loadSSN && e.addr == addr && e.ssn > best {
+			best = e.ssn
+			hit = e
+		}
+	}
+	if hit == nil {
+		return ForwardResult{}
+	}
+	b.Forwards++
+	return ForwardResult{Found: true, Val: hit.val, Poison: hit.poison}
+}
+
+func (b *ChainedStoreBuffer) forwardLimited(loadSSN uint64, addr uint64) ForwardResult {
+	ssn := b.chain[b.hash(addr)]
+	b.Hops.Add(0)
+	if ssn <= b.ssnComplete {
+		return ForwardResult{} // chain empty: value comes from the cache
+	}
+	e := b.slot(ssn)
+	if e.ssn != ssn {
+		return ForwardResult{}
+	}
+	if e.addr == addr && ssn <= loadSSN {
+		b.Forwards++
+		return ForwardResult{Found: true, Val: e.val, Poison: e.poison}
+	}
+	// Hash collision (or a younger same-hash store): no chain to follow —
+	// the pipeline stalls until the head store drains.
+	return ForwardResult{StallSSN: ssn}
+}
+
+// DrainNext drains the oldest store to the cache if it is drainable: it
+// must exist, be poison-free, and have SSN <= limit (the drain gate —
+// stores younger than an outstanding checkpoint may not write the cache,
+// or a squash could not be undone). It returns the drained entry and true
+// on success.
+func (b *ChainedStoreBuffer) DrainNext(limit uint64) (addr uint64, ok bool) {
+	if b.ssnComplete >= b.ssnTail {
+		return 0, false
+	}
+	next := b.ssnComplete + 1
+	if next > limit {
+		return 0, false
+	}
+	e := b.slot(next)
+	if e.ssn != next || e.poison != 0 {
+		return 0, false
+	}
+	b.ssnComplete = next
+	return e.addr, true
+}
+
+// SquashTo rolls the buffer back so that ssnTail = ssn, dropping all
+// younger stores (checkpoint restore), and rebuilds the chain table from
+// the surviving live stores so chains stay exact. Squashes are rare, so
+// the rebuild cost is irrelevant.
+func (b *ChainedStoreBuffer) SquashTo(ssn uint64) {
+	for s := ssn + 1; s <= b.ssnTail; s++ {
+		e := b.slot(s)
+		if e.ssn == s {
+			*e = csbEntry{}
+		}
+	}
+	b.ssnTail = ssn
+	for i := range b.chain {
+		b.chain[i] = 0
+	}
+	for s := b.ssnComplete + 1; s <= b.ssnTail; s++ {
+		e := b.slot(s)
+		if e.ssn != s {
+			continue
+		}
+		h := b.hash(e.addr)
+		e.link = b.chain[h]
+		b.chain[h] = s
+	}
+}
+
+// MeanExtraHops returns the average excess chain hops per load access.
+func (b *ChainedStoreBuffer) MeanExtraHops() float64 { return b.Hops.Mean() }
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,226 @@
+package icfp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newCSB() *ChainedStoreBuffer {
+	return NewChainedStoreBuffer(16, 32, SBChained)
+}
+
+func TestSBModeString(t *testing.T) {
+	for m, want := range map[SBMode]string{
+		SBChained: "chained", SBIdeal: "ideal-associative",
+		SBLimited: "indexed-limited", SBMode(9): "?",
+	} {
+		if m.String() != want {
+			t.Errorf("mode %d = %q", m, m.String())
+		}
+	}
+}
+
+func TestInsertAndForward(t *testing.T) {
+	b := newCSB()
+	ssn, ok := b.Insert(0x100, 42, 0, 1)
+	if !ok || ssn != 1 {
+		t.Fatalf("first insert ssn=%d ok=%v", ssn, ok)
+	}
+	fwd := b.Forward(b.Tail(), 0x100)
+	if !fwd.Found || fwd.Val != 42 {
+		t.Fatalf("forward = %+v", fwd)
+	}
+	if fwd.Hops != 0 {
+		t.Fatalf("direct hit must cost 0 excess hops, got %d", fwd.Hops)
+	}
+}
+
+func TestForwardYoungestWins(t *testing.T) {
+	b := newCSB()
+	b.Insert(0x100, 1, 0, 1)
+	b.Insert(0x100, 2, 0, 2)
+	fwd := b.Forward(b.Tail(), 0x100)
+	if !fwd.Found || fwd.Val != 2 {
+		t.Fatalf("forward must see the youngest store: %+v", fwd)
+	}
+}
+
+func TestForwardRespectsLoadSSN(t *testing.T) {
+	// A rally load older than a store must not forward from it.
+	b := newCSB()
+	s1, _ := b.Insert(0x100, 1, 0, 1)
+	b.Insert(0x100, 2, 0, 2)
+	fwd := b.Forward(s1, 0x100) // load dispatched between the two stores
+	if !fwd.Found || fwd.Val != 1 {
+		t.Fatalf("load must forward from the older store: %+v", fwd)
+	}
+}
+
+func TestChainWalkCountsHops(t *testing.T) {
+	// Two same-hash different-address stores: the later lookup must walk.
+	b := NewChainedStoreBuffer(16, 4, SBChained)
+	a1 := uint64(0x100)       // hash = (0x100>>3)%4 = 0
+	a2 := uint64(0x100 + 4*8) // also hash 0
+	b.Insert(a1, 1, 0, 1)
+	b.Insert(a2, 2, 0, 2)
+	fwd := b.Forward(b.Tail(), a1) // head of chain is a2: one extra hop
+	if !fwd.Found || fwd.Val != 1 {
+		t.Fatalf("chained forward failed: %+v", fwd)
+	}
+	if fwd.Hops != 1 {
+		t.Fatalf("expected 1 excess hop, got %d", fwd.Hops)
+	}
+}
+
+func TestPoisonPropagatesThroughForward(t *testing.T) {
+	b := newCSB()
+	ssn, _ := b.Insert(0x100, 0, 0b10, 1) // poisoned-data store
+	fwd := b.Forward(b.Tail(), 0x100)
+	if !fwd.Found || fwd.Poison != 0b10 {
+		t.Fatalf("poison must forward: %+v", fwd)
+	}
+	b.UpdateValue(ssn, 99)
+	fwd = b.Forward(b.Tail(), 0x100)
+	if fwd.Poison != 0 || fwd.Val != 99 {
+		t.Fatalf("rally update must clear poison: %+v", fwd)
+	}
+}
+
+func TestDrainOrderAndGate(t *testing.T) {
+	b := newCSB()
+	b.Insert(0x100, 1, 0, 1)
+	s2, _ := b.Insert(0x200, 0, 1, 2) // poisoned
+	b.Insert(0x300, 3, 0, 3)
+
+	if addr, ok := b.DrainNext(b.Tail()); !ok || addr != 0x100 {
+		t.Fatalf("first drain = %#x, %v", addr, ok)
+	}
+	// The poisoned store blocks in-order draining.
+	if _, ok := b.DrainNext(b.Tail()); ok {
+		t.Fatal("poisoned store must block drains")
+	}
+	b.UpdateValue(s2, 5)
+	if addr, ok := b.DrainNext(b.Tail()); !ok || addr != 0x200 {
+		t.Fatalf("drain after update = %#x, %v", addr, ok)
+	}
+	// The drain gate (checkpoint SSN) stops younger stores.
+	if _, ok := b.DrainNext(2); ok {
+		t.Fatal("drain gate must hold back stores younger than the checkpoint")
+	}
+	if addr, ok := b.DrainNext(b.Tail()); !ok || addr != 0x300 {
+		t.Fatalf("final drain = %#x, %v", addr, ok)
+	}
+}
+
+func TestDrainedStoreStopsForwarding(t *testing.T) {
+	b := newCSB()
+	b.Insert(0x100, 7, 0, 1)
+	b.DrainNext(b.Tail())
+	if fwd := b.Forward(b.Tail(), 0x100); fwd.Found {
+		t.Fatal("drained store must not forward (value is in the cache)")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	b := newCSB() // 16 entries
+	for i := 0; i < 16; i++ {
+		if _, ok := b.Insert(uint64(0x1000+i*8), 0, 0, i); !ok {
+			t.Fatalf("insert %d rejected early", i)
+		}
+	}
+	if !b.Full() {
+		t.Fatal("buffer must be full")
+	}
+	if _, ok := b.Insert(0x9999, 0, 0, 99); ok {
+		t.Fatal("17th insert must fail")
+	}
+	b.DrainNext(b.Tail())
+	if _, ok := b.Insert(0x9999, 0, 0, 99); !ok {
+		t.Fatal("insert after drain must succeed")
+	}
+}
+
+func TestSquashToDropsYoungStores(t *testing.T) {
+	b := newCSB()
+	s1, _ := b.Insert(0x100, 1, 0, 1)
+	b.Insert(0x200, 2, 0, 2)
+	b.Insert(0x300, 3, 0, 3)
+	b.SquashTo(s1)
+	if b.Tail() != s1 {
+		t.Fatalf("tail = %d, want %d", b.Tail(), s1)
+	}
+	if fwd := b.Forward(b.Tail(), 0x200); fwd.Found {
+		t.Fatal("squashed store must not forward")
+	}
+	if fwd := b.Forward(b.Tail(), 0x100); !fwd.Found || fwd.Val != 1 {
+		t.Fatal("pre-squash store must survive with an exact chain")
+	}
+}
+
+func TestOldestPoisoned(t *testing.T) {
+	b := newCSB()
+	b.Insert(0x100, 1, 0, 10)
+	s2, _ := b.Insert(0x200, 0, 1, 20)
+	b.Insert(0x300, 0, 2, 30)
+	ssn, idx, ok := b.OldestPoisoned(b.Tail())
+	if !ok || ssn != s2 || idx != 20 {
+		t.Fatalf("OldestPoisoned = %d,%d,%v", ssn, idx, ok)
+	}
+	if _, _, ok := b.OldestPoisoned(s2 - 1); ok {
+		t.Fatal("limit below the poisoned store must report none")
+	}
+}
+
+func TestIdealModeFindsEverything(t *testing.T) {
+	b := NewChainedStoreBuffer(16, 4, SBIdeal)
+	b.Insert(0x100, 1, 0, 1)
+	b.Insert(0x120, 2, 0, 2) // same hash as 0x100 in a 4-entry table
+	fwd := b.Forward(b.Tail(), 0x100)
+	if !fwd.Found || fwd.Val != 1 || fwd.Hops != 0 {
+		t.Fatalf("ideal forward: %+v", fwd)
+	}
+}
+
+func TestLimitedModeStallsOnCollision(t *testing.T) {
+	b := NewChainedStoreBuffer(16, 4, SBLimited)
+	b.Insert(0x100, 1, 0, 1)
+	s2, _ := b.Insert(0x120, 2, 0, 2) // same hash, different address
+	fwd := b.Forward(b.Tail(), 0x100)
+	if fwd.Found {
+		t.Fatal("limited mode cannot walk the chain")
+	}
+	if fwd.StallSSN != s2 {
+		t.Fatalf("expected stall on ssn %d, got %+v", s2, fwd)
+	}
+	// Exact head match still forwards.
+	f2 := b.Forward(b.Tail(), 0x120)
+	if !f2.Found || f2.Val != 2 {
+		t.Fatalf("limited head match: %+v", f2)
+	}
+}
+
+// Property: chained forwarding always returns the youngest older-than-load
+// matching store, exactly as the ideal buffer does.
+func TestChainedMatchesIdealProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ch := NewChainedStoreBuffer(32, 8, SBChained)
+		id := NewChainedStoreBuffer(32, 8, SBIdeal)
+		for i, op := range ops {
+			addr := uint64(op%16) * 8 // 16 distinct addresses
+			if op%3 == 0 {
+				fc := ch.Forward(ch.Tail(), addr)
+				fi := id.Forward(id.Tail(), addr)
+				if fc.Found != fi.Found || (fc.Found && fc.Val != fi.Val) {
+					return false
+				}
+			} else if !ch.Full() {
+				ch.Insert(addr, uint64(i), 0, i)
+				id.Insert(addr, uint64(i), 0, i)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package inorder implements the baseline machine of the paper's
+// evaluation: a 2-way superscalar, 10-stage, stall-on-use in-order
+// pipeline. It does not stall on a cache miss itself — only on the first
+// instruction that consumes a missing value (or on structural hazards),
+// exactly the behaviour the paper's Figure 1 sketches with thick lines.
+package inorder
+
+import (
+	"icfp/internal/bpred"
+	"icfp/internal/isa"
+	"icfp/internal/mem"
+	"icfp/internal/pipeline"
+	"icfp/internal/stats"
+	"icfp/internal/workload"
+)
+
+// Machine is a baseline in-order pipeline.
+type Machine struct {
+	cfg pipeline.Config
+}
+
+// New returns a baseline machine with the given configuration.
+func New(cfg pipeline.Config) *Machine { return &Machine{cfg: cfg} }
+
+// Run simulates the workload to completion and reports the result.
+func (m *Machine) Run(w *workload.Workload) pipeline.Result {
+	cfg := m.cfg
+	hier := mem.New(cfg.Hier)
+	if w.Prewarm != nil {
+		w.Prewarm(hier)
+	}
+	pred := bpred.New(cfg.Bpred)
+	front := pipeline.NewFrontend(&cfg, hier, pred)
+	slots := pipeline.NewSlotAlloc(&cfg)
+	sb := pipeline.NewStoreBuffer(cfg.StoreBufEntries, hier)
+	var board pipeline.Scoreboard
+
+	var dTrack, l2Track stats.MLPTracker
+	hier.MissObserver = func(start, done int64, l2 bool) {
+		dTrack.Add(start, done)
+		if l2 {
+			l2Track.Add(start, done)
+		}
+	}
+
+	tr := w.Trace
+	warm := cfg.WarmupInsts
+	if warm > tr.Len() {
+		warm = tr.Len()
+	}
+	pipeline.Warmup(hier, pred, tr, warm)
+
+	var finish int64
+	var lastIssue int64
+	var mispredicts uint64
+
+	for i := warm; i < tr.Len(); i++ {
+		in := tr.At(i)
+		earliest := front.Avail(in)
+		if r := board.SrcReady(in); r > earliest {
+			earliest = r
+		}
+		if earliest < lastIssue {
+			earliest = lastIssue // in-order issue
+		}
+		predTaken := front.Predict(in)
+
+		if in.Op == isa.OpStore {
+			earliest = sb.FullUntil(earliest)
+		}
+		t := slots.Take(earliest, in.Op)
+		lastIssue = t
+
+		var done int64
+		switch in.Op {
+		case isa.OpLoad:
+			if _, ok := sb.Forward(t, in.Addr); ok {
+				done = t + int64(cfg.DCachePipe)
+			} else {
+				r := hier.Data(t, in.Addr, false)
+				done = r.Done + int64(cfg.DCachePipe)
+				if hit := t + int64(cfg.DCachePipe); done < hit {
+					done = hit
+				}
+			}
+		case isa.OpStore:
+			sb.Insert(t, in.Addr, in.Val)
+			done = t + 1
+		default:
+			done = t + int64(in.Op.ExecLatency())
+		}
+
+		board.WriteDst(in, done, 0, uint64(i))
+
+		if in.Op.IsCtrl() {
+			front.Train(in)
+			if predTaken != in.Taken {
+				mispredicts++
+				front.Redirect(t + 1)
+			}
+		}
+		if done > finish {
+			finish = done
+		}
+	}
+
+	insts := int64(tr.Len() - warm)
+	ki := float64(insts) / 1000
+	hs := hier.Stats
+	return pipeline.Result{
+		Name:              w.Name,
+		Cycles:            finish,
+		Insts:             insts,
+		DCacheMissPerKI:   float64(hs.DataL1Misses) / ki,
+		L2MissPerKI:       float64(hs.DataL2Misses) / ki,
+		DCacheMLP:         dTrack.MLP(),
+		L2MLP:             l2Track.MLP(),
+		BranchMispredicts: mispredicts,
+	}
+}

@@ -1,0 +1,137 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpNop: "nop", OpALU: "alu", OpIMul: "imul", OpFAdd: "fadd",
+		OpFMul: "fmul", OpLoad: "load", OpStore: "store", OpBranch: "br",
+		OpJump: "jmp", OpCall: "call", OpRet: "ret",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("out-of-range op = %q", got)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpLoad.IsMem() || !OpStore.IsMem() {
+		t.Error("load/store must be memory ops")
+	}
+	if OpALU.IsMem() || OpBranch.IsMem() {
+		t.Error("alu/branch must not be memory ops")
+	}
+	for _, op := range []Op{OpBranch, OpJump, OpCall, OpRet} {
+		if !op.IsCtrl() {
+			t.Errorf("%s must be control", op)
+		}
+	}
+	for _, op := range []Op{OpALU, OpLoad, OpStore, OpNop} {
+		if op.IsCtrl() {
+			t.Errorf("%s must not be control", op)
+		}
+	}
+}
+
+func TestExecLatency(t *testing.T) {
+	cases := map[Op]int{
+		OpALU: 1, OpIMul: 4, OpFAdd: 2, OpFMul: 4, OpNop: 1, OpBranch: 1,
+	}
+	for op, want := range cases {
+		if got := op.ExecLatency(); got != want {
+			t.Errorf("%s latency = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestRegNaming(t *testing.T) {
+	if IntReg(5).String() != "r5" {
+		t.Errorf("IntReg(5) = %s", IntReg(5))
+	}
+	if FPReg(3).String() != "f3" {
+		t.Errorf("FPReg(3) = %s", FPReg(3))
+	}
+	if RegNone.String() != "-" {
+		t.Errorf("RegNone = %s", RegNone)
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone must not be valid")
+	}
+	if !IntReg(0).Valid() || !FPReg(31).Valid() {
+		t.Error("architectural registers must be valid")
+	}
+	if Reg(NumRegs).Valid() {
+		t.Error("register beyond file must be invalid")
+	}
+}
+
+func TestRegPartition(t *testing.T) {
+	// Integer and FP registers must not alias.
+	seen := map[Reg]bool{}
+	for i := 0; i < NumIntRegs; i++ {
+		seen[IntReg(i)] = true
+	}
+	for i := 0; i < NumFPRegs; i++ {
+		if seen[FPReg(i)] {
+			t.Fatalf("FPReg(%d) aliases an integer register", i)
+		}
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	in := Inst{PC: 0x1000, Op: OpALU}
+	if in.NextPC() != 0x1004 {
+		t.Errorf("sequential NextPC = %#x", in.NextPC())
+	}
+	br := Inst{PC: 0x1000, Op: OpBranch, Taken: true, Target: 0x2000}
+	if br.NextPC() != 0x2000 {
+		t.Errorf("taken branch NextPC = %#x", br.NextPC())
+	}
+	nt := Inst{PC: 0x1000, Op: OpBranch, Taken: false, Target: 0x2000}
+	if nt.NextPC() != 0x1004 {
+		t.Errorf("not-taken branch NextPC = %#x", nt.NextPC())
+	}
+}
+
+func TestHasDst(t *testing.T) {
+	with := Inst{Dst: IntReg(1)}
+	without := Inst{Dst: RegNone}
+	if !with.HasDst() || without.HasDst() {
+		t.Error("HasDst misclassifies")
+	}
+}
+
+func TestTraceAccess(t *testing.T) {
+	tr := &Trace{Name: "t", Insts: []Inst{{PC: 4}, {PC: 8}}}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.At(1).PC != 8 {
+		t.Errorf("At(1).PC = %#x", tr.At(1).PC)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	// String must not panic and must mention the PC for every op class.
+	for op := OpNop; op < numOps; op++ {
+		in := Inst{PC: 0x40, Op: op, Dst: IntReg(1), Src1: IntReg(2), Src2: IntReg(3)}
+		if s := in.String(); s == "" {
+			t.Errorf("empty String for %s", op)
+		}
+	}
+}
+
+func TestRegStringTotal(t *testing.T) {
+	// Property: String never panics for any byte value.
+	f := func(b uint8) bool { return Reg(b).String() != "" }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

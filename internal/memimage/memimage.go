@@ -1,0 +1,76 @@
+// Package memimage provides a sparse, paged functional memory image.
+//
+// Workload generators use it to lay out data structures (notably the linked
+// lists that drive pointer-chase workloads) and the timing models use it to
+// check that store-load forwarding mechanisms deliver the right values.
+package memimage
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Image is a sparse byte-addressable memory. The zero value is an empty
+// image ready for use; unwritten bytes read as zero.
+type Image struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// New returns an empty memory image.
+func New() *Image {
+	return &Image{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Image) page(addr uint64, create bool) *[pageSize]byte {
+	if m.pages == nil {
+		if !create {
+			return nil
+		}
+		m.pages = make(map[uint64]*[pageSize]byte)
+	}
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 reads one byte.
+func (m *Image) Read8(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 writes one byte.
+func (m *Image) Write8(addr uint64, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Read64 reads a little-endian 64-bit word. The access may straddle pages.
+func (m *Image) Read64(addr uint64) uint64 {
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.Read8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write64 writes a little-endian 64-bit word. The access may straddle pages.
+func (m *Image) Write64(addr uint64, v uint64) {
+	for i := uint64(0); i < 8; i++ {
+		m.Write8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// PageCount returns the number of materialized pages (for tests and for
+// sanity-checking workload footprints).
+func (m *Image) PageCount() int { return len(m.pages) }
+
+// Footprint returns the total bytes of materialized pages.
+func (m *Image) Footprint() uint64 { return uint64(len(m.pages)) * pageSize }

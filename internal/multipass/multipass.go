@@ -1,0 +1,43 @@
+// Package multipass implements "flea-flicker" Multipass pipelining
+// (Barnes, Ryoo & Hwu, MICRO'05) as evaluated by the iCFP paper: Runahead
+// execution extended with a result buffer that saves miss-independent
+// advance results and replays them to break dependences during
+// re-execution passes. Its paper configuration advances under all L2
+// misses and primary data-cache misses, blocking on secondary data-cache
+// misses.
+//
+// The mechanics live in the runahead package; this package fixes the
+// configuration.
+package multipass
+
+import (
+	"icfp/internal/pipeline"
+	"icfp/internal/runahead"
+	"icfp/internal/workload"
+)
+
+// Machine is a Multipass pipeline.
+type Machine struct {
+	inner *runahead.Machine
+}
+
+// New returns a Multipass machine. Unless the caller overrode it, the
+// trigger is forced to the paper's Multipass setting (L2 + primary D$).
+func New(cfg pipeline.Config) *Machine {
+	cfg.Trigger = pipeline.TriggerPrimaryD1
+	cfg.BlockSecondaryD1 = true
+	return &Machine{inner: runahead.NewMultipass(cfg)}
+}
+
+// NewWithTrigger returns a Multipass machine with an explicit trigger,
+// for sensitivity studies.
+func NewWithTrigger(cfg pipeline.Config, trig pipeline.AdvanceTrigger, blockSecondary bool) *Machine {
+	cfg.Trigger = trig
+	cfg.BlockSecondaryD1 = blockSecondary
+	return &Machine{inner: runahead.NewMultipass(cfg)}
+}
+
+// Run simulates the workload to completion.
+func (m *Machine) Run(w *workload.Workload) pipeline.Result {
+	return m.inner.Run(w)
+}

@@ -1,0 +1,58 @@
+package multipass
+
+import (
+	"testing"
+
+	"icfp/internal/pipeline"
+	"icfp/internal/runahead"
+	"icfp/internal/workload"
+)
+
+func TestMultipassAcceleratesReexecution(t *testing.T) {
+	// The result buffer breaks dependences on re-execution passes, so
+	// Multipass should match or beat plain Runahead on most workloads
+	// (the paper: "usually slightly out-performs Runahead").
+	cfg := pipeline.DefaultConfig()
+	cfg.WarmupInsts = 50_000
+	wins := 0
+	for _, name := range []string{"ammp", "mcf", "gap"} {
+		ra := runahead.New(cfg).Run(workload.SPEC(name, 250_000))
+		mp := New(cfg).Run(workload.SPEC(name, 250_000))
+		if mp.Cycles <= ra.Cycles {
+			wins++
+		}
+	}
+	if wins < 2 {
+		t.Fatalf("Multipass beat Runahead on only %d of 3 dependent-miss workloads", wins)
+	}
+}
+
+func TestMultipassAdvancesUnderPrimaryD1(t *testing.T) {
+	// Multipass's paper configuration triggers on primary D$ misses too,
+	// so it advances even on workloads without L2 misses.
+	cfg := pipeline.DefaultConfig()
+	cfg.WarmupInsts = 50_000
+	r := New(cfg).Run(workload.SPEC("twolf", 200_000))
+	if r.Advances == 0 {
+		t.Fatal("Multipass must advance under twolf's D$ misses")
+	}
+}
+
+func TestExplicitTriggerOverride(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.WarmupInsts = 50_000
+	l2 := NewWithTrigger(cfg, pipeline.TriggerL2Only, true).Run(workload.SPEC("twolf", 200_000))
+	if l2.Advances != 0 {
+		t.Fatalf("L2-only Multipass advanced %d times on an L2-hit workload", l2.Advances)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.WarmupInsts = 20_000
+	a := New(cfg).Run(workload.SPEC("gcc", 120_000))
+	b := New(cfg).Run(workload.SPEC("gcc", 120_000))
+	if a.Cycles != b.Cycles {
+		t.Fatalf("non-deterministic: %d vs %d", a.Cycles, b.Cycles)
+	}
+}

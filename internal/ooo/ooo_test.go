@@ -1,0 +1,95 @@
+package ooo
+
+import (
+	"testing"
+
+	"icfp/internal/inorder"
+	"icfp/internal/pipeline"
+	"icfp/internal/stats"
+	"icfp/internal/workload"
+)
+
+func TestOOOBeatsInOrder(t *testing.T) {
+	ocfg := DefaultConfig()
+	ocfg.WarmupInsts = 50_000
+	icfg := pipeline.DefaultConfig()
+	icfg.WarmupInsts = 50_000
+	for _, name := range []string{"art", "gcc", "equake"} {
+		io := inorder.New(icfg).Run(workload.SPEC(name, 250_000))
+		oo := New(ocfg).Run(workload.SPEC(name, 250_000))
+		if oo.Cycles >= io.Cycles {
+			t.Errorf("%s: out-of-order %d must beat in-order %d", name, oo.Cycles, io.Cycles)
+		}
+	}
+}
+
+func TestCFPBeatsPlainOOOOnMisses(t *testing.T) {
+	// CFP releases window entries held by L2-miss slices; on a
+	// memory-bound workload the window no longer fills behind misses.
+	cfg := DefaultConfig()
+	cfg.WarmupInsts = 50_000
+	oo := New(cfg).Run(workload.SPEC("mcf", 250_000))
+	cfp := cfg
+	cfp.CFP = true
+	cf := New(cfp).Run(workload.SPEC("mcf", 250_000))
+	if cf.Cycles > oo.Cycles {
+		t.Fatalf("OoO-CFP %d must not lose to OoO %d on mcf", cf.Cycles, oo.Cycles)
+	}
+}
+
+func TestROBSizeMatters(t *testing.T) {
+	small := DefaultConfig()
+	small.WarmupInsts = 50_000
+	small.ROBEntries = 16
+	big := small
+	big.ROBEntries = 256
+	s := New(small).Run(workload.SPEC("art", 200_000))
+	b := New(big).Run(workload.SPEC("art", 200_000))
+	if b.Cycles >= s.Cycles {
+		t.Fatalf("a 256-entry window (%d cycles) must beat 16 entries (%d) on art", b.Cycles, s.Cycles)
+	}
+}
+
+func TestSection53Advantages(t *testing.T) {
+	// §5.3: "a 2-way issue out-of-order processor has a 68% performance
+	// advantage over our 2-way in-order pipeline, while a 2-way issue
+	// (out-of-order) CFP pipeline has an 83% advantage." Check the shape:
+	// both large and positive, CFP above plain out-of-order.
+	if testing.Short() {
+		t.Skip("suite-wide geomean")
+	}
+	icfg := pipeline.DefaultConfig()
+	icfg.WarmupInsts = 50_000
+	ocfg := DefaultConfig()
+	ocfg.WarmupInsts = 50_000
+	ccfg := ocfg
+	ccfg.CFP = true
+
+	var oo, cf []float64
+	for _, name := range workload.AllSPECNames {
+		io := inorder.New(icfg).Run(workload.SPEC(name, 150_000))
+		o := New(ocfg).Run(workload.SPEC(name, 150_000))
+		c := New(ccfg).Run(workload.SPEC(name, 150_000))
+		oo = append(oo, float64(io.Cycles)/float64(o.Cycles))
+		cf = append(cf, float64(io.Cycles)/float64(c.Cycles))
+	}
+	gOO := (stats.GeoMean(oo) - 1) * 100
+	gCF := (stats.GeoMean(cf) - 1) * 100
+	t.Logf("out-of-order %+.1f%% (paper 68%%), out-of-order CFP %+.1f%% (paper 83%%)", gOO, gCF)
+	if gOO < 30 {
+		t.Errorf("out-of-order advantage %.1f%% far below the paper's 68%%", gOO)
+	}
+	if gCF <= gOO {
+		t.Errorf("CFP (%.1f%%) must extend the out-of-order advantage (%.1f%%)", gCF, gOO)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInsts = 20_000
+	a := New(cfg).Run(workload.SPEC("swim", 120_000))
+	b := New(cfg).Run(workload.SPEC("swim", 120_000))
+	if a.Cycles != b.Cycles {
+		t.Fatalf("non-deterministic: %d vs %d", a.Cycles, b.Cycles)
+	}
+}

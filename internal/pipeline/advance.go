@@ -1,0 +1,113 @@
+package pipeline
+
+import "icfp/internal/isa"
+
+// AdvanceTrigger selects which load misses push a machine from normal
+// execution into advance mode (Figures 5 and 6 sweep this):
+type AdvanceTrigger int
+
+// Trigger levels.
+const (
+	// TriggerL2Only advances only under misses that leave the L2
+	// (Runahead's and SLTP's best configuration at a 20-cycle L2).
+	TriggerL2Only AdvanceTrigger = iota
+	// TriggerPrimaryD1 also advances under primary data-cache misses
+	// (Multipass's configuration).
+	TriggerPrimaryD1
+	// TriggerAll advances under every miss, including secondary data
+	// cache misses (iCFP's configuration).
+	TriggerAll
+)
+
+// String names the trigger for experiment output.
+func (t AdvanceTrigger) String() string {
+	switch t {
+	case TriggerL2Only:
+		return "L2-only"
+	case TriggerPrimaryD1:
+		return "L2+primaryD$"
+	case TriggerAll:
+		return "all"
+	}
+	return "?"
+}
+
+// RunaheadCache is the small forwarding cache Runahead and Multipass use
+// for advance-mode stores (256 entries in Table 1). It offers only
+// best-effort forwarding: entries may be evicted (FIFO) and everything is
+// discarded when advance mode ends.
+type RunaheadCache struct {
+	cap  int
+	m    map[uint64]raEntry
+	fifo []uint64
+
+	Evictions uint64
+}
+
+type raEntry struct {
+	val    uint64
+	poison uint8
+}
+
+// NewRunaheadCache builds a runahead cache with the given entry count.
+func NewRunaheadCache(capacity int) *RunaheadCache {
+	return &RunaheadCache{cap: capacity, m: make(map[uint64]raEntry)}
+}
+
+// Put records an advance store. A poisoned store records poison so that
+// loads forwarding from it are poisoned too.
+func (r *RunaheadCache) Put(addr, val uint64, poison uint8) {
+	if _, ok := r.m[addr]; !ok {
+		if len(r.fifo) >= r.cap {
+			old := r.fifo[0]
+			r.fifo = r.fifo[1:]
+			delete(r.m, old)
+			r.Evictions++
+		}
+		r.fifo = append(r.fifo, addr)
+	}
+	r.m[addr] = raEntry{val: val, poison: poison}
+}
+
+// Get returns the forwarded value and poison for addr, if present.
+func (r *RunaheadCache) Get(addr uint64) (val uint64, poison uint8, ok bool) {
+	e, ok := r.m[addr]
+	return e.val, e.poison, ok
+}
+
+// Clear empties the cache (at advance-mode exit).
+func (r *RunaheadCache) Clear() {
+	r.m = make(map[uint64]raEntry)
+	r.fifo = r.fifo[:0]
+}
+
+// Len returns the number of live entries.
+func (r *RunaheadCache) Len() int { return len(r.m) }
+
+// Checkpoint snapshots the scoreboard so that checkpoint-based machines
+// (Runahead, Multipass, SLTP, iCFP on a squash) can restore register
+// availability state.
+type Checkpoint struct {
+	Ready [isa.NumRegs]int64
+	Seq   [isa.NumRegs]uint64
+	Index int // trace index of the checkpointed (triggering) instruction
+}
+
+// TakeCheckpoint captures the scoreboard at trace index idx.
+func TakeCheckpoint(b *Scoreboard, idx int) Checkpoint {
+	return Checkpoint{Ready: b.Ready, Seq: b.Seq, Index: idx}
+}
+
+// Restore rewinds the scoreboard to the checkpoint, clearing poison. Any
+// register whose value had not yet arrived by `at` keeps its original
+// ready time; everything else is available at `at`.
+func (c *Checkpoint) Restore(b *Scoreboard, at int64) {
+	for i := range b.Ready {
+		b.Ready[i] = c.Ready[i]
+		if b.Ready[i] < at {
+			b.Ready[i] = at
+		}
+		b.Seq[i] = c.Seq[i]
+		b.Poison[i] = 0
+	}
+}

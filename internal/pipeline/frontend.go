@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"icfp/internal/bpred"
+	"icfp/internal/isa"
+	"icfp/internal/mem"
+)
+
+// Frontend models instruction supply: I-cache access, branch prediction,
+// and the fetch-to-issue latency. It exposes, for each trace index
+// consumed in order, the earliest cycle that instruction can issue.
+//
+// The model is intentionally lean: instructions are consumed from the
+// resolved trace; wrong-path fetch is charged as redirect latency rather
+// than simulated instruction by instruction.
+type Frontend struct {
+	cfg   *Config
+	hier  *mem.Hierarchy
+	pred  *bpred.Predictor
+	avail int64 // earliest issue cycle for the next instruction
+	slot  int   // instructions already granted in the avail cycle
+	line  uint64
+
+	Mispredicts uint64
+}
+
+// NewFrontend builds a front end bound to the hierarchy and predictor.
+func NewFrontend(cfg *Config, h *mem.Hierarchy, p *bpred.Predictor) *Frontend {
+	return &Frontend{cfg: cfg, hier: h, pred: p, avail: int64(cfg.FrontDepth), line: ^uint64(0)}
+}
+
+// Avail returns the earliest cycle at which in can issue, accounting for
+// fetch bandwidth (Width per cycle), I$ misses, and taken-branch target
+// bubbles. Call it once per consumed instruction, in order.
+func (f *Frontend) Avail(in *isa.Inst) int64 {
+	// New I$ line: charge the instruction cache.
+	lineAddr := in.PC &^ 63
+	if lineAddr != f.line {
+		f.line = lineAddr
+		fetchCycle := f.avail - int64(f.cfg.FrontDepth)
+		if fetchCycle < 0 {
+			fetchCycle = 0
+		}
+		r := f.hier.Inst(fetchCycle, in.PC)
+		if wait := r.Done - fetchCycle; wait > 0 {
+			f.avail += wait
+			f.slot = 0
+		}
+	}
+	if f.slot >= f.cfg.Width {
+		f.avail++
+		f.slot = 0
+	}
+	cycle := f.avail
+	f.slot++
+	return cycle
+}
+
+// Predict runs the direction predictor and BTB for a control instruction
+// and returns the predicted direction. It also charges taken-branch
+// bubbles (BTB miss on a taken transfer costs a refetch bubble) and
+// maintains the RAS. It does NOT train the direction predictor — call
+// Train when the branch resolves (immediately for non-poisoned branches;
+// at rally time for poisoned ones).
+func (f *Frontend) Predict(in *isa.Inst) (predTaken bool) {
+	switch in.Op {
+	case isa.OpBranch:
+		predTaken = f.pred.Predict(in.PC)
+	case isa.OpJump:
+		predTaken = true
+	case isa.OpCall:
+		predTaken = true
+		f.pred.Push(in.PC + 4)
+	case isa.OpRet:
+		predTaken = true
+		if tgt, ok := f.pred.Pop(); ok && tgt == in.Target {
+			return true // RAS hit: no bubble
+		}
+	default:
+		return false
+	}
+	if predTaken {
+		if tgt, ok := f.pred.PredictTarget(in.PC); !ok || tgt != in.Target {
+			// Taken transfer with unknown target: bubble until the target
+			// computes in decode.
+			f.avail += 2
+			f.slot = 0
+			f.pred.UpdateTarget(in.PC, in.Target)
+		}
+	}
+	return predTaken
+}
+
+// Train updates the direction predictor with a resolved outcome.
+func (f *Frontend) Train(in *isa.Inst) {
+	if in.Op == isa.OpBranch {
+		f.pred.Update(in.PC, in.Taken)
+	}
+}
+
+// Redirect flushes the front end after a resolved misprediction: the next
+// instruction cannot issue before resolveCycle plus the refill depth.
+func (f *Frontend) Redirect(resolveCycle int64) {
+	f.Mispredicts++
+	f.Flush(resolveCycle)
+}
+
+// Flush charges a pipeline refill from resolveCycle without counting a
+// misprediction (mode transitions, checkpoint restores, squashes).
+func (f *Frontend) Flush(resolveCycle int64) {
+	refill := resolveCycle + int64(f.cfg.FrontDepth)
+	if refill > f.avail {
+		f.avail = refill
+		f.slot = 0
+	}
+	f.line = ^uint64(0)
+}
+
+// Stall pushes instruction supply back to no earlier than cycle without
+// counting a misprediction (used when the back end blocks the pipe).
+func (f *Frontend) Stall(cycle int64) {
+	if cycle > f.avail {
+		f.avail = cycle
+		f.slot = 0
+	}
+}

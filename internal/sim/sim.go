@@ -1,0 +1,213 @@
+// Package sim is the top-level driver: it names the five simulated
+// micro-architectures, runs workloads against them, and provides the
+// sweep helpers behind the paper's figures.
+package sim
+
+import (
+	"fmt"
+
+	"icfp/internal/icfp"
+	"icfp/internal/inorder"
+	"icfp/internal/multipass"
+	"icfp/internal/pipeline"
+	"icfp/internal/runahead"
+	"icfp/internal/sltp"
+	"icfp/internal/stats"
+	"icfp/internal/workload"
+)
+
+// Model names a simulated micro-architecture.
+type Model int
+
+// The five machines of the paper's evaluation.
+const (
+	InOrder Model = iota
+	Runahead
+	Multipass
+	SLTP
+	ICFP
+)
+
+// AllModels lists the machines in the paper's presentation order.
+var AllModels = []Model{InOrder, Runahead, Multipass, SLTP, ICFP}
+
+// String names the model as the paper does.
+func (m Model) String() string {
+	switch m {
+	case InOrder:
+		return "in-order"
+	case Runahead:
+		return "Runahead"
+	case Multipass:
+		return "Multipass"
+	case SLTP:
+		return "SLTP"
+	case ICFP:
+		return "iCFP"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// DefaultConfig returns the Table 1 machine with the paper's sampling
+// methodology defaults (warmup before each measured sample).
+func DefaultConfig() pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.WarmupInsts = 150_000
+	return cfg
+}
+
+// Run simulates workload w on model m. Each model applies its own paper
+// configuration for the advance trigger (Figure 5's settings); use the
+// model packages directly for trigger sensitivity studies.
+func Run(m Model, cfg pipeline.Config, w *workload.Workload) pipeline.Result {
+	switch m {
+	case InOrder:
+		return inorder.New(cfg).Run(w)
+	case Runahead:
+		return runahead.New(cfg).Run(w)
+	case Multipass:
+		return multipass.New(cfg).Run(w)
+	case SLTP:
+		return sltp.New(cfg).Run(w)
+	case ICFP:
+		return icfp.New(cfg).Run(w)
+	}
+	panic(fmt.Sprintf("sim: unknown model %d", int(m)))
+}
+
+// RunSPEC simulates the named SPEC2000-profile benchmark with n timed
+// instructions after the configured warmup.
+func RunSPEC(m Model, cfg pipeline.Config, name string, n int) pipeline.Result {
+	w := workload.SPEC(name, cfg.WarmupInsts+n)
+	return Run(m, cfg, w)
+}
+
+// Speedups runs base and test models over the named benchmarks and
+// returns the percent speedup of test over base per benchmark, plus the
+// geometric-mean speedup.
+func Speedups(base, test Model, cfg pipeline.Config, names []string, n int) (per map[string]float64, geo float64) {
+	per = make(map[string]float64, len(names))
+	ratios := make([]float64, 0, len(names))
+	for _, name := range names {
+		b := RunSPEC(base, cfg, name, n)
+		t := RunSPEC(test, cfg, name, n)
+		per[name] = t.SpeedupOver(b)
+		ratios = append(ratios, float64(b.Cycles)/float64(t.Cycles))
+	}
+	return per, (stats.GeoMean(ratios) - 1) * 100
+}
+
+// L2LatencyPoint is one configuration point of the Figure 6 sweep.
+type L2LatencyPoint struct {
+	Label   string
+	Machine func(cfg pipeline.Config) Runner
+}
+
+// Runner runs a workload (satisfied by every machine in this module).
+type Runner interface {
+	Run(w *workload.Workload) pipeline.Result
+}
+
+// Figure6Machines returns the six configurations of the paper's L2
+// hit-latency sensitivity study: the baseline, three Runahead trigger
+// variants, and two iCFP trigger variants.
+func Figure6Machines() []L2LatencyPoint {
+	return []L2LatencyPoint{
+		{"in-order", func(cfg pipeline.Config) Runner { return inorder.New(cfg) }},
+		{"RA-L2", func(cfg pipeline.Config) Runner {
+			cfg.Trigger = pipeline.TriggerL2Only
+			cfg.BlockSecondaryD1 = true
+			return runahead.New(cfg)
+		}},
+		{"RA-L2/D$-primary", func(cfg pipeline.Config) Runner {
+			cfg.Trigger = pipeline.TriggerPrimaryD1
+			cfg.BlockSecondaryD1 = true
+			return runahead.New(cfg)
+		}},
+		{"RA-all", func(cfg pipeline.Config) Runner {
+			cfg.Trigger = pipeline.TriggerAll
+			cfg.BlockSecondaryD1 = false
+			return runahead.New(cfg)
+		}},
+		{"iCFP-L2", func(cfg pipeline.Config) Runner {
+			return icfp.NewWithOptions(cfg, pipeline.TriggerL2Only, icfp.SBChained)
+		}},
+		{"iCFP-all", func(cfg pipeline.Config) Runner {
+			return icfp.NewWithOptions(cfg, pipeline.TriggerAll, icfp.SBChained)
+		}},
+	}
+}
+
+// SweepL2Latency runs one machine configuration over the given L2 hit
+// latencies for a benchmark and returns percent speedups over the
+// in-order baseline at the same latency.
+func SweepL2Latency(mk func(cfg pipeline.Config) Runner, cfg pipeline.Config, name string, n int, lats []int) []float64 {
+	out := make([]float64, len(lats))
+	for k, lat := range lats {
+		c := cfg
+		c.Hier.L2HitLat = lat
+		w := workload.SPEC(name, c.WarmupInsts+n)
+		base := inorder.New(c).Run(w)
+		w2 := workload.SPEC(name, c.WarmupInsts+n)
+		r := mk(c).Run(w2)
+		out[k] = r.SpeedupOver(base)
+	}
+	return out
+}
+
+// FeatureBuildConfigs returns the Figure 7 "build" from SLTP to full
+// iCFP. The first entry is the SLTP machine itself; the rest are iCFP
+// configurations adding one feature at a time.
+func FeatureBuildConfigs() []struct {
+	Label string
+	Make  func(cfg pipeline.Config) Runner
+} {
+	return []struct {
+		Label string
+		Make  func(cfg pipeline.Config) Runner
+	}{
+		{"SRL memory, single blocking rallies (SLTP)", func(cfg pipeline.Config) Runner {
+			return sltp.New(cfg)
+		}},
+		{"+ address-hash chaining", func(cfg pipeline.Config) Runner {
+			cfg.NonBlockingRally = false
+			cfg.MultithreadRally = false
+			cfg.PoisonBits = 1
+			return icfp.NewWithOptions(cfg, pipeline.TriggerAll, icfp.SBChained)
+		}},
+		{"+ multiple non-blocking rallies", func(cfg pipeline.Config) Runner {
+			cfg.NonBlockingRally = true
+			cfg.MultithreadRally = false
+			cfg.PoisonBits = 1
+			return icfp.NewWithOptions(cfg, pipeline.TriggerAll, icfp.SBChained)
+		}},
+		{"+ 8-bit poison vectors", func(cfg pipeline.Config) Runner {
+			cfg.NonBlockingRally = true
+			cfg.MultithreadRally = false
+			cfg.PoisonBits = 8
+			return icfp.NewWithOptions(cfg, pipeline.TriggerAll, icfp.SBChained)
+		}},
+		{"+ multithreaded rallies (iCFP)", func(cfg pipeline.Config) Runner {
+			cfg.NonBlockingRally = true
+			cfg.MultithreadRally = true
+			cfg.PoisonBits = 8
+			return icfp.NewWithOptions(cfg, pipeline.TriggerAll, icfp.SBChained)
+		}},
+	}
+}
+
+// StoreBufferConfigs returns the Figure 8 store-buffer design
+// comparison: indexed-limited, chained, and idealized fully-associative.
+func StoreBufferConfigs() []struct {
+	Label string
+	Mode  icfp.SBMode
+} {
+	return []struct {
+		Label string
+		Mode  icfp.SBMode
+	}{
+		{"indexed with limited forwarding", icfp.SBLimited},
+		{"chained (iCFP)", icfp.SBChained},
+		{"fully-associative (idealized)", icfp.SBIdeal},
+	}
+}

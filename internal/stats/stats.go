@@ -1,0 +1,146 @@
+// Package stats provides the measurement utilities behind Table 2 and the
+// §3.2 store-buffer hop claims: memory-level-parallelism trackers computed
+// from miss intervals, and small integer histograms.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MLPTracker accumulates miss lifetime intervals and computes the average
+// number of outstanding misses over cycles where at least one miss is
+// outstanding — the MLP definition used by Table 2 of the paper.
+type MLPTracker struct {
+	starts []int64
+	ends   []int64
+}
+
+// Add records one miss outstanding over [start, end). Empty or inverted
+// intervals are ignored.
+func (t *MLPTracker) Add(start, end int64) {
+	if end <= start {
+		return
+	}
+	t.starts = append(t.starts, start)
+	t.ends = append(t.ends, end)
+}
+
+// Count returns the number of recorded misses.
+func (t *MLPTracker) Count() int { return len(t.starts) }
+
+// MLP returns total outstanding miss-cycles divided by cycles with at
+// least one outstanding miss. Zero misses yield an MLP of 0.
+func (t *MLPTracker) MLP() float64 {
+	if len(t.starts) == 0 {
+		return 0
+	}
+	ss := append([]int64(nil), t.starts...)
+	es := append([]int64(nil), t.ends...)
+	sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+	sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+
+	var missCycles, busyCycles int64
+	outstanding := 0
+	var lastEdge int64
+	si, ei := 0, 0
+	for ei < len(es) {
+		var edge int64
+		if si < len(ss) && ss[si] <= es[ei] {
+			edge = ss[si]
+		} else {
+			edge = es[ei]
+		}
+		if outstanding > 0 {
+			missCycles += int64(outstanding) * (edge - lastEdge)
+			busyCycles += edge - lastEdge
+		}
+		lastEdge = edge
+		if si < len(ss) && ss[si] <= es[ei] {
+			outstanding++
+			si++
+		} else {
+			outstanding--
+			ei++
+		}
+	}
+	if busyCycles == 0 {
+		return 0
+	}
+	return float64(missCycles) / float64(busyCycles)
+}
+
+// Reset discards all recorded intervals.
+func (t *MLPTracker) Reset() {
+	t.starts = t.starts[:0]
+	t.ends = t.ends[:0]
+}
+
+// Histogram counts small non-negative integer samples (e.g. store-buffer
+// chain hops per load). Samples beyond the last bucket land in the last
+// bucket.
+type Histogram struct {
+	Buckets []uint64
+	total   uint64
+	sum     uint64
+}
+
+// NewHistogram creates a histogram with n buckets (values 0..n-1, with
+// overflow clamped to n-1).
+func NewHistogram(n int) *Histogram {
+	return &Histogram{Buckets: make([]uint64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Buckets) {
+		v = len(h.Buckets) - 1
+	}
+	h.Buckets[v]++
+	h.total++
+	h.sum += uint64(v)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the average sample value.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// FractionAtLeast returns the fraction of samples >= v.
+func (h *Histogram) FractionAtLeast(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var n uint64
+	for i := v; i < len(h.Buckets); i++ {
+		n += h.Buckets[i]
+	}
+	return float64(n) / float64(h.total)
+}
+
+// GeoMean returns the geometric mean of xs (each must be > 0); it is used
+// for the paper's SPECint/SPECfp/SPEC speedup summaries. Non-positive
+// values are skipped.
+func GeoMean(xs []float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			prod *= x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1.0/float64(n))
+}

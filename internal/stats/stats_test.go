@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMLPEmpty(t *testing.T) {
+	var tr MLPTracker
+	if tr.MLP() != 0 || tr.Count() != 0 {
+		t.Fatal("empty tracker must report 0")
+	}
+}
+
+func TestMLPSingleMiss(t *testing.T) {
+	var tr MLPTracker
+	tr.Add(100, 500)
+	if got := tr.MLP(); got != 1 {
+		t.Fatalf("single miss MLP = %v, want 1", got)
+	}
+}
+
+func TestMLPTwoFullyOverlapped(t *testing.T) {
+	var tr MLPTracker
+	tr.Add(0, 100)
+	tr.Add(0, 100)
+	if got := tr.MLP(); got != 2 {
+		t.Fatalf("overlapped MLP = %v, want 2", got)
+	}
+}
+
+func TestMLPTwoDisjoint(t *testing.T) {
+	var tr MLPTracker
+	tr.Add(0, 100)
+	tr.Add(200, 300)
+	if got := tr.MLP(); got != 1 {
+		t.Fatalf("disjoint MLP = %v, want 1", got)
+	}
+}
+
+func TestMLPPartialOverlap(t *testing.T) {
+	var tr MLPTracker
+	// [0,100) and [50,150): 100 cycles single + 50 cycles double
+	// = (100*1? let's compute: 0-50 one, 50-100 two, 100-150 one.
+	// miss-cycles = 50 + 100 + 50 = 200; busy = 150; MLP = 4/3.
+	tr.Add(0, 100)
+	tr.Add(50, 150)
+	if got := tr.MLP(); math.Abs(got-4.0/3.0) > 1e-9 {
+		t.Fatalf("partial overlap MLP = %v, want 1.333", got)
+	}
+}
+
+func TestMLPIgnoresEmptyIntervals(t *testing.T) {
+	var tr MLPTracker
+	tr.Add(10, 10)
+	tr.Add(10, 5)
+	if tr.Count() != 0 {
+		t.Fatal("degenerate intervals must be ignored")
+	}
+}
+
+func TestMLPReset(t *testing.T) {
+	var tr MLPTracker
+	tr.Add(0, 10)
+	tr.Reset()
+	if tr.Count() != 0 || tr.MLP() != 0 {
+		t.Fatal("Reset must clear state")
+	}
+}
+
+// Property: MLP is always within [1, N] for N non-empty intervals.
+func TestMLPBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var tr MLPTracker
+		n := 0
+		for i := 0; i+1 < len(raw) && n < 50; i += 2 {
+			s := int64(raw[i])
+			e := s + int64(raw[i+1]%1000) + 1
+			tr.Add(s, e)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		m := tr.MLP()
+		return m >= 1 && m <= float64(n)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0)
+	h.Add(1)
+	h.Add(1)
+	h.Add(9) // clamps to bucket 3
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Buckets[0] != 1 || h.Buckets[1] != 2 || h.Buckets[3] != 1 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	if got := h.Mean(); math.Abs(got-(0+1+1+3)/4.0) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := h.FractionAtLeast(1); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("FractionAtLeast(1) = %v", got)
+	}
+	if h.FractionAtLeast(4) != 0 {
+		t.Fatal("FractionAtLeast beyond buckets must be 0")
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := NewHistogram(2)
+	h.Add(-5)
+	if h.Buckets[0] != 1 {
+		t.Fatal("negative sample must clamp to 0")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(2)
+	if h.Mean() != 0 || h.FractionAtLeast(0) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{4, 9}); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("GeoMean(4,9) = %v, want 6", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("GeoMean(2,2,2) = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) must be 0")
+	}
+	// Non-positive values skipped.
+	if got := GeoMean([]float64{0, -1, 8}); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("GeoMean skip = %v", got)
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"icfp/internal/isa"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := SPEC("mcf", 20_000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if got.Name != orig.Name {
+		t.Fatalf("name %q != %q", got.Name, orig.Name)
+	}
+	if got.Trace.Len() != orig.Trace.Len() {
+		t.Fatalf("length %d != %d", got.Trace.Len(), orig.Trace.Len())
+	}
+	for i := 0; i < orig.Trace.Len(); i++ {
+		a, b := *orig.Trace.At(i), *got.Trace.At(i)
+		if a != b {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestTraceSeedsChaseMemory(t *testing.T) {
+	// After a round trip, the memory image must reproduce the chase
+	// pointers loads observe (the seed-word mechanism).
+	orig := SPEC("vpr", 20_000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := map[uint64]bool{}
+	for i := 0; i < got.Trace.Len(); i++ {
+		in := got.Trace.At(i)
+		switch in.Op {
+		case isa.OpStore:
+			written[in.Addr] = true
+		case isa.OpLoad:
+			if !written[in.Addr] && in.Val != 0 {
+				if v := got.Mem.Read64(in.Addr); v != in.Val {
+					t.Fatalf("inst %d: image[%#x]=%#x, trace value %#x", i, in.Addr, v, in.Val)
+				}
+			}
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("NOTATRACE")); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+	if _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+	// Truncated stream after the header.
+	var buf bytes.Buffer
+	_ = WriteTrace(&buf, SPEC("mesa", 1_000))
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace must be rejected")
+	}
+}

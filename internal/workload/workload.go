@@ -1,0 +1,464 @@
+// Package workload generates the deterministic, fully resolved instruction
+// traces the simulator runs. It replaces the paper's SPEC2000/Alpha
+// binaries (which we cannot run) with synthetic programs whose memory and
+// control behaviour is calibrated per benchmark to the characterization in
+// Table 2 of the paper: data-cache and L2 misses per kilo-instruction, and
+// the *kind* of misses — independent random misses (art-like), streaming
+// prefetch-friendly misses (swim-like), and dependent pointer-chase miss
+// chains (mcf-like), which are what differentiate iCFP from Runahead,
+// Multipass and SLTP.
+package workload
+
+import (
+	"math/rand"
+
+	"icfp/internal/isa"
+	"icfp/internal/mem"
+	"icfp/internal/memimage"
+)
+
+// Workload couples a resolved trace with the functional memory image it
+// was generated against and an optional cache pre-warm hook (used by the
+// Figure 1 micro-scenarios to set up exact hit/miss patterns).
+type Workload struct {
+	Name    string
+	Trace   *isa.Trace
+	Mem     *memimage.Image
+	Prewarm func(h *mem.Hierarchy) // optional; called before simulation
+}
+
+// Address-space layout for generated programs. Regions are spaced far
+// apart so they never alias.
+const (
+	codeBase   = 0x0040_0000 // instruction PCs
+	hotBase    = 0x1000_0000 // small always-cached data region
+	streamBase = 0x2000_0000 // sequentially-walked region
+	randBase   = 0x4000_0000 // large random-access region
+	chaseBase  = 0x8000_0000 // far linked-list region
+	chase2Base = 0xA000_0000 // near (L2-resident) linked-list region
+)
+
+// hotBytes is the size of the hot region; it fits comfortably in the
+// 32 KB L1 so hot loads essentially always hit.
+const hotBytes = 8 << 10
+
+// Profile parameterizes a synthetic benchmark. All fractions are of
+// dynamic instructions unless stated otherwise.
+type Profile struct {
+	Name string
+	FP   bool // SPECfp-style (fp compute, fewer branches)
+
+	// Instruction mix.
+	LoadFrac   float64 // fraction of instructions that are loads
+	StoreFrac  float64 // fraction that are stores
+	BranchFrac float64 // fraction that are conditional branches
+
+	// Load population. Fractions are of loads and must sum to <= 1;
+	// the remainder are hot loads that hit the L1.
+	StreamFrac float64 // sequential loads (prefetch-friendly)
+	RandFrac   float64 // uniform-random loads over RandBytes
+	ChaseFrac  float64 // pointer-chase loads (each depends on the last)
+
+	StreamStride uint64 // bytes between consecutive stream loads
+	RandBytes    uint64 // random-region footprint
+	ChaseBytes   uint64 // far linked-list footprint (>> L2: every hop misses to memory)
+
+	// Near chase ring: sized to stay L2-resident but exceed the L1, so
+	// its hops are dependent data-cache misses that hit in the L2 — the
+	// "secondary data cache miss under an L2 miss" pattern of Figure 6.
+	Chase2Frac  float64
+	Chase2Bytes uint64
+
+	// Control behaviour.
+	BranchNoise  float64 // fraction of branches with random outcome
+	BranchOnLoad float64 // fraction of branches keyed on a load result
+
+	// Store behaviour.
+	StoreToLoadFwd float64 // fraction of stores reloaded shortly after
+	PoisonAddrFrac float64 // fraction of stores whose address comes from a load
+
+	// Compute structure.
+	ILP     int     // independent dependence chains in compute blocks
+	MulFrac float64 // fraction of compute ops that are multiplies
+	// ConsumeLag inserts this many independent compute instructions
+	// between a load group and its consumers. It models how far real code
+	// separates loads from uses: with a large lag, a stall-on-use
+	// in-order pipeline hides L2-hit latencies by itself (eon/gcc-like);
+	// with none, every miss stalls the pipe at once (art/mcf-like).
+	ConsumeLag int
+}
+
+// builder incrementally constructs a resolved trace.
+type builder struct {
+	rng  *rand.Rand
+	mem  *memimage.Image
+	tr   []isa.Inst
+	vals [isa.NumRegs]uint64
+
+	streamPtr uint64
+	far       chaseWalk // far ring (memory misses)
+	near      chaseWalk // near ring (L2-resident D$ misses)
+}
+
+// chaseWalk tracks a pointer walk over a prebuilt ring of nodes.
+type chaseWalk struct {
+	ptr  uint64
+	ring []uint64
+	idx  int
+}
+
+// next returns the current node address and advances the walk.
+func (c *chaseWalk) next() uint64 {
+	addr := c.ptr
+	c.idx = (c.idx + 1) % len(c.ring)
+	c.ptr = c.ring[c.idx]
+	return addr
+}
+
+// Register conventions inside generated programs.
+var (
+	regStream  = isa.IntReg(1) // stream pointer
+	regIndex   = isa.IntReg(2) // random index scratch
+	regChase   = isa.IntReg(3) // far chase pointer
+	regChase2  = isa.IntReg(4) // near chase pointer
+	regPayload = isa.IntReg(5) // chase-node payload
+	regPayAcc  = isa.IntReg(6) // payload accumulator
+	regZero    = isa.IntReg(0)
+)
+
+// dataRegs rotate as destinations of loads and compute.
+func dataReg(i int, fp bool) isa.Reg {
+	if fp {
+		return isa.FPReg(8 + i%16)
+	}
+	return isa.IntReg(8 + i%16)
+}
+
+func newBuilder(seed int64) *builder {
+	return &builder{
+		rng: rand.New(rand.NewSource(seed)),
+		mem: memimage.New(),
+	}
+}
+
+func (b *builder) emit(in isa.Inst) { b.tr = append(b.tr, in) }
+
+// emitALU appends a 1-cycle integer op dst = f(src1, src2).
+func (b *builder) emitALU(pc uint64, dst, s1, s2 isa.Reg) {
+	v := b.vals[s1&63] + 1
+	if s2.Valid() {
+		v += b.vals[s2&63]
+	}
+	if dst.Valid() {
+		b.vals[dst] = v
+	}
+	b.emit(isa.Inst{PC: pc, Op: isa.OpALU, Dst: dst, Src1: s1, Src2: s2, Val: v})
+}
+
+// emitOp appends a compute op of the given class.
+func (b *builder) emitOp(pc uint64, op isa.Op, dst, s1, s2 isa.Reg) {
+	v := b.vals[s1&63] ^ 0x9E3779B97F4A7C15
+	if s2.Valid() {
+		v += b.vals[s2&63]
+	}
+	if dst.Valid() {
+		b.vals[dst] = v
+	}
+	b.emit(isa.Inst{PC: pc, Op: op, Dst: dst, Src1: s1, Src2: s2, Val: v})
+}
+
+// emitLoad appends a load dst = mem[addr] whose address was produced by
+// addrReg (the dependence the timing model honors).
+func (b *builder) emitLoad(pc uint64, dst, addrReg isa.Reg, addr uint64) {
+	v := b.mem.Read64(addr)
+	if dst.Valid() {
+		b.vals[dst] = v
+	}
+	b.emit(isa.Inst{PC: pc, Op: isa.OpLoad, Dst: dst, Src1: addrReg, Addr: addr, Size: 8, Val: v})
+}
+
+// emitStore appends a store mem[addr] = dataReg.
+func (b *builder) emitStore(pc uint64, addrReg, data isa.Reg, addr uint64) {
+	v := b.vals[data&63]
+	b.mem.Write64(addr, v)
+	b.emit(isa.Inst{PC: pc, Op: isa.OpStore, Src1: addrReg, Src2: data, Addr: addr, Size: 8, Val: v})
+}
+
+// emitBranch appends a conditional branch.
+func (b *builder) emitBranch(pc uint64, s1, s2 isa.Reg, taken bool, target uint64) {
+	b.emit(isa.Inst{PC: pc, Op: isa.OpBranch, Src1: s1, Src2: s2, Taken: taken, Target: target})
+}
+
+// buildChase lays a pseudo-random ring of linked-list nodes over bytes of
+// memory starting at base and initializes the image so that each node's
+// first word points at the next node.
+func (b *builder) buildChase(base, bytes uint64, reg isa.Reg) chaseWalk {
+	if bytes == 0 {
+		return chaseWalk{}
+	}
+	const nodeSize = 64 // one node per L1 line
+	n := int(bytes / nodeSize)
+	if n < 2 {
+		n = 2
+	}
+	order := b.rng.Perm(n)
+	addrs := make([]uint64, n)
+	for i, o := range order {
+		addrs[i] = base + uint64(o)*nodeSize
+	}
+	for i := range addrs {
+		next := addrs[(i+1)%n]
+		b.mem.Write64(addrs[i], next)
+	}
+	b.vals[reg] = addrs[0]
+	return chaseWalk{ptr: addrs[0], ring: addrs}
+}
+
+// Generate builds a deterministic workload of roughly n dynamic
+// instructions for the profile. The same (profile, seed, n) triple always
+// yields an identical trace.
+func Generate(p Profile, n int, seed int64) *Workload {
+	b := newBuilder(seed)
+	b.streamPtr = streamBase
+	b.far = b.buildChase(chaseBase, p.ChaseBytes, regChase)
+	b.near = b.buildChase(chase2Base, p.Chase2Bytes, regChase2)
+	// Hot region: fill with nonzero data.
+	for a := uint64(0); a < hotBytes; a += 8 {
+		b.mem.Write64(hotBase+a, a^0xABCD)
+	}
+
+	// The program is one big loop; every iteration walks the same static
+	// block sequence (stable PCs train the predictor and I$), with block
+	// contents drawn from the profile's mix.
+	for len(b.tr) < n {
+		b.iteration(p)
+	}
+	fixupTargets(b.tr)
+	// Terminate cleanly: final loop-back branch falls through.
+	if last := &b.tr[len(b.tr)-1]; last.Op == isa.OpBranch {
+		last.Taken = false
+	}
+	return &Workload{
+		Name:    p.Name,
+		Trace:   &isa.Trace{Name: p.Name, Insts: b.tr},
+		Mem:     b.mem,
+		Prewarm: prewarmL2(p),
+	}
+}
+
+// prewarmL2 returns a hook that installs the steady-state-resident data
+// regions into the L2: the whole random region (its resident tail if it
+// exceeds capacity) and the near chase ring. Sampled runs are far shorter
+// than real executions, so without this the first touch of every cold
+// line would masquerade as a memory miss.
+func prewarmL2(p Profile) func(h *mem.Hierarchy) {
+	return func(h *mem.Hierarchy) {
+		line := uint64(h.L2.LineBytes())
+		for a := uint64(0); a < p.RandBytes; a += line {
+			h.L2.Insert(randBase+a, false)
+		}
+		for a := uint64(0); a < p.Chase2Bytes; a += line {
+			h.L2.Insert(chase2Base+a, false)
+		}
+	}
+}
+
+// iteration emits one loop body. Static layout (fixed PCs per block slot):
+// [chase] [rand] [stream] [compute] [stores] [branches] [loop branch].
+func (b *builder) iteration(p Profile) {
+	pc := uint64(codeBase)
+	next := func() uint64 { pc += 4; return pc - 4 }
+	di := b.rng.Intn(16) // rotating data register base
+
+	// Derive per-iteration op counts from the profile fractions, assuming
+	// a nominal body of ~64 instructions. Fractional counts round
+	// probabilistically so small fractions are honored in expectation.
+	const body = 64.0
+	round := func(x float64) int {
+		n := int(x)
+		if b.rng.Float64() < x-float64(n) {
+			n++
+		}
+		return n
+	}
+	loads := round(body * p.LoadFrac)
+	stores := round(body * p.StoreFrac)
+	branches := round(body * p.BranchFrac)
+	chase := round(float64(loads) * p.ChaseFrac)
+	chase2 := round(float64(loads) * p.Chase2Frac)
+	randLoads := round(float64(loads) * p.RandFrac)
+	stream := round(float64(loads) * p.StreamFrac)
+	hot := loads - chase - chase2 - randLoads - stream
+	compute := 64 - loads - stores - branches
+	if compute < 0 {
+		compute = 0
+	}
+
+	// Far chase block: dependent memory misses. Each hop reads the node's
+	// payload (same line as the pointer) and consumes it immediately, as
+	// real list-walking code does — this is what makes a stall-on-use
+	// in-order pipeline serialize on every hop.
+	for c := 0; c < chase; c++ {
+		addr := b.far.next()
+		b.emitLoad(next(), regPayload, regChase, addr+8)
+		b.emitLoad(next(), regChase, regChase, addr)
+		b.emitALU(next(), regPayAcc, regPayAcc, regPayload)
+	}
+
+	// Near chase block: dependent D$ misses that hit in the L2.
+	for c := 0; c < chase2; c++ {
+		addr := b.near.next()
+		b.emitLoad(next(), regPayload, regChase2, addr+8)
+		b.emitLoad(next(), regChase2, regChase2, addr)
+		b.emitALU(next(), regPayAcc, regPayAcc, regPayload)
+	}
+
+	// Main block: groups of up to ILP independent loads, each group
+	// followed immediately by instructions that consume every loaded
+	// value. Tight consumption is what makes a stall-on-use in-order
+	// pipeline suffer under misses: its achievable MLP is bounded by the
+	// group size, while advance-mode machines run ahead across groups
+	// and iterations.
+	ilp := p.ILP
+	if ilp < 1 {
+		ilp = 1
+	}
+	kinds := make([]int, 0, randLoads+stream+hot)
+	for r := 0; r < randLoads; r++ {
+		kinds = append(kinds, 0)
+	}
+	for s := 0; s < stream; s++ {
+		kinds = append(kinds, 1)
+	}
+	for h := 0; h < hot; h++ {
+		kinds = append(kinds, 2)
+	}
+	b.rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+
+	computeLeft := compute
+	for g := 0; g < len(kinds); g += ilp {
+		end := g + ilp
+		if end > len(kinds) {
+			end = len(kinds)
+		}
+		group := kinds[g:end]
+		// Issue the group's loads back to back (independent of each other).
+		for k, kind := range group {
+			dst := dataReg(di+k, p.FP)
+			switch kind {
+			case 0: // random
+				addr := randBase + uint64(b.rng.Int63n(int64(p.RandBytes/8)))*8
+				b.emitLoad(next(), dst, regIndex, addr)
+			case 1: // stream
+				b.emitLoad(next(), dst, regStream, b.streamPtr)
+				b.streamPtr += p.StreamStride
+			default: // hot
+				addr := hotBase + uint64(b.rng.Int63n(hotBytes/8))*8
+				b.emitLoad(next(), dst, regZero, addr)
+			}
+		}
+		// Optional slack between the loads and their uses.
+		for l := 0; l < p.ConsumeLag && computeLeft > 0; l++ {
+			op := isa.OpALU
+			if p.FP {
+				op = isa.OpFAdd
+			}
+			acc := dataReg(di+8+l%ilp, p.FP)
+			b.emitOp(next(), op, acc, acc, isa.RegNone)
+			computeLeft--
+		}
+		// Consume every loaded value into per-chain accumulators.
+		for k := range group {
+			op := isa.OpALU
+			if p.FP {
+				op = isa.OpFAdd
+			}
+			acc := dataReg(di+8+k%ilp, p.FP)
+			b.emitOp(next(), op, acc, acc, dataReg(di+k, p.FP))
+			computeLeft--
+		}
+		// Advance the stream/index pointers for the next group.
+		b.emitALU(next(), regIndex, regIndex, isa.RegNone)
+		computeLeft--
+	}
+
+	// Remaining compute: ILP independent chains over the accumulators.
+	for k := 0; k < computeLeft; k++ {
+		op := isa.OpALU
+		if p.FP {
+			op = isa.OpFAdd
+		}
+		if b.rng.Float64() < p.MulFrac {
+			if p.FP {
+				op = isa.OpFMul
+			} else {
+				op = isa.OpIMul
+			}
+		}
+		chain := k % ilp
+		dst := dataReg(di+8+chain, p.FP)
+		b.emitOp(next(), op, dst, dst, dataReg(di+chain, p.FP))
+	}
+
+	// Store block.
+	for s := 0; s < stores; s++ {
+		data := dataReg(di+s, p.FP)
+		var addr uint64
+		addrReg := regIndex
+		switch {
+		case b.rng.Float64() < p.PoisonAddrFrac && len(b.far.ring) > 0:
+			// Address derived from a chase load: poisoned-address store
+			// when the chase is miss-dependent.
+			addr = b.vals[regChase] + 8
+			addrReg = regChase
+		case b.rng.Float64() < p.RandFrac:
+			// Stores follow the same cold/hot split as loads so store
+			// misses track the profile's miss-rate targets.
+			addr = randBase + uint64(b.rng.Int63n(int64(p.RandBytes/8)))*8
+		default:
+			addr = hotBase + uint64(b.rng.Int63n(hotBytes/8))*8
+		}
+		b.emitStore(next(), addrReg, data, addr)
+		// A fixed prefix of stores is reloaded shortly after, exercising
+		// store-to-load forwarding. The count is deterministic so that
+		// every iteration has an identical static PC layout.
+		if s < int(float64(stores)*p.StoreToLoadFwd) {
+			b.emitLoad(next(), dataReg(di+s+1, p.FP), addrReg, addr)
+		}
+	}
+
+	// Data-dependent branches. Targets are fixed up after generation to
+	// point at the dynamically following instruction.
+	for k := 0; k < branches; k++ {
+		src := dataReg(di+k, p.FP)
+		if b.rng.Float64() < p.BranchOnLoad {
+			// Branch keyed on recently loaded data: on chase workloads the
+			// node payload (so branches become miss-dependent, as real
+			// list-walking code is), otherwise the latest group load.
+			if p.ChaseFrac > 0 || p.Chase2Frac > 0 {
+				src = regPayAcc
+			} else {
+				src = dataReg(di, p.FP)
+			}
+		}
+		taken := true
+		if b.rng.Float64() < p.BranchNoise {
+			taken = b.rng.Intn(2) == 0
+		}
+		b.emitBranch(next(), src, regZero, taken, 0)
+	}
+
+	// Loop-back branch (predictably taken).
+	lb := next()
+	b.emitBranch(lb, regIndex, regZero, true, codeBase)
+}
+
+// fixupTargets points every taken control transfer at the PC of the
+// dynamically following instruction so traces are internally consistent.
+func fixupTargets(tr []isa.Inst) {
+	for i := range tr {
+		if tr[i].Op.IsCtrl() && tr[i].Taken && i+1 < len(tr) {
+			tr[i].Target = tr[i+1].PC
+		}
+	}
+}
