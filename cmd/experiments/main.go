@@ -1,5 +1,6 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation section (§5) as text tables:
+// evaluation section (§5) as text tables, driven by the experiment
+// registry (internal/exp/registry):
 //
 //	-table1   machine configuration
 //	-fig5     speedups over in-order: Runahead, Multipass, SLTP, iCFP
@@ -10,7 +11,16 @@
 //	-hops     §3.2 chained store buffer hop statistics and chain-table size
 //	-poison   §3.4 poison vector width study (1 vs 8 bits)
 //	-area     §5.3 area overheads
+//	-ooo      §5.3 out-of-order comparison
+//	-ablate   structure-size ablations (DESIGN.md)
 //	-all      everything above
+//	-list     list the registry and exit
+//
+// Simulations run on a worker pool (-parallel N) with memoized sharing of
+// common work, so the in-order baselines behind every speedup figure run
+// once for the whole invocation; the output is byte-identical at every
+// parallelism setting. -json FILE additionally exports every result set
+// as machine-readable JSON.
 //
 // Runs are deterministic; -n and -warm control sample sizes (the paper
 // samples 1M-instruction windows after 4M-instruction warmups; the
@@ -18,339 +28,84 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
-	"icfp/internal/area"
-	"icfp/internal/icfp"
-	"icfp/internal/inorder"
-	"icfp/internal/ooo"
-	"icfp/internal/pipeline"
+	"icfp/internal/exp"
+	"icfp/internal/exp/registry"
 	"icfp/internal/sim"
-	"icfp/internal/stats"
-	"icfp/internal/workload"
 )
 
 var (
-	flagTable1 = flag.Bool("table1", false, "print the machine configuration")
-	flagFig5   = flag.Bool("fig5", false, "speedups over in-order (Figure 5)")
-	flagTable2 = flag.Bool("table2", false, "benchmark diagnostics (Table 2)")
-	flagFig6   = flag.Bool("fig6", false, "L2 latency sensitivity (Figure 6)")
-	flagFig7   = flag.Bool("fig7", false, "iCFP feature build (Figure 7)")
-	flagFig8   = flag.Bool("fig8", false, "store buffer designs (Figure 8)")
-	flagHops   = flag.Bool("hops", false, "chained store buffer hops (§3.2)")
-	flagPoison = flag.Bool("poison", false, "poison vector width (§3.4)")
-	flagArea   = flag.Bool("area", false, "area overheads (§5.3)")
-	flagOOO    = flag.Bool("ooo", false, "out-of-order comparison (§5.3)")
-	flagAblate = flag.Bool("ablate", false, "structure-size ablations (DESIGN.md)")
-	flagAll    = flag.Bool("all", false, "run every experiment")
-	flagN      = flag.Int("n", 400_000, "timed instructions per sample")
-	flagWarm   = flag.Int("warm", 150_000, "warmup instructions per sample")
+	flagAll      = flag.Bool("all", false, "run every experiment")
+	flagList     = flag.Bool("list", false, "list the experiment registry and exit")
+	flagN        = flag.Int("n", 400_000, "timed instructions per sample")
+	flagWarm     = flag.Int("warm", 150_000, "warmup instructions per sample")
+	flagParallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (results are identical at any setting)")
+	flagJSON     = flag.String("json", "", "also write every result set to this file as JSON")
 )
 
-func main() {
-	flag.Parse()
-	cfg := sim.DefaultConfig()
-	cfg.WarmupInsts = *flagWarm
+// export is the -json file layout: the sample-size parameters and one
+// result set per experiment run.
+type export struct {
+	N           int                       `json:"n"`
+	Warmup      int                       `json:"warmup"`
+	Experiments map[string]*exp.ResultSet `json:"experiments"`
+}
 
-	any := false
-	run := func(on bool, f func(pipeline.Config)) {
-		if on || *flagAll {
-			f(cfg)
-			any = true
+func main() {
+	all := registry.All()
+	sel := make(map[string]*bool, len(all))
+	for _, e := range all {
+		sel[e.Name] = flag.Bool(e.Name, false, e.Desc)
+	}
+	flag.Parse()
+
+	if *flagList {
+		for _, e := range all {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	var names []string
+	for _, e := range all {
+		if *flagAll || *sel[e.Name] {
+			names = append(names, e.Name)
 		}
 	}
-	run(*flagTable1, table1)
-	run(*flagFig5, figure5)
-	run(*flagTable2, table2)
-	run(*flagFig6, figure6)
-	run(*flagFig7, figure7)
-	run(*flagFig8, figure8)
-	run(*flagHops, hops)
-	run(*flagPoison, poison)
-	run(*flagArea, areaOverheads)
-	run(*flagOOO, oooComparison)
-	run(*flagAblate, ablations)
-	if !any {
+	if len(names) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-}
 
-func table1(cfg pipeline.Config) {
-	fmt.Println("== Table 1: simulated processor configuration ==")
-	h := cfg.Hier
-	fmt.Printf("Pipeline   %d-wide, %d front-end stages + 1 ALU + %d D$ + 1 reg-write; %d int ports, %d fp/ls/br port\n",
-		cfg.Width, cfg.FrontDepth, cfg.DCachePipe, cfg.IntPorts, cfg.MemFPBrPorts)
-	fmt.Printf("Bpred      PPM %d-table (hist %v), %d-entry BTB, %d-entry RAS\n",
-		len(cfg.Bpred.HistLens), cfg.Bpred.HistLens, 1<<cfg.Bpred.BTBBits, cfg.Bpred.RASEntries)
-	fmt.Printf("I$/D$      %d KB, %d-way, %d B lines, %d-entry victim buffers\n",
-		h.L1D.SizeBytes>>10, h.L1D.Assoc, h.L1D.LineBytes, h.L1D.VictimEntries)
-	fmt.Printf("L2         %d MB, %d-way, %d B lines, %d-cycle hit, %d-entry victim buffer\n",
-		h.L2.SizeBytes>>20, h.L2.Assoc, h.L2.LineBytes, h.L2HitLat, h.L2.VictimEntries)
-	fmt.Printf("Memory     %d-cycle latency, %d cycles per %d B chunk, %d MSHRs\n",
-		h.MemLat, h.MemChunkLat, h.MemChunkBytes, h.NumMSHRs)
-	fmt.Printf("Prefetch   %d stream buffers x %d blocks\n", h.StreamBufs, h.StreamBufBlocks)
-	fmt.Printf("iCFP       %d-entry chained SB, %d-entry chain table, %d-entry slice buffer, %d-bit poison vectors\n",
-		cfg.ChainedSBEntries, cfg.ChainTableEntries, cfg.SliceEntries, cfg.PoisonBits)
-	fmt.Printf("Others     %d-entry runahead cache, %d-entry SRL, %d-entry result buffer, %d-entry store buffer\n\n",
-		cfg.RunaheadCache, cfg.SRLEntries, cfg.ResultBufEntries, cfg.StoreBufEntries)
-}
+	p := registry.Params{Cfg: sim.DefaultConfig(), N: *flagN}
+	p.Cfg.WarmupInsts = *flagWarm
 
-// groupGeo prints per-benchmark speedups and the geomean for a benchmark
-// group label.
-func geoRow(vals map[string]float64, names []string) float64 {
-	ratios := make([]float64, 0, len(names))
-	for _, n := range names {
-		ratios = append(ratios, 1+vals[n]/100)
+	sets, err := registry.Report(os.Stdout, names, p, exp.Parallelism(*flagParallel))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
-	return (stats.GeoMean(ratios) - 1) * 100
-}
 
-func figure5(cfg pipeline.Config) {
-	fmt.Println("== Figure 5: % speedup over in-order ==")
-	fmt.Printf("%-9s %9s %9s %9s %9s\n", "bench", "Runahead", "Multipass", "SLTP", "iCFP")
-	per := map[sim.Model]map[string]float64{}
-	for _, m := range []sim.Model{sim.Runahead, sim.Multipass, sim.SLTP, sim.ICFP} {
-		per[m] = map[string]float64{}
-	}
-	for _, name := range workload.AllSPECNames {
-		base := sim.RunSPEC(sim.InOrder, cfg, name, *flagN)
-		for _, m := range []sim.Model{sim.Runahead, sim.Multipass, sim.SLTP, sim.ICFP} {
-			r := sim.RunSPEC(m, cfg, name, *flagN)
-			per[m][name] = r.SpeedupOver(base)
+	if *flagJSON != "" {
+		f, err := os.Create(*flagJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
-		fmt.Printf("%-9s %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%\n", name,
-			per[sim.Runahead][name], per[sim.Multipass][name], per[sim.SLTP][name], per[sim.ICFP][name])
-	}
-	for _, grp := range []struct {
-		label string
-		names []string
-	}{
-		{"SPECfp", workload.SPECfpNames},
-		{"SPECint", workload.SPECintNames},
-		{"SPEC", workload.AllSPECNames},
-	} {
-		fmt.Printf("%-9s %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%   (geomean)\n", grp.label,
-			geoRow(per[sim.Runahead], grp.names), geoRow(per[sim.Multipass], grp.names),
-			geoRow(per[sim.SLTP], grp.names), geoRow(per[sim.ICFP], grp.names))
-	}
-	fmt.Println("paper geomeans: Runahead 11%, Multipass 11%, SLTP 9%, iCFP 16%")
-	fmt.Println()
-}
-
-func table2(cfg pipeline.Config) {
-	fmt.Println("== Table 2: diagnostics (miss/KI from the in-order baseline) ==")
-	fmt.Printf("%-9s %6s %6s | %6s %6s %6s | %6s %6s %6s | %8s\n",
-		"bench", "D$/KI", "L2/KI", "dMLPiO", "dMLPra", "dMLPic", "l2iO", "l2ra", "l2ic", "rally/KI")
-	for _, name := range workload.AllSPECNames {
-		io := sim.RunSPEC(sim.InOrder, cfg, name, *flagN)
-		ra := sim.RunSPEC(sim.Runahead, cfg, name, *flagN)
-		ic := sim.RunSPEC(sim.ICFP, cfg, name, *flagN)
-		fmt.Printf("%-9s %6.1f %6.1f | %6.1f %6.1f %6.1f | %6.1f %6.1f %6.1f | %8.0f\n",
-			name, io.DCacheMissPerKI, io.L2MissPerKI,
-			io.DCacheMLP, ra.DCacheMLP, ic.DCacheMLP,
-			io.L2MLP, ra.L2MLP, ic.L2MLP, ic.RallyPerKI)
-	}
-	fmt.Println()
-}
-
-func figure6(cfg pipeline.Config) {
-	fmt.Println("== Figure 6: % speedup over in-order vs L2 hit latency ==")
-	lats := []int{10, 20, 30, 40, 50}
-	machines := sim.Figure6Machines()[1:] // skip the in-order baseline row
-
-	fmt.Println("-- equake --")
-	fmt.Printf("%-18s", "config")
-	for _, l := range lats {
-		fmt.Printf(" %7d", l)
-	}
-	fmt.Println()
-	for _, m := range machines {
-		sp := sim.SweepL2Latency(m.Machine, cfg, "equake", *flagN, lats)
-		fmt.Printf("%-18s", m.Label)
-		for _, v := range sp {
-			fmt.Printf(" %+6.1f%%", v)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(export{N: *flagN, Warmup: *flagWarm, Experiments: sets})
+		if cerr := f.Close(); err == nil {
+			err = cerr
 		}
-		fmt.Println()
-	}
-
-	fmt.Println("-- SPEC geomean --")
-	fmt.Printf("%-18s", "config")
-	for _, l := range lats {
-		fmt.Printf(" %7d", l)
-	}
-	fmt.Println()
-	n := *flagN / 2 // the full-suite sweep is the heaviest experiment
-	for _, m := range machines {
-		fmt.Printf("%-18s", m.Label)
-		for _, lat := range lats {
-			ratios := make([]float64, 0, len(workload.AllSPECNames))
-			for _, name := range workload.AllSPECNames {
-				c := cfg
-				c.Hier.L2HitLat = lat
-				base := inorder.New(c).Run(workload.SPEC(name, c.WarmupInsts+n))
-				r := m.Machine(c).Run(workload.SPEC(name, c.WarmupInsts+n))
-				ratios = append(ratios, float64(base.Cycles)/float64(r.Cycles))
-			}
-			fmt.Printf(" %+6.1f%%", (stats.GeoMean(ratios)-1)*100)
-		}
-		fmt.Println()
-	}
-	fmt.Println()
-}
-
-// figure7Names are the benchmarks the paper shows in the feature build.
-var figure7Names = []string{"ammp", "applu", "art", "equake", "swim", "bzip2", "gap", "gzip", "mcf", "vpr"}
-
-func figure7(cfg pipeline.Config) {
-	fmt.Println("== Figure 7: iCFP feature build, % speedup over in-order ==")
-	builds := sim.FeatureBuildConfigs()
-	fmt.Printf("%-9s", "bench")
-	for i := range builds {
-		fmt.Printf("  bar%d   ", i+1)
-	}
-	fmt.Println()
-	for i, b := range builds {
-		fmt.Printf("bar%d = %s\n", i+1, b.Label)
-	}
-	for _, name := range figure7Names {
-		base := sim.RunSPEC(sim.InOrder, cfg, name, *flagN)
-		fmt.Printf("%-9s", name)
-		for _, b := range builds {
-			w := workload.SPEC(name, cfg.WarmupInsts+*flagN)
-			r := b.Make(cfg).Run(w)
-			fmt.Printf(" %+7.1f%%", r.SpeedupOver(base))
-		}
-		fmt.Println()
-	}
-	fmt.Println()
-}
-
-// figure8Names are the benchmarks the paper shows for store buffers.
-var figure8Names = []string{"applu", "equake", "swim", "bzip2", "gzip", "vpr"}
-
-func figure8(cfg pipeline.Config) {
-	fmt.Println("== Figure 8: store buffer designs, % speedup over in-order ==")
-	fmt.Printf("%-9s %12s %12s %12s\n", "bench", "limited", "chained", "ideal")
-	for _, name := range figure8Names {
-		base := sim.RunSPEC(sim.InOrder, cfg, name, *flagN)
-		fmt.Printf("%-9s", name)
-		for _, sb := range sim.StoreBufferConfigs() {
-			m := icfp.NewWithOptions(cfg, pipeline.TriggerAll, sb.Mode)
-			r := m.Run(workload.SPEC(name, cfg.WarmupInsts+*flagN))
-			fmt.Printf(" %+11.1f%%", r.SpeedupOver(base))
-		}
-		fmt.Println()
-	}
-	fmt.Println()
-}
-
-func hops(cfg pipeline.Config) {
-	fmt.Println("== §3.2: chained store buffer excess hops per load ==")
-	fmt.Printf("%-9s %12s %12s | %12s\n", "bench", "hops(512ct)", ">=5 hops", "hops(64ct)")
-	for _, name := range workload.AllSPECNames {
-		r := sim.RunSPEC(sim.ICFP, cfg, name, *flagN)
-		small := cfg
-		small.ChainTableEntries = 64
-		r64 := sim.RunSPEC(sim.ICFP, small, name, *flagN)
-		fmt.Printf("%-9s %12.3f %11.1f%% | %12.3f\n", name, r.SBExtraHops, r.SBHopsAtLeast*100, r64.SBExtraHops)
-	}
-	fmt.Println("paper: < 0.5 for all benchmarks, < 0.05 for most")
-	fmt.Println()
-}
-
-func poison(cfg pipeline.Config) {
-	fmt.Println("== §3.4: poison vector width (speedup of 8-bit over 1-bit) ==")
-	ratios := []float64{}
-	for _, name := range workload.AllSPECNames {
-		one := cfg
-		one.PoisonBits = 1
-		r1 := sim.RunSPEC(sim.ICFP, one, name, *flagN)
-		r8 := sim.RunSPEC(sim.ICFP, cfg, name, *flagN)
-		sp := r8.SpeedupOver(r1)
-		ratios = append(ratios, 1+sp/100)
-		fmt.Printf("%-9s %+6.1f%%\n", name, sp)
-	}
-	fmt.Printf("%-9s %+6.1f%%   (paper: +1.5%% average, +6%% on mcf)\n\n", "geomean", (stats.GeoMean(ratios)-1)*100)
-}
-
-func areaOverheads(pipeline.Config) {
-	fmt.Println("== §5.3: area overheads (45 nm) ==")
-	for _, d := range area.AllDesigns() {
-		fmt.Printf("%-10s %.3f mm²  (paper %.2f)\n", d.Name, d.Total(), area.PaperMM2[d.Name])
-		for _, s := range d.Structures {
-			fmt.Printf("    %-28s %.4f\n", s.Name, s.MM2())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
 	}
-	fmt.Println()
-}
-
-// oooNames is a representative subset for the §5.3 out-of-order numbers
-// (the full suite is available via the ooo package tests).
-func oooComparison(cfg pipeline.Config) {
-	fmt.Println("== §5.3: 2-way out-of-order and out-of-order CFP vs in-order ==")
-	ocfg := ooo.DefaultConfig()
-	ocfg.Config = cfg
-	ccfg := ocfg
-	ccfg.CFP = true
-	var ro, rc []float64
-	for _, name := range workload.AllSPECNames {
-		io := inorder.New(cfg).Run(workload.SPEC(name, cfg.WarmupInsts+*flagN))
-		o := ooo.New(ocfg).Run(workload.SPEC(name, cfg.WarmupInsts+*flagN))
-		c := ooo.New(ccfg).Run(workload.SPEC(name, cfg.WarmupInsts+*flagN))
-		fmt.Printf("%-9s ooo %+7.1f%%   ooo-cfp %+7.1f%%\n", name, o.SpeedupOver(io), c.SpeedupOver(io))
-		ro = append(ro, float64(io.Cycles)/float64(o.Cycles))
-		rc = append(rc, float64(io.Cycles)/float64(c.Cycles))
-	}
-	fmt.Printf("%-9s ooo %+7.1f%%   ooo-cfp %+7.1f%%   (geomean; paper: +68%% and +83%%)\n\n",
-		"SPEC", (stats.GeoMean(ro)-1)*100, (stats.GeoMean(rc)-1)*100)
-}
-
-// ablations sweeps the structure sizes DESIGN.md calls out: slice buffer
-// entries, chained store buffer entries, and poison vector width, on a
-// dependent-miss workload (mcf) and a streaming one (swim).
-func ablations(cfg pipeline.Config) {
-	fmt.Println("== Ablations: iCFP structure sizing ==")
-	names := []string{"mcf", "swim"}
-	runICFP := func(c pipeline.Config, name string) float64 {
-		base := sim.RunSPEC(sim.InOrder, c, name, *flagN)
-		r := sim.RunSPEC(sim.ICFP, c, name, *flagN)
-		return r.SpeedupOver(base)
-	}
-
-	fmt.Println("-- slice buffer entries --")
-	for _, entries := range []int{32, 64, 128, 256} {
-		c := cfg
-		c.SliceEntries = entries
-		fmt.Printf("%4d:", entries)
-		for _, n := range names {
-			fmt.Printf("  %s %+7.1f%%", n, runICFP(c, n))
-		}
-		fmt.Println()
-	}
-
-	fmt.Println("-- chained store buffer entries --")
-	for _, entries := range []int{32, 64, 128, 256} {
-		c := cfg
-		c.ChainedSBEntries = entries
-		fmt.Printf("%4d:", entries)
-		for _, n := range names {
-			fmt.Printf("  %s %+7.1f%%", n, runICFP(c, n))
-		}
-		fmt.Println()
-	}
-
-	fmt.Println("-- poison vector width (bits) --")
-	for _, bits := range []int{1, 2, 4, 8} {
-		c := cfg
-		c.PoisonBits = bits
-		fmt.Printf("%4d:", bits)
-		for _, n := range names {
-			fmt.Printf("  %s %+7.1f%%", n, runICFP(c, n))
-		}
-		fmt.Println()
-	}
-	fmt.Println()
 }

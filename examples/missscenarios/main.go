@@ -1,6 +1,7 @@
 // Miss scenarios: run the six abstract miss patterns of the paper's
-// Figure 1 on all five machines and print the cycle counts. The table
-// makes the paper's qualitative argument concrete:
+// Figure 1 on all five machines — as one parallel harness run — and print
+// the cycle counts. The table makes the paper's qualitative argument
+// concrete:
 //
 //   - (a) lone L2 miss: SLTP/iCFP win by committing the miss-independent
 //     tail; Runahead gains nothing (it re-executes everything).
@@ -14,7 +15,9 @@ package main
 
 import (
 	"fmt"
+	"os"
 
+	"icfp/internal/exp"
 	"icfp/internal/sim"
 	"icfp/internal/workload"
 )
@@ -22,6 +25,18 @@ import (
 func main() {
 	cfg := sim.DefaultConfig()
 	cfg.WarmupInsts = 0 // scenarios pre-warm their caches explicitly
+
+	var jobs []exp.Job
+	for _, sc := range workload.AllScenarios {
+		for _, m := range sim.AllModels {
+			jobs = append(jobs, sim.Job(string(sc)+"/"+m.String(), m, cfg, exp.ScenarioWorkload(sc)))
+		}
+	}
+	rs, err := exp.Run(jobs) // default parallelism: one worker per CPU
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "missscenarios:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("%-22s", "scenario")
 	for _, m := range sim.AllModels {
@@ -31,8 +46,7 @@ func main() {
 	for _, sc := range workload.AllScenarios {
 		fmt.Printf("%-22s", sc)
 		for _, m := range sim.AllModels {
-			r := sim.Run(m, cfg, workload.NewScenario(sc))
-			fmt.Printf(" %10d", r.Cycles)
+			fmt.Printf(" %10d", rs.MustGet(string(sc)+"/"+m.String()).Cycles)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,3 @@
+module icfp
+
+go 1.24

@@ -1,0 +1,273 @@
+// Package exp is the experiment-orchestration harness behind the paper's
+// evaluation: it runs named (machine, workload) jobs on a worker pool,
+// memoizes simulations so shared baselines run exactly once, and collects
+// results into typed, JSON-exportable result sets.
+//
+// Simulations in this module are deterministic pure functions of their
+// (machine constructor, configuration, workload) inputs, which is what
+// makes both halves of the design sound: runs can be farmed out to any
+// number of workers without changing results, and a result computed for
+// one experiment can be reused verbatim by another. The cache key is the
+// triple (machine identity, configuration fingerprint, workload key); the
+// Machine string must therefore uniquely identify the constructor's
+// behaviour given the configuration — two different constructors may
+// share a label only if they build identical machines.
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"icfp/internal/pipeline"
+	"icfp/internal/workload"
+)
+
+// Runner runs a workload; every machine in this module satisfies it.
+type Runner interface {
+	Run(w *workload.Workload) pipeline.Result
+}
+
+// WorkloadSpec names a workload and knows how to build it. The factory is
+// called once per actual simulation, on the worker that runs it, so each
+// worker owns a private trace and memory image — workloads carry mutable
+// state (cache prewarm hooks touch the hierarchy, the image is read
+// during simulation) and must not be shared across concurrent runs.
+type WorkloadSpec struct {
+	Key string // cache-key component; must uniquely identify the workload
+	New func() *workload.Workload
+}
+
+// SPECWorkload is the spec for a generated SPEC2000-profile benchmark
+// with n total dynamic instructions (warmup included).
+func SPECWorkload(name string, n int) WorkloadSpec {
+	return WorkloadSpec{
+		Key: fmt.Sprintf("spec:%s:n=%d", name, n),
+		New: func() *workload.Workload { return workload.SPEC(name, n) },
+	}
+}
+
+// ScenarioWorkload is the spec for one of the Figure 1 micro-scenarios.
+func ScenarioWorkload(sc workload.Scenario) WorkloadSpec {
+	return WorkloadSpec{
+		Key: "scenario:" + string(sc),
+		New: func() *workload.Workload { return workload.NewScenario(sc) },
+	}
+}
+
+// Job is one named simulation: a machine constructor applied to a
+// configuration, run over a workload built from its spec. Job names index
+// the ResultSet and must be unique within one Run call; distinct jobs may
+// share a cache key (same machine, config, workload), in which case the
+// simulation happens once.
+type Job struct {
+	Name     string // result name, unique within a Run
+	Machine  string // machine identity; part of the cache key
+	Config   pipeline.Config
+	Make     func(cfg pipeline.Config) Runner
+	Workload WorkloadSpec
+}
+
+// Key is the memoization key of a job.
+type Key struct {
+	Machine  string
+	Config   string // configuration fingerprint
+	Workload string
+}
+
+// Key returns the job's memoization key.
+func (j Job) Key() Key {
+	return Key{Machine: j.Machine, Config: Fingerprint(j.Config), Workload: j.Workload.Key}
+}
+
+// Fingerprint deterministically summarizes a configuration. Config is a
+// plain value struct (the only indirection is the predictor's history
+// slice, which prints by value), so the formatted form captures every
+// field; it is hashed to keep keys compact.
+func Fingerprint(cfg pipeline.Config) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", cfg)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Cache memoizes simulation results across Run calls. The zero value is
+// not usable; create one with NewCache. A single cache may be shared by
+// concurrent Run calls: the first claimant of a key simulates, everyone
+// else waits for its result.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	runs    map[Key]int // actual simulations per key (diagnostics/tests)
+}
+
+type entry struct {
+	done chan struct{}
+	res  pipeline.Result
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[Key]*entry), runs: make(map[Key]int)}
+}
+
+// claim returns the entry for k and whether the caller claimed it (and
+// must simulate, then call finish).
+func (c *Cache) claim(k Key) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		return e, false
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[k] = e
+	return e, true
+}
+
+// finish publishes the result of a claimed entry.
+func (c *Cache) finish(k Key, e *entry, res pipeline.Result) {
+	c.mu.Lock()
+	c.runs[k]++
+	c.mu.Unlock()
+	e.res = res
+	close(e.done)
+}
+
+// Simulations returns the total number of actual simulator runs recorded
+// by the cache (cache hits are not counted).
+func (c *Cache) Simulations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.runs {
+		n += v
+	}
+	return n
+}
+
+// SimulationsFor returns how many times the key was actually simulated —
+// at most once per cache, by construction.
+func (c *Cache) SimulationsFor(k Key) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs[k]
+}
+
+// options collects Run configuration.
+type options struct {
+	parallelism int
+	cache       *Cache
+	onRun       func(Key)
+}
+
+// Option configures Run.
+type Option func(*options)
+
+// Parallelism sets the worker-pool size. Values below 1 (and the
+// default) mean GOMAXPROCS workers. Results are identical for every
+// setting; only wall-clock time changes.
+func Parallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
+}
+
+// WithCache routes the run through a shared memoization cache, so
+// simulations already performed — by this run or any earlier one sharing
+// the cache — are reused instead of repeated.
+func WithCache(c *Cache) Option {
+	return func(o *options) { o.cache = c }
+}
+
+// OnRun installs a hook invoked once per actual simulation (never for
+// cache hits), after the simulation completes. Calls may arrive from any
+// worker but never concurrently.
+func OnRun(f func(Key)) Option {
+	return func(o *options) { o.onRun = f }
+}
+
+// Run executes the jobs on a worker pool and returns their results in job
+// order. Jobs with equal cache keys simulate once; with a WithCache
+// option, memoization also spans earlier runs. Run fails fast on
+// malformed job sets (duplicate names, missing constructor or workload)
+// before simulating anything.
+func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
+	o := options{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.parallelism < 1 {
+		o.parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.cache == nil {
+		o.cache = NewCache()
+	}
+
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		switch {
+		case j.Name == "":
+			return nil, fmt.Errorf("exp: job with empty name (machine %q, workload %q)", j.Machine, j.Workload.Key)
+		case seen[j.Name]:
+			return nil, fmt.Errorf("exp: duplicate job name %q", j.Name)
+		case j.Make == nil:
+			return nil, fmt.Errorf("exp: job %q has no machine constructor", j.Name)
+		case j.Workload.New == nil:
+			return nil, fmt.Errorf("exp: job %q has no workload factory", j.Name)
+		}
+		seen[j.Name] = true
+	}
+
+	var hookMu sync.Mutex
+	work := make(chan int)
+	results := make([]Result, len(jobs))
+	// Jobs whose key is claimed by a still-running simulation are parked
+	// here instead of blocking a pool slot; they are resolved after the
+	// pool drains, by which point every claimant has finished.
+	var deferredMu sync.Mutex
+	type pending struct {
+		idx int
+		e   *entry
+	}
+	var deferred []pending
+	var wg sync.WaitGroup
+	for w := 0; w < o.parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				j := jobs[i]
+				k := j.Key()
+				e, claimed := o.cache.claim(k)
+				if claimed {
+					res := j.Make(j.Config).Run(j.Workload.New())
+					o.cache.finish(k, e, res)
+					if o.onRun != nil {
+						hookMu.Lock()
+						o.onRun(k)
+						hookMu.Unlock()
+					}
+				} else {
+					select {
+					case <-e.done:
+					default:
+						deferredMu.Lock()
+						deferred = append(deferred, pending{idx: i, e: e})
+						deferredMu.Unlock()
+						continue
+					}
+				}
+				results[i] = Result{Name: j.Name, Machine: j.Machine, Workload: j.Workload.Key, R: e.res}
+			}
+		}()
+	}
+	for i := range jobs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, d := range deferred {
+		<-d.e.done
+		j := jobs[d.idx]
+		results[d.idx] = Result{Name: j.Name, Machine: j.Machine, Workload: j.Workload.Key, R: d.e.res}
+	}
+	return &ResultSet{Results: results}, nil
+}

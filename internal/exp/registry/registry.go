@@ -1,0 +1,139 @@
+// Package registry names the experiments of the paper's evaluation —
+// every figure, table, and sensitivity study of §3/§5 — and runs them on
+// the exp harness. All experiments selected for one Run share a
+// memoization cache, so common work (above all the in-order baseline
+// runs that every speedup figure divides by) simulates exactly once no
+// matter how many experiments need it.
+package registry
+
+import (
+	"fmt"
+	"io"
+
+	"icfp/internal/exp"
+	"icfp/internal/pipeline"
+	"icfp/internal/sim"
+)
+
+// Params are the knobs shared by every experiment: the machine
+// configuration (whose WarmupInsts is the per-sample warmup) and the
+// number of timed instructions per sample.
+type Params struct {
+	Cfg pipeline.Config
+	N   int
+}
+
+// DefaultParams mirrors the cmd/experiments defaults: the Table 1
+// machine, scaled-down samples.
+func DefaultParams() Params {
+	cfg := sim.DefaultConfig()
+	return Params{Cfg: cfg, N: 400_000}
+}
+
+// Experiment is one named entry of the evaluation. Jobs builds the
+// simulations it needs (nil for analytic experiments like the area
+// model); Print renders its table from the completed results.
+type Experiment struct {
+	Name  string
+	Desc  string
+	Jobs  func(p Params) []exp.Job
+	Print func(w io.Writer, p Params, rs *exp.ResultSet)
+}
+
+// All lists the registry in the paper's presentation order.
+func All() []Experiment {
+	return []Experiment{
+		table1Exp(),
+		fig5Exp(),
+		table2Exp(),
+		fig6Exp(),
+		fig7Exp(),
+		fig8Exp(),
+		hopsExp(),
+		poisonExp(),
+		areaExp(),
+		oooExp(),
+		ablateExp(),
+	}
+}
+
+// Names lists the experiment names in registry order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// Lookup returns the named experiment.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes the named experiments and returns their result sets
+// keyed by experiment name. All selected experiments' jobs go through
+// one worker-pool run — job names are experiment-prefixed, so they never
+// collide — which both keeps the pool saturated across experiment
+// boundaries and memoizes shared work (above all the in-order baselines)
+// across experiments. Options (most usefully exp.Parallelism) are
+// forwarded to the underlying exp.Run.
+func Run(names []string, p Params, opts ...exp.Option) (map[string]*exp.ResultSet, error) {
+	var selected []Experiment
+	picked := make(map[string]bool, len(names))
+	for _, name := range names {
+		e, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("registry: unknown experiment %q (have %v)", name, Names())
+		}
+		if !picked[name] {
+			picked[name] = true
+			selected = append(selected, e)
+		}
+	}
+
+	var jobs []exp.Job
+	counts := make([]int, len(selected))
+	for i, e := range selected {
+		if e.Jobs != nil {
+			js := e.Jobs(p)
+			counts[i] = len(js)
+			jobs = append(jobs, js...)
+		}
+	}
+	rs, err := exp.Run(jobs, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+
+	out := make(map[string]*exp.ResultSet, len(selected))
+	off := 0
+	for i, e := range selected {
+		out[e.Name] = &exp.ResultSet{Results: rs.Results[off : off+counts[i] : off+counts[i]]}
+		off += counts[i]
+	}
+	return out, nil
+}
+
+// Report runs the named experiments and renders each one's table to w in
+// the order given. Rendering is serial and driven purely by the result
+// sets, so the output is byte-identical at every parallelism setting.
+func Report(w io.Writer, names []string, p Params, opts ...exp.Option) (map[string]*exp.ResultSet, error) {
+	sets, err := Run(names, p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		e, _ := Lookup(name)
+		if e.Print != nil {
+			e.Print(w, p, sets[name])
+		}
+	}
+	return sets, nil
+}

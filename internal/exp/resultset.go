@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"icfp/internal/pipeline"
+	"icfp/internal/stats"
+)
+
+// Result is one job's outcome.
+type Result struct {
+	Name     string          `json:"name"`
+	Machine  string          `json:"machine"`
+	Workload string          `json:"workload"`
+	R        pipeline.Result `json:"result"`
+}
+
+// ResultSet holds run results in deterministic (job submission) order and
+// provides the reductions the paper's figures are built from.
+type ResultSet struct {
+	Results []Result `json:"results"`
+}
+
+// Len returns the number of results.
+func (rs *ResultSet) Len() int { return len(rs.Results) }
+
+// Get returns the named result.
+func (rs *ResultSet) Get(name string) (Result, bool) {
+	for _, r := range rs.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// MustGet returns the named result and panics if it is absent — the
+// harness analogue of an out-of-range index, indicating a job-set bug.
+func (rs *ResultSet) MustGet(name string) pipeline.Result {
+	r, ok := rs.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("exp: no result named %q", name))
+	}
+	return r.R
+}
+
+// Speedup returns the percent speedup of the named test run over the
+// named base run (positive means test is faster).
+func (rs *ResultSet) Speedup(test, base string) float64 {
+	return rs.MustGet(test).SpeedupOver(rs.MustGet(base))
+}
+
+// GeoMeanSpeedup returns the geometric-mean percent speedup over a list
+// of (test, base) result-name pairs — the reduction behind every
+// "geomean" row in the paper's figures.
+func (rs *ResultSet) GeoMeanSpeedup(pairs [][2]string) float64 {
+	ratios := make([]float64, 0, len(pairs))
+	for _, p := range pairs {
+		ratios = append(ratios, float64(rs.MustGet(p[1]).Cycles)/float64(rs.MustGet(p[0]).Cycles))
+	}
+	return (stats.GeoMean(ratios) - 1) * 100
+}
+
+// GeoMeanPercent folds per-item percent speedups into their geometric
+// mean, for callers that already reduced to percentages.
+func GeoMeanPercent(speedups []float64) float64 {
+	ratios := make([]float64, 0, len(speedups))
+	for _, s := range speedups {
+		ratios = append(ratios, 1+s/100)
+	}
+	return (stats.GeoMean(ratios) - 1) * 100
+}
+
+// WriteJSON writes the result set as indented JSON.
+func (rs *ResultSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// ReadJSON parses a result set previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*ResultSet, error) {
+	var rs ResultSet
+	if err := json.NewDecoder(r).Decode(&rs); err != nil {
+		return nil, fmt.Errorf("exp: decoding result set: %w", err)
+	}
+	return &rs, nil
+}

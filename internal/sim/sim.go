@@ -6,13 +6,13 @@ package sim
 import (
 	"fmt"
 
+	"icfp/internal/exp"
 	"icfp/internal/icfp"
 	"icfp/internal/inorder"
 	"icfp/internal/multipass"
 	"icfp/internal/pipeline"
 	"icfp/internal/runahead"
 	"icfp/internal/sltp"
-	"icfp/internal/stats"
 	"icfp/internal/workload"
 )
 
@@ -56,23 +56,43 @@ func DefaultConfig() pipeline.Config {
 	return cfg
 }
 
-// Run simulates workload w on model m. Each model applies its own paper
-// configuration for the advance trigger (Figure 5's settings); use the
-// model packages directly for trigger sensitivity studies.
-func Run(m Model, cfg pipeline.Config, w *workload.Workload) pipeline.Result {
+// New constructs model m on the given configuration. Each model applies
+// its own paper configuration for the advance trigger (Figure 5's
+// settings); use the model packages directly for trigger sensitivity
+// studies.
+func New(m Model, cfg pipeline.Config) Runner {
 	switch m {
 	case InOrder:
-		return inorder.New(cfg).Run(w)
+		return inorder.New(cfg)
 	case Runahead:
-		return runahead.New(cfg).Run(w)
+		return runahead.New(cfg)
 	case Multipass:
-		return multipass.New(cfg).Run(w)
+		return multipass.New(cfg)
 	case SLTP:
-		return sltp.New(cfg).Run(w)
+		return sltp.New(cfg)
 	case ICFP:
-		return icfp.New(cfg).Run(w)
+		return icfp.New(cfg)
 	}
 	panic(fmt.Sprintf("sim: unknown model %d", int(m)))
+}
+
+// Job expresses "run model m over the named SPEC benchmark" as a harness
+// job, the building block of the experiment registry. The result name is
+// the job's identity within its run; the model's String() is its cache
+// identity.
+func Job(name string, m Model, cfg pipeline.Config, wl exp.WorkloadSpec) exp.Job {
+	return exp.Job{
+		Name:     name,
+		Machine:  m.String(),
+		Config:   cfg,
+		Make:     func(cfg pipeline.Config) exp.Runner { return New(m, cfg) },
+		Workload: wl,
+	}
+}
+
+// Run simulates workload w on model m.
+func Run(m Model, cfg pipeline.Config, w *workload.Workload) pipeline.Result {
+	return New(m, cfg).Run(w)
 }
 
 // RunSPEC simulates the named SPEC2000-profile benchmark with n timed
@@ -84,17 +104,40 @@ func RunSPEC(m Model, cfg pipeline.Config, name string, n int) pipeline.Result {
 
 // Speedups runs base and test models over the named benchmarks and
 // returns the percent speedup of test over base per benchmark, plus the
-// geometric-mean speedup.
+// geometric-mean speedup. Runs go through the memoizing harness, so the
+// base model simulates once per (configuration, benchmark) even when it
+// appears on both sides.
 func Speedups(base, test Model, cfg pipeline.Config, names []string, n int) (per map[string]float64, geo float64) {
-	per = make(map[string]float64, len(names))
-	ratios := make([]float64, 0, len(names))
+	return SpeedupsCached(exp.NewCache(), base, test, cfg, names, n)
+}
+
+// SpeedupsCached is Speedups against a shared cache: runs already
+// performed by any earlier experiment sharing the cache are reused
+// instead of re-simulated.
+func SpeedupsCached(c *exp.Cache, base, test Model, cfg pipeline.Config, names []string, n int, opts ...exp.Option) (per map[string]float64, geo float64) {
+	jobs := make([]exp.Job, 0, 2*len(names))
+	seen := make(map[string]bool, len(names))
 	for _, name := range names {
-		b := RunSPEC(base, cfg, name, n)
-		t := RunSPEC(test, cfg, name, n)
-		per[name] = t.SpeedupOver(b)
-		ratios = append(ratios, float64(b.Cycles)/float64(t.Cycles))
+		if seen[name] {
+			continue // one job pair per benchmark; repeats reuse it
+		}
+		seen[name] = true
+		wl := exp.SPECWorkload(name, cfg.WarmupInsts+n)
+		jobs = append(jobs,
+			Job("base/"+name, base, cfg, wl),
+			Job("test/"+name, test, cfg, wl))
 	}
-	return per, (stats.GeoMean(ratios) - 1) * 100
+	rs, err := exp.Run(jobs, append([]exp.Option{exp.WithCache(c)}, opts...)...)
+	if err != nil {
+		panic(err) // the job set is built right here; an error is a sim bug
+	}
+	per = make(map[string]float64, len(names))
+	pairs := make([][2]string, 0, len(names))
+	for _, name := range names {
+		per[name] = rs.Speedup("test/"+name, "base/"+name)
+		pairs = append(pairs, [2]string{"test/" + name, "base/" + name})
+	}
+	return per, rs.GeoMeanSpeedup(pairs)
 }
 
 // L2LatencyPoint is one configuration point of the Figure 6 sweep.
@@ -142,15 +185,37 @@ func Figure6Machines() []L2LatencyPoint {
 // latencies for a benchmark and returns percent speedups over the
 // in-order baseline at the same latency.
 func SweepL2Latency(mk func(cfg pipeline.Config) Runner, cfg pipeline.Config, name string, n int, lats []int) []float64 {
-	out := make([]float64, len(lats))
+	return SweepL2LatencyCached(exp.NewCache(), "sweep-machine", mk, cfg, name, n, lats)
+}
+
+// SweepL2LatencyCached is SweepL2Latency against a shared cache: the
+// in-order baseline at each latency simulates once no matter how many
+// machines sweep against it. The label identifies mk in the cache —
+// callers sharing a cache must pass distinct labels for machines that
+// behave differently on the same configuration.
+func SweepL2LatencyCached(c *exp.Cache, label string, mk func(cfg pipeline.Config) Runner, cfg pipeline.Config, name string, n int, lats []int, opts ...exp.Option) []float64 {
+	jobs := make([]exp.Job, 0, 2*len(lats))
 	for k, lat := range lats {
-		c := cfg
-		c.Hier.L2HitLat = lat
-		w := workload.SPEC(name, c.WarmupInsts+n)
-		base := inorder.New(c).Run(w)
-		w2 := workload.SPEC(name, c.WarmupInsts+n)
-		r := mk(c).Run(w2)
-		out[k] = r.SpeedupOver(base)
+		cl := cfg
+		cl.Hier.L2HitLat = lat
+		wl := exp.SPECWorkload(name, cl.WarmupInsts+n)
+		jobs = append(jobs,
+			Job(fmt.Sprintf("base/%d", k), InOrder, cl, wl),
+			exp.Job{
+				Name:     fmt.Sprintf("test/%d", k),
+				Machine:  label,
+				Config:   cl,
+				Make:     func(cfg pipeline.Config) exp.Runner { return mk(cfg) },
+				Workload: wl,
+			})
+	}
+	rs, err := exp.Run(jobs, append([]exp.Option{exp.WithCache(c)}, opts...)...)
+	if err != nil {
+		panic(err) // the job set is built right here; an error is a sim bug
+	}
+	out := make([]float64, len(lats))
+	for k := range lats {
+		out[k] = rs.Speedup(fmt.Sprintf("test/%d", k), fmt.Sprintf("base/%d", k))
 	}
 	return out
 }
