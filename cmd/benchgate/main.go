@@ -1,0 +1,243 @@
+// Command benchgate is the performance-regression gate: it runs the
+// BenchmarkSimRate suite, parses the per-model measurements (simulated
+// Minst/s and B/op), writes them as a perf-trajectory JSON file, and
+// fails when sim rates regressed more than -max-regress relative to the
+// committed baseline (BENCH_PR2.json).
+//
+//	go run ./cmd/benchgate                 # gate against BENCH_PR2.json
+//	go run ./cmd/benchgate -update         # rewrite the baseline in place
+//	go run ./cmd/benchgate -out art.json   # also export the run as an artifact
+//
+// Machines differ in absolute speed, so two gates apply:
+//
+//   - relative: every model's rate normalized by the same run's in-order
+//     rate, compared against the baseline's normalized rates. This is
+//     hardware-independent and always enforced — it catches any change
+//     that slows one machine's machinery relative to the others.
+//   - absolute: per-model Minst/s against the baseline, enforced only
+//     when the run's CPU (go test's "cpu:" line) matches the baseline's,
+//     since absolute rates on different hardware are incomparable. This
+//     catches uniform slowdowns (e.g. a pessimized shared hierarchy)
+//     that normalization hides.
+//
+// Every baseline model must appear in the run; a model the benchmark no
+// longer reports fails the gate rather than silently going ungated.
+// Refresh the baseline with -update after intentional perf changes or a
+// CI runner-class change.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one model's benchmark result.
+type Measurement struct {
+	Model      string  `json:"model"`
+	MinstPerS  float64 `json:"minst_per_s"`
+	BPerOp     int64   `json:"b_per_op"`
+	AllocsOp   int64   `json:"allocs_per_op"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Iterations int64   `json:"iterations"`
+}
+
+// Trajectory is the on-disk layout of the perf-trajectory file. History
+// carries headline wall-clock numbers of past optimization PRs so the
+// trend survives baseline refreshes; Benchmarks is the gated baseline;
+// CPU records the hardware the rates were measured on (absolute rates
+// are only compared between identical CPU strings).
+type Trajectory struct {
+	Note       string            `json:"note,omitempty"`
+	History    map[string]string `json:"history,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks []Measurement     `json:"benchmarks"`
+}
+
+var (
+	flagBaseline = flag.String("baseline", "BENCH_PR2.json", "committed baseline trajectory file")
+	flagOut      = flag.String("out", "", "also write this run's trajectory to FILE (CI artifact)")
+	flagUpdate   = flag.Bool("update", false, "rewrite the baseline file from this run instead of gating")
+	flagMaxReg   = flag.Float64("max-regress", 0.20, "maximum tolerated fractional sim-rate regression")
+	flagBench    = flag.String("bench", "^BenchmarkSimRate$", "benchmark pattern to run")
+)
+
+// benchLine matches one "go test -bench -benchmem" result row with the
+// custom Minst/s metric, e.g.:
+//
+//	BenchmarkSimRate/in-order-4  147  7601456 ns/op  19.74 Minst/s  570992 B/op  114 allocs/op
+var benchLine = regexp.MustCompile(
+	`^BenchmarkSimRate/(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op\s+([\d.]+) Minst/s\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func run() error {
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *flagBench, "-benchmem", ".")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	fmt.Fprintln(os.Stderr, "benchgate: running", cmd.String())
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("benchmark run failed: %w", err)
+	}
+
+	var ms []Measurement
+	var cpu string
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		if c, ok := strings.CutPrefix(sc.Text(), "cpu: "); ok {
+			cpu = strings.TrimSpace(c)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		rate, _ := strconv.ParseFloat(m[4], 64)
+		bop, _ := strconv.ParseInt(m[5], 10, 64)
+		aop, _ := strconv.ParseInt(m[6], 10, 64)
+		ms = append(ms, Measurement{
+			Model: m[1], MinstPerS: rate, BPerOp: bop, AllocsOp: aop,
+			NsPerOp: ns, Iterations: iters,
+		})
+	}
+	if len(ms) == 0 {
+		return fmt.Errorf("no BenchmarkSimRate results parsed from benchmark output:\n%s", out.String())
+	}
+	for _, m := range ms {
+		fmt.Printf("benchgate: %-10s %8.2f Minst/s  %10d B/op  %7d allocs/op\n",
+			m.Model, m.MinstPerS, m.BPerOp, m.AllocsOp)
+	}
+
+	base, err := readTrajectory(*flagBaseline)
+	if os.IsNotExist(err) && !*flagUpdate {
+		return fmt.Errorf("baseline %s missing; run with -update to create it", *flagBaseline)
+	}
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+
+	cur := Trajectory{CPU: cpu, Benchmarks: ms}
+	if base != nil {
+		cur.Note, cur.History = base.Note, base.History
+	}
+	if *flagOut != "" {
+		if err := writeTrajectory(*flagOut, cur); err != nil {
+			return err
+		}
+	}
+	if *flagUpdate {
+		if err := writeTrajectory(*flagBaseline, cur); err != nil {
+			return err
+		}
+		fmt.Println("benchgate: baseline", *flagBaseline, "updated")
+		return nil
+	}
+
+	baseline := make(map[string]Measurement, len(base.Benchmarks))
+	for _, m := range base.Benchmarks {
+		baseline[m.Model] = m
+	}
+	current := make(map[string]Measurement, len(ms))
+	for _, m := range ms {
+		current[m.Model] = m
+	}
+
+	failed := false
+	// Every baseline model must appear in the run: a model the benchmark
+	// stopped reporting (regex drift, rename) must not go silently ungated.
+	for _, b := range base.Benchmarks {
+		if _, ok := current[b.Model]; !ok {
+			failed = true
+			fmt.Printf("benchgate: FAIL %-10s in baseline but missing from the run (renamed? parse drift?)\n", b.Model)
+		}
+	}
+	for _, m := range ms {
+		if _, ok := baseline[m.Model]; !ok {
+			fmt.Printf("benchgate: %-10s no baseline entry (new model?); skipping\n", m.Model)
+		}
+	}
+
+	// Relative gate (hardware-independent): rates normalized by the same
+	// run's in-order rate.
+	const ref = "in-order"
+	curRef, baseRef := current[ref], baseline[ref]
+	if curRef.MinstPerS > 0 && baseRef.MinstPerS > 0 {
+		for _, m := range ms {
+			b, ok := baseline[m.Model]
+			if !ok || m.Model == ref {
+				continue
+			}
+			curRatio := m.MinstPerS / curRef.MinstPerS
+			baseRatio := b.MinstPerS / baseRef.MinstPerS
+			if curRatio < baseRatio*(1-*flagMaxReg) {
+				failed = true
+				fmt.Printf("benchgate: FAIL %-10s %.3fx of in-order < baseline %.3fx (-%.0f%% allowed)\n",
+					m.Model, curRatio, baseRatio, *flagMaxReg*100)
+			}
+		}
+	} else {
+		failed = true
+		fmt.Printf("benchgate: FAIL no %q rate in run or baseline; relative gate impossible\n", ref)
+	}
+
+	// Absolute gate: only meaningful on the baseline's hardware.
+	if cpu != "" && cpu == base.CPU {
+		for _, m := range ms {
+			b, ok := baseline[m.Model]
+			if !ok {
+				continue
+			}
+			limit := b.MinstPerS * (1 - *flagMaxReg)
+			if m.MinstPerS < limit {
+				failed = true
+				fmt.Printf("benchgate: FAIL %-10s %.2f Minst/s < %.2f (baseline %.2f, -%.0f%% allowed)\n",
+					m.Model, m.MinstPerS, limit, b.MinstPerS, *flagMaxReg*100)
+			}
+		}
+	} else {
+		fmt.Printf("benchgate: absolute gate skipped (run cpu %q, baseline cpu %q); relative gate applied\n", cpu, base.CPU)
+	}
+
+	if failed {
+		return fmt.Errorf("sim-rate regression beyond %.0f%%; if intentional, refresh the baseline with -update", *flagMaxReg*100)
+	}
+	fmt.Println("benchgate: ok (no sim-rate regression beyond the threshold)")
+	return nil
+}
+
+func readTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+func writeTrajectory(path string, t Trajectory) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

@@ -18,9 +18,20 @@
 //
 // Simulations run on a worker pool (-parallel N) with memoized sharing of
 // common work, so the in-order baselines behind every speedup figure run
-// once for the whole invocation; the output is byte-identical at every
-// parallelism setting. -json FILE additionally exports every result set
-// as machine-readable JSON.
+// once for the whole invocation, and every distinct workload is generated
+// once and shared read-only across all machines; the output is
+// byte-identical at every parallelism setting. -json FILE additionally
+// exports every result set as machine-readable JSON.
+//
+// -cache-file FILE persists the memoization cache across invocations:
+// results are loaded before the run and the merged cache is saved after
+// it, so re-running (or running a different selection that shares work)
+// skips simulations already on disk. Results are deterministic, so a
+// cache built by an older simulator version must be deleted after any
+// behavioural change — the golden tests pin when that happens.
+//
+// -cpuprofile/-memprofile write pprof profiles of the run, the
+// performance workflow described in README.md ("Performance").
 //
 // Runs are deterministic; -n and -warm control sample sizes (the paper
 // samples 1M-instruction windows after 4M-instruction warmups; the
@@ -33,6 +44,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"icfp/internal/exp"
 	"icfp/internal/exp/registry"
@@ -40,12 +52,15 @@ import (
 )
 
 var (
-	flagAll      = flag.Bool("all", false, "run every experiment")
-	flagList     = flag.Bool("list", false, "list the experiment registry and exit")
-	flagN        = flag.Int("n", 400_000, "timed instructions per sample")
-	flagWarm     = flag.Int("warm", 150_000, "warmup instructions per sample")
-	flagParallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (results are identical at any setting)")
-	flagJSON     = flag.String("json", "", "also write every result set to this file as JSON")
+	flagAll        = flag.Bool("all", false, "run every experiment")
+	flagList       = flag.Bool("list", false, "list the experiment registry and exit")
+	flagN          = flag.Int("n", 400_000, "timed instructions per sample")
+	flagWarm       = flag.Int("warm", 150_000, "warmup instructions per sample")
+	flagParallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (results are identical at any setting)")
+	flagJSON       = flag.String("json", "", "also write every result set to this file as JSON")
+	flagCacheFile  = flag.String("cache-file", "", "load/save the memoization cache from/to this JSON file")
+	flagCPUProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	flagMemProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 )
 
 // export is the -json file layout: the sample-size parameters and one
@@ -82,13 +97,61 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *flagCPUProfile != "" {
+		f, err := os.Create(*flagCPUProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	p := registry.Params{Cfg: sim.DefaultConfig(), N: *flagN}
 	p.Cfg.WarmupInsts = *flagWarm
 
-	sets, err := registry.Report(os.Stdout, names, p, exp.Parallelism(*flagParallel))
+	cache := exp.NewCache()
+	if *flagCacheFile != "" {
+		if err := exp.LoadCacheFile(cache, *flagCacheFile); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	sets, err := registry.Report(os.Stdout, names, p, exp.Parallelism(*flagParallel), exp.WithCache(cache))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+
+	if *flagCacheFile != "" {
+		if err := exp.SaveCacheFile(cache, *flagCacheFile); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *flagMemProfile != "" {
+		f, err := os.Create(*flagMemProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *flagJSON != "" {

@@ -51,7 +51,13 @@ type Cache struct {
 	setMask   uint64
 	lineShift uint
 	clock     uint64
+
+	// Victim buffer: a fixed FIFO ring of victimCap entries (allocated
+	// once in New). vHead indexes the oldest entry; vLen counts live ones.
+	// Probes walk oldest to youngest, matching insertion order.
 	victim    []victimLine
+	vHead     int
+	vLen      int
 	victimCap int
 
 	// Stats
@@ -61,6 +67,38 @@ type Cache struct {
 type victimLine struct {
 	lineAddr uint64
 	dirty    bool
+}
+
+// victimAt returns the i-th oldest victim entry.
+func (c *Cache) victimAt(i int) *victimLine {
+	idx := c.vHead + i
+	if idx >= c.victimCap {
+		idx -= c.victimCap
+	}
+	return &c.victim[idx]
+}
+
+// victimRemove deletes the i-th oldest entry, preserving FIFO order of
+// the rest (younger entries shift one slot older).
+func (c *Cache) victimRemove(i int) {
+	for ; i < c.vLen-1; i++ {
+		*c.victimAt(i) = *c.victimAt(i + 1)
+	}
+	c.vLen--
+}
+
+// victimPush appends an entry, evicting and returning the oldest when the
+// ring is full.
+func (c *Cache) victimPush(v victimLine) (old victimLine, evicted bool) {
+	if c.vLen == c.victimCap {
+		old = *c.victimAt(0)
+		evicted = true
+		c.vHead = (c.vHead + 1) % c.victimCap
+		c.vLen--
+	}
+	*c.victimAt(c.vLen) = v
+	c.vLen++
+	return old, evicted
 }
 
 // New builds a cache from cfg. It panics on invalid geometry, which is a
@@ -84,6 +122,7 @@ func New(cfg Config) *Cache {
 		sets:      sets,
 		setMask:   uint64(numSets - 1),
 		lineShift: shift,
+		victim:    make([]victimLine, cfg.VictimEntries),
 		victimCap: cfg.VictimEntries,
 	}
 }
@@ -123,10 +162,10 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 	}
 	// Victim buffer probe.
 	la := c.LineAddr(addr)
-	for i := range c.victim {
-		if c.victim[i].lineAddr == la {
-			dirty := c.victim[i].dirty
-			c.victim = append(c.victim[:i], c.victim[i+1:]...)
+	for i := 0; i < c.vLen; i++ {
+		if v := c.victimAt(i); v.lineAddr == la {
+			dirty := v.dirty
+			c.victimRemove(i)
 			c.insertLine(addr, dirty || write, false)
 			c.VictimHits++
 			c.Hits++
@@ -144,8 +183,8 @@ func (c *Cache) Probe(addr uint64) bool {
 		return true
 	}
 	la := c.LineAddr(addr)
-	for i := range c.victim {
-		if c.victim[i].lineAddr == la {
+	for i := 0; i < c.vLen; i++ {
+		if c.victimAt(i).lineAddr == la {
 			return true
 		}
 	}
@@ -204,10 +243,7 @@ func (c *Cache) insertLine(addr uint64, dirty, spec bool) (evicted uint64, dirty
 		evLine := set[vi].tag << c.lineShift
 		evDirty := set[vi].dirty
 		if c.victimCap > 0 {
-			c.victim = append(c.victim, victimLine{evLine, evDirty})
-			if len(c.victim) > c.victimCap {
-				old := c.victim[0]
-				c.victim = c.victim[1:]
+			if old, ev := c.victimPush(victimLine{evLine, evDirty}); ev {
 				evicted, dirtyEvict = old.lineAddr, old.dirty
 			}
 		} else {
@@ -227,9 +263,9 @@ func (c *Cache) Invalidate(addr uint64) bool {
 		return true
 	}
 	la := c.LineAddr(addr)
-	for i := range c.victim {
-		if c.victim[i].lineAddr == la {
-			c.victim = append(c.victim[:i], c.victim[i+1:]...)
+	for i := 0; i < c.vLen; i++ {
+		if c.victimAt(i).lineAddr == la {
+			c.victimRemove(i)
 			return true
 		}
 	}
@@ -274,7 +310,7 @@ func (c *Cache) Reset() {
 			c.sets[si][i] = line{}
 		}
 	}
-	c.victim = c.victim[:0]
+	c.vHead, c.vLen = 0, 0
 	c.clock = 0
 	c.Hits, c.Misses, c.VictimHits = 0, 0, 0
 }

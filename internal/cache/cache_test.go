@@ -253,3 +253,55 @@ func TestSetOccupancyProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestVictimRingWrapsFIFO exercises the victim ring past several
+// wrap-arounds: entries must come back out strictly oldest-first, and
+// mid-ring removal (a victim hit) must preserve the order of the rest.
+func TestVictimRingWrapsFIFO(t *testing.T) {
+	cfg := smallCfg() // 2-way, 8 sets, 64 B lines -> set stride 512
+	cfg.VictimEntries = 3
+	c := New(cfg)
+	// Fill one set and keep evicting through it (addresses start at 512 so
+	// a popped line address is never confused with "no eviction"): line i
+	// enters the victim buffer when line i+2 is inserted, and pops out as
+	// the returned eviction 3 insertions later, oldest first.
+	var popped []uint64
+	for i := 1; i <= 12; i++ {
+		ev, _ := c.Insert(uint64(i)*512, false)
+		if i >= 6 {
+			popped = append(popped, ev)
+		}
+	}
+	for k, ev := range popped {
+		if want := uint64(k+1) * 512; ev != want {
+			t.Errorf("pop %d = line %#x, want %#x (FIFO order)", k, ev, want)
+		}
+	}
+	// Mid-ring removal: with a 4-entry ring, hit the second-oldest victim
+	// entry, then pin that the three survivors (plus the entry the re-insert
+	// displaced) still pop out strictly oldest-first. A removal that swaps
+	// instead of shifting would reorder the pops.
+	cfg.VictimEntries = 4
+	c2 := New(cfg)
+	for _, a := range []uint64{512, 1024, 1536, 2048, 2560, 3072} {
+		c2.Insert(a, false)
+	}
+	// victim = [512, 1024, 1536, 2048], set = {2560, 3072}.
+	if !c2.Lookup(1024, false) {
+		t.Fatal("victim middle entry must hit")
+	}
+	if c2.VictimHits != 1 {
+		t.Errorf("VictimHits = %d, want 1", c2.VictimHits)
+	}
+	if !c2.Probe(1024) {
+		t.Error("victim-hit line must be resident again")
+	}
+	// Re-inserting 1024 displaced 2560 into the ring: victim is now
+	// [512, 1536, 2048, 2560] and must drain in exactly that order.
+	for i, want := range []uint64{512, 1536, 2048} {
+		ev, _ := c2.Insert(3584+uint64(i)*512, false)
+		if ev != want {
+			t.Errorf("post-removal pop %d = line %#x, want %#x (FIFO order)", i, ev, want)
+		}
+	}
+}

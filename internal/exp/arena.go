@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"sync"
+
+	"icfp/internal/workload"
+)
+
+// Arena is a shared workload store: each distinct WorkloadSpec.Key is
+// generated exactly once and the resulting *workload.Workload is handed
+// out, read-only, to every simulation that asks for it. Sharing is sound
+// because workloads are immutable during simulation: machines read the
+// trace and the memory image but never write either (the Prewarm hook
+// writes only to the machine's own hierarchy), an invariant pinned by
+// TestWorkloadImmutableAcrossModels. Trace regeneration used to dominate
+// the harness — every job rebuilt its multi-hundred-kilo-instruction
+// trace and memory image from scratch — so the arena is what makes the
+// evaluation CPU-bound on simulation rather than on generation.
+//
+// An Arena may be shared by concurrent Run calls: the first claimant of a
+// key generates, everyone else waits for its result.
+type Arena struct {
+	mu      sync.Mutex
+	entries map[string]*arenaEntry
+	gens    int // actual generations (diagnostics/tests)
+}
+
+type arenaEntry struct {
+	done chan struct{}
+	w    *workload.Workload
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{entries: make(map[string]*arenaEntry)}
+}
+
+// Get returns the workload for the spec, generating it on first use. The
+// returned workload is shared: callers must treat it as read-only.
+func (a *Arena) Get(spec WorkloadSpec) *workload.Workload {
+	a.mu.Lock()
+	e, ok := a.entries[spec.Key]
+	if ok {
+		a.mu.Unlock()
+		<-e.done
+		return e.w
+	}
+	e = &arenaEntry{done: make(chan struct{})}
+	a.entries[spec.Key] = e
+	a.gens++
+	a.mu.Unlock()
+	e.w = spec.New()
+	close(e.done)
+	return e.w
+}
+
+// Generations returns how many workloads were actually generated — at
+// most once per distinct key, by construction.
+func (a *Arena) Generations() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gens
+}

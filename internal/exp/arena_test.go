@@ -1,0 +1,141 @@
+package exp_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"icfp/internal/exp"
+	"icfp/internal/pipeline"
+	"icfp/internal/sim"
+	"icfp/internal/workload"
+)
+
+// TestArenaGeneratesOncePerKey pins the arena contract: one generation
+// per distinct key, even under concurrent Get.
+func TestArenaGeneratesOncePerKey(t *testing.T) {
+	var gens atomic.Int64
+	spec := func(key string) exp.WorkloadSpec {
+		return exp.WorkloadSpec{
+			Key: key,
+			New: func() *workload.Workload {
+				gens.Add(1)
+				return &workload.Workload{Name: key}
+			},
+		}
+	}
+	a := exp.NewArena()
+	var wg sync.WaitGroup
+	got := make([]*workload.Workload, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = a.Get(spec("k1"))
+		}(i)
+	}
+	wg.Wait()
+	if gens.Load() != 1 {
+		t.Errorf("8 concurrent Gets generated %d times, want 1", gens.Load())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Error("all Gets of one key must return the same workload")
+		}
+	}
+	a.Get(spec("k2"))
+	if gens.Load() != 2 || a.Generations() != 2 {
+		t.Errorf("distinct keys: %d generations (arena says %d), want 2", gens.Load(), a.Generations())
+	}
+}
+
+// witnessRunner records which workload pointer each simulation received.
+type witnessRunner struct {
+	mu   *sync.Mutex
+	seen *[]*workload.Workload
+}
+
+func (r witnessRunner) Run(w *workload.Workload) pipeline.Result {
+	r.mu.Lock()
+	*r.seen = append(*r.seen, w)
+	r.mu.Unlock()
+	return pipeline.Result{Name: w.Name, Cycles: 1, Insts: 1}
+}
+
+// TestRunSharesWorkloadsWithinRun pins that exp.Run routes every job
+// through one arena: distinct simulations with equal workload keys see
+// the same workload pointer.
+func TestRunSharesWorkloadsWithinRun(t *testing.T) {
+	var gens atomic.Int64
+	wl := exp.WorkloadSpec{
+		Key: "shared",
+		New: func() *workload.Workload {
+			gens.Add(1)
+			return &workload.Workload{Name: "shared"}
+		},
+	}
+	var mu sync.Mutex
+	var seen []*workload.Workload
+	jobs := make([]exp.Job, 0, 4)
+	for _, m := range []string{"m1", "m2", "m3", "m4"} {
+		jobs = append(jobs, exp.Job{
+			Name: "j/" + m, Machine: m, Workload: wl,
+			Make: func(pipeline.Config) exp.Runner { return witnessRunner{mu: &mu, seen: &seen} },
+		})
+	}
+	if _, err := exp.Run(jobs, exp.Parallelism(2)); err != nil {
+		t.Fatal(err)
+	}
+	if gens.Load() != 1 {
+		t.Errorf("4 jobs over one key generated %d workloads, want 1", gens.Load())
+	}
+	if len(seen) != 4 {
+		t.Fatalf("expected 4 simulations, saw %d", len(seen))
+	}
+	for _, w := range seen[1:] {
+		if w != seen[0] {
+			t.Error("jobs sharing a key must receive the same workload pointer")
+		}
+	}
+}
+
+// TestWorkloadImmutableAcrossModels pins the invariant that makes arena
+// sharing sound: running every machine of the evaluation over one shared
+// workload leaves the trace and the memory image bit-identical. If any
+// model ever starts writing either, this fails and the arena must go.
+func TestWorkloadImmutableAcrossModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates all five machines")
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WarmupInsts = 10_000
+	w := workload.SPEC("mcf", cfg.WarmupInsts+40_000)
+
+	traceSum := w.Trace.Checksum()
+	memSum := w.Mem.Checksum()
+	pages := w.Mem.PageCount()
+
+	for _, m := range sim.AllModels {
+		sim.Run(m, cfg, w)
+		if got := w.Trace.Checksum(); got != traceSum {
+			t.Fatalf("%s mutated the shared trace: checksum %#x != %#x", m, got, traceSum)
+		}
+		if got := w.Mem.Checksum(); got != memSum {
+			t.Fatalf("%s mutated the shared memory image: checksum %#x != %#x", m, got, memSum)
+		}
+		if got := w.Mem.PageCount(); got != pages {
+			t.Fatalf("%s materialized pages in the shared image: %d != %d", m, got, pages)
+		}
+	}
+
+	// The shared workload also yields the same results as a private one —
+	// sharing must be invisible.
+	private := workload.SPEC("mcf", cfg.WarmupInsts+40_000)
+	for _, m := range []sim.Model{sim.InOrder, sim.ICFP} {
+		a := sim.Run(m, cfg, w)
+		b := sim.Run(m, cfg, private)
+		if a.Cycles != b.Cycles {
+			t.Errorf("%s: shared workload %d cycles, private %d", m, a.Cycles, b.Cycles)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 // Package exp is the experiment-orchestration harness behind the paper's
 // evaluation: it runs named (machine, workload) jobs on a worker pool,
-// memoizes simulations so shared baselines run exactly once, and collects
+// memoizes simulations so shared baselines run exactly once, generates
+// each distinct workload once in a shared read-only arena, and collects
 // results into typed, JSON-exportable result sets.
 //
 // Simulations in this module are deterministic pure functions of their
@@ -30,10 +31,11 @@ type Runner interface {
 }
 
 // WorkloadSpec names a workload and knows how to build it. The factory is
-// called once per actual simulation, on the worker that runs it, so each
-// worker owns a private trace and memory image — workloads carry mutable
-// state (cache prewarm hooks touch the hierarchy, the image is read
-// during simulation) and must not be shared across concurrent runs.
+// called at most once per distinct Key per arena: generated workloads are
+// shared, read-only, across all machines and configurations that name the
+// same key (see Arena). Machines read the trace and memory image but
+// never write either, and the Prewarm hook writes only to the machine's
+// own hierarchy, so sharing is safe even across concurrent simulations.
 type WorkloadSpec struct {
 	Key string // cache-key component; must uniquely identify the workload
 	New func() *workload.Workload
@@ -157,6 +159,7 @@ func (c *Cache) SimulationsFor(k Key) int {
 type options struct {
 	parallelism int
 	cache       *Cache
+	arena       *Arena
 	onRun       func(Key)
 }
 
@@ -175,6 +178,15 @@ func Parallelism(n int) Option {
 // the cache — are reused instead of repeated.
 func WithCache(c *Cache) Option {
 	return func(o *options) { o.cache = c }
+}
+
+// WithArena routes the run through a shared workload arena, so workloads
+// already generated — by this run or any earlier one sharing the arena —
+// are reused instead of regenerated. Without this option each Run call
+// owns a private arena (workloads are still generated only once per key
+// within the run).
+func WithArena(a *Arena) Option {
+	return func(o *options) { o.arena = a }
 }
 
 // OnRun installs a hook invoked once per actual simulation (never for
@@ -199,6 +211,9 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 	}
 	if o.cache == nil {
 		o.cache = NewCache()
+	}
+	if o.arena == nil {
+		o.arena = NewArena()
 	}
 
 	seen := make(map[string]bool, len(jobs))
@@ -238,7 +253,7 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 				k := j.Key()
 				e, claimed := o.cache.claim(k)
 				if claimed {
-					res := j.Make(j.Config).Run(j.Workload.New())
+					res := j.Make(j.Config).Run(o.arena.Get(j.Workload))
 					o.cache.finish(k, e, res)
 					if o.onRun != nil {
 						hookMu.Lock()

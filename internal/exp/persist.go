@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"icfp/internal/pipeline"
+)
+
+// CachedResult is one completed simulation in a persisted cache file:
+// the full memoization key plus its result. Simulations are deterministic
+// pure functions of the key, which is what makes reloading them in a
+// later process sound.
+type CachedResult struct {
+	Machine  string          `json:"machine"`
+	Config   string          `json:"config"`
+	Workload string          `json:"workload"`
+	R        pipeline.Result `json:"result"`
+}
+
+// cacheFile is the on-disk layout of a persisted cache.
+type cacheFile struct {
+	Entries []CachedResult `json:"entries"`
+}
+
+// Snapshot returns every completed cache entry in deterministic
+// (machine, config, workload) order. In-flight entries are skipped: a
+// snapshot taken concurrently with a run captures only finished work.
+func (c *Cache) Snapshot() []CachedResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CachedResult, 0, len(c.entries))
+	for k, e := range c.entries {
+		select {
+		case <-e.done:
+			out = append(out, CachedResult{Machine: k.Machine, Config: k.Config, Workload: k.Workload, R: e.res})
+		default:
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		return a.Workload < b.Workload
+	})
+	return out
+}
+
+// AddResults pre-fills the cache with completed results (typically loaded
+// from an earlier invocation's snapshot). Keys already present are left
+// untouched. Added entries count as cache hits, not simulations.
+func (c *Cache) AddResults(rs []CachedResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range rs {
+		k := Key{Machine: r.Machine, Config: r.Config, Workload: r.Workload}
+		if _, ok := c.entries[k]; ok {
+			continue
+		}
+		e := &entry{done: make(chan struct{}), res: r.R}
+		close(e.done)
+		c.entries[k] = e
+	}
+}
+
+// WriteSnapshot writes the cache's completed entries as indented JSON.
+func (c *Cache) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cacheFile{Entries: c.Snapshot()})
+}
+
+// ReadSnapshot parses a snapshot previously written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) ([]CachedResult, error) {
+	var f cacheFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("exp: decoding cache snapshot: %w", err)
+	}
+	return f.Entries, nil
+}
+
+// LoadCacheFile pre-fills the cache from the named snapshot file. A
+// missing file is not an error — it is the normal first-invocation state.
+func LoadCacheFile(c *Cache, path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rs, err := ReadSnapshot(f)
+	if err != nil {
+		return fmt.Errorf("exp: cache file %s: %w", path, err)
+	}
+	c.AddResults(rs)
+	return nil
+}
+
+// SaveCacheFile atomically replaces the named snapshot file with the
+// cache's current completed entries.
+func SaveCacheFile(c *Cache, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = c.WriteSnapshot(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

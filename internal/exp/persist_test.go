@@ -1,0 +1,90 @@
+package exp_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"icfp/internal/exp"
+)
+
+// TestCacheFileRoundTrip pins the -cache-file workflow: a cache saved by
+// one invocation pre-fills the next, so repeated runs simulate nothing.
+func TestCacheFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+
+	var runs atomic.Int64
+	jobs := []exp.Job{
+		stubJob("a", "m1", "w1", 100, &runs),
+		stubJob("b", "m2", "w1", 200, &runs),
+	}
+
+	first := exp.NewCache()
+	if err := exp.LoadCacheFile(first, path); err != nil {
+		t.Fatalf("loading a missing cache file must be a no-op, got %v", err)
+	}
+	if _, err := exp.Run(jobs, exp.WithCache(first)); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.SaveCacheFile(first, path); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("first invocation simulated %d, want 2", runs.Load())
+	}
+
+	second := exp.NewCache()
+	if err := exp.LoadCacheFile(second, path); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := exp.Run(jobs, exp.WithCache(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 2 {
+		t.Errorf("second invocation simulated %d more, want 0 (cache file must satisfy both jobs)", runs.Load()-2)
+	}
+	if second.Simulations() != 0 {
+		t.Errorf("loaded entries counted as simulations: %d", second.Simulations())
+	}
+	if rs.MustGet("a").Cycles != 100 || rs.MustGet("b").Cycles != 200 {
+		t.Errorf("results changed across the cache file round trip: %+v", rs.Results)
+	}
+}
+
+// TestSnapshotDeterministicOrder pins that a snapshot's entry order does
+// not depend on map iteration, so saved cache files diff cleanly.
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	var runs atomic.Int64
+	c := exp.NewCache()
+	jobs := []exp.Job{
+		stubJob("z", "m9", "w9", 9, &runs),
+		stubJob("y", "m1", "w2", 2, &runs),
+		stubJob("x", "m1", "w1", 1, &runs),
+	}
+	if _, err := exp.Run(jobs, exp.WithCache(c)); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		a, b := snap[i-1], snap[i]
+		if a.Machine > b.Machine || (a.Machine == b.Machine && a.Workload > b.Workload) {
+			t.Errorf("snapshot not sorted at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+// TestLoadCacheFileRejectsGarbage pins the error path for corrupt files.
+func TestLoadCacheFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.LoadCacheFile(exp.NewCache(), path); err == nil {
+		t.Fatal("corrupt cache file must be rejected")
+	}
+}

@@ -149,6 +149,9 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 	r.csb = NewChainedStoreBuffer(cfg.ChainedSBEntries, cfg.ChainTableEntries, m.sbMode)
 	r.slice = newSliceBuffer(cfg.SliceEntries)
 	r.sig = NewSignature(1024)
+	// Pending-miss scratch: sized so steady state never grows it (bounded
+	// in practice by outstanding MSHRs).
+	r.pending = make([]pendingMiss, 0, cfg.Hier.NumMSHRs+8)
 	r.nBits = cfg.PoisonBits
 	if r.nBits < 1 {
 		r.nBits = 1
@@ -342,14 +345,10 @@ func (r *run) waitingFreeBits() uint8 {
 			free |= 1 << b
 		}
 	}
-	var waiting uint8
-	for k := range r.slice.entries {
-		e := &r.slice.entries[k]
-		if e.active {
-			waiting |= e.poison
-		}
+	if free == 0 {
+		return 0 // every bit has an outstanding miss: skip the slice walk
 	}
-	return free & waiting
+	return free & r.slice.ActivePoison()
 }
 
 // ---- store drains ----
@@ -383,8 +382,7 @@ func (r *run) rallyStep() bool {
 	}
 	progress := false
 	for skips := 0; skips < 8; {
-		end := r.slice.head + uint64(len(r.slice.entries))
-		if r.cursor >= end {
+		if r.cursor >= r.slice.End() {
 			r.endPass()
 			return progress
 		}
@@ -440,7 +438,7 @@ func (r *run) execSliceEntry(e *sliceEntry) bool {
 			r.rallyReadyAt = r.earliestReturn()
 			return false
 		}
-		e.poison = waitBits
+		r.slice.SetPoison(e, waitBits)
 		r.cursor++
 		r.res.RallyInsts++
 		return true
@@ -461,7 +459,7 @@ func (r *run) execSliceEntry(e *sliceEntry) bool {
 		switch {
 		case fwd.Found && fwd.Poison != 0:
 			// Memory dependence on a still-poisoned store.
-			e.poison = fwd.Poison
+			r.slice.SetPoison(e, fwd.Poison)
 			r.cursor++
 			return true
 		case fwd.Found:
@@ -472,7 +470,7 @@ func (r *run) execSliceEntry(e *sliceEntry) bool {
 			if acc.Done > r.cycle+int64(r.cfg.DCachePipe)+2 {
 				if r.cfg.NonBlockingRally {
 					// Still (or newly) missing: re-poison and move on.
-					e.poison = r.allocBit(acc.Done)
+					r.slice.SetPoison(e, r.allocBit(acc.Done))
 					r.cursor++
 					return true
 				}

@@ -43,47 +43,105 @@ type sliceEntry struct {
 	done int64 // completion cycle once executed
 }
 
-// sliceBuffer holds entries in program order, indexed by id.
+// sliceBuffer holds entries in program order, indexed by id. The backing
+// array is a fixed ring of cap slots allocated once at construction:
+// occupied slots are ids head..head+n-1 at ring positions start..start+n-1
+// (mod cap), so steady-state append/reclaim churn never allocates or
+// copies entries.
 type sliceBuffer struct {
 	cap     int
-	entries []sliceEntry // entries[i].id == head+uint64(i)
-	head    uint64       // id of entries[0]
+	entries []sliceEntry // fixed ring backing, len == cap
+	start   int          // ring index of the entry with id head
+	n       int          // occupied slots
+	head    uint64       // id of the oldest occupied slot
 	live    int          // active entries
+
+	// waiting[b] counts active entries whose poison vector includes bit b,
+	// maintained incrementally so the per-cycle "any active entry waiting
+	// on a returned bit?" check is O(bits), not a buffer walk. All poison
+	// updates of buffered entries must go through SetPoison to keep the
+	// counts exact.
+	waiting [8]int
 }
 
 func newSliceBuffer(capacity int) *sliceBuffer {
-	return &sliceBuffer{cap: capacity}
+	return &sliceBuffer{cap: capacity, entries: make([]sliceEntry, capacity)}
+}
+
+// at returns the i-th oldest occupied slot.
+func (s *sliceBuffer) at(i int) *sliceEntry {
+	idx := s.start + i
+	if idx >= s.cap {
+		idx -= s.cap
+	}
+	return &s.entries[idx]
+}
+
+// countPoison adjusts the waiting counts for an active entry's poison
+// vector by delta (+1 on activation, -1 on deactivation or change).
+func (s *sliceBuffer) countPoison(p uint8, delta int) {
+	for b := 0; p != 0; b, p = b+1, p>>1 {
+		if p&1 != 0 {
+			s.waiting[b] += delta
+		}
+	}
 }
 
 // Full reports whether appending would exceed capacity. Capacity counts
 // occupied slots (active or not) because un-poisoned entries are not
 // compacted, only reclaimed from the head (§3.4).
-func (s *sliceBuffer) Full() bool { return len(s.entries) >= s.cap }
+func (s *sliceBuffer) Full() bool { return s.n >= s.cap }
 
 // Empty reports whether no active entries remain.
 func (s *sliceBuffer) Empty() bool { return s.live == 0 }
 
 // Len returns the number of occupied slots.
-func (s *sliceBuffer) Len() int { return len(s.entries) }
+func (s *sliceBuffer) Len() int { return s.n }
+
+// End returns one past the youngest occupied id (== head when empty).
+func (s *sliceBuffer) End() uint64 { return s.head + uint64(s.n) }
 
 // Append adds an active entry and returns its id. ok is false when full.
 func (s *sliceBuffer) Append(e sliceEntry) (uint64, bool) {
 	if s.Full() {
 		return 0, false
 	}
-	e.id = s.head + uint64(len(s.entries))
+	e.id = s.head + uint64(s.n)
 	e.active = true
-	s.entries = append(s.entries, e)
+	*s.at(s.n) = e
+	s.n++
 	s.live++
+	s.countPoison(e.poison, +1)
 	return e.id, true
 }
 
 // Get returns the entry with the given id, or nil if reclaimed.
 func (s *sliceBuffer) Get(id uint64) *sliceEntry {
-	if id < s.head || id >= s.head+uint64(len(s.entries)) {
+	if id < s.head || id >= s.head+uint64(s.n) {
 		return nil
 	}
-	return &s.entries[id-s.head]
+	return s.at(int(id - s.head))
+}
+
+// ActivePoison returns the union of poison vectors over active entries.
+func (s *sliceBuffer) ActivePoison() uint8 {
+	var p uint8
+	for b := 0; b < 8; b++ {
+		if s.waiting[b] > 0 {
+			p |= 1 << b
+		}
+	}
+	return p
+}
+
+// SetPoison changes a buffered entry's poison vector, keeping the waiting
+// counts exact.
+func (s *sliceBuffer) SetPoison(e *sliceEntry, p uint8) {
+	if e.active {
+		s.countPoison(e.poison, -1)
+		s.countPoison(p, +1)
+	}
+	e.poison = p
 }
 
 // Deactivate marks an entry executed and reclaims inactive space from the
@@ -93,38 +151,29 @@ func (s *sliceBuffer) Deactivate(id uint64, done int64) {
 	if e == nil || !e.active {
 		return
 	}
+	s.countPoison(e.poison, -1)
 	e.active = false
 	e.done = done
 	s.live--
 	s.reclaim()
 }
 
-// Repoison re-activates the entry with a new poison vector... entries are
-// re-poisoned in place when a rally finds their inputs still missing.
-func (s *sliceBuffer) Repoison(id uint64, poison uint8) {
-	if e := s.Get(id); e != nil {
-		e.poison = poison
-	}
-}
-
 // reclaim frees inactive entries at the head. Their ids remain resolvable
 // as "executed" via doneBefore.
 func (s *sliceBuffer) reclaim() {
-	n := 0
-	for n < len(s.entries) && !s.entries[n].active {
-		n++
-	}
-	if n > 0 {
-		s.head += uint64(n)
-		s.entries = s.entries[n:]
+	for s.n > 0 && !s.at(0).active {
+		s.start = (s.start + 1) % s.cap
+		s.head++
+		s.n--
 	}
 }
 
 // Clear empties the buffer (squash to checkpoint).
 func (s *sliceBuffer) Clear() {
-	s.head += uint64(len(s.entries))
-	s.entries = s.entries[:0]
+	s.head += uint64(s.n)
+	s.n = 0
 	s.live = 0
+	s.waiting = [8]int{}
 }
 
 // Executed reports whether the entry id has executed (inactive or already

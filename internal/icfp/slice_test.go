@@ -58,12 +58,22 @@ func TestSliceExecutedStates(t *testing.T) {
 	_ = a
 }
 
-func TestSliceRepoison(t *testing.T) {
+func TestSliceSetPoison(t *testing.T) {
 	s := newSliceBuffer(4)
 	a, _ := s.Append(sliceEntry{idx: 1, poison: 0b01})
-	s.Repoison(a, 0b10)
+	if got := s.ActivePoison(); got != 0b01 {
+		t.Fatalf("ActivePoison = %#b, want 0b01", got)
+	}
+	s.SetPoison(s.Get(a), 0b10)
 	if s.Get(a).poison != 0b10 {
-		t.Fatal("repoison must replace the vector")
+		t.Fatal("SetPoison must replace the vector")
+	}
+	if got := s.ActivePoison(); got != 0b10 {
+		t.Fatalf("ActivePoison = %#b after SetPoison, want 0b10", got)
+	}
+	s.Deactivate(a, 1)
+	if got := s.ActivePoison(); got != 0 {
+		t.Fatalf("ActivePoison = %#b after Deactivate, want 0", got)
 	}
 }
 

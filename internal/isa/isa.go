@@ -6,7 +6,11 @@
 // SLTP and iCFP) a matter of saving an index and a register snapshot.
 package isa
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
 
 // Op is an instruction opcode class. Classes matter only insofar as they
 // determine execution latency and issue-port requirements (Table 1 of the
@@ -150,3 +154,30 @@ func (t *Trace) Len() int { return len(t.Insts) }
 
 // At returns the instruction at index i.
 func (t *Trace) At(i int) *Inst { return &t.Insts[i] }
+
+// Checksum returns a content hash over every field of every instruction.
+// Identical traces hash identically; tests use it to pin that timing
+// models never mutate a shared trace.
+func (t *Trace) Checksum() uint64 {
+	h := fnv.New64a()
+	var buf [40]byte
+	for i := range t.Insts {
+		in := &t.Insts[i]
+		binary.LittleEndian.PutUint64(buf[0:], in.PC)
+		buf[8] = uint8(in.Op)
+		buf[9] = uint8(in.Dst)
+		buf[10] = uint8(in.Src1)
+		buf[11] = uint8(in.Src2)
+		buf[12] = in.Size
+		if in.Taken {
+			buf[13] = 1
+		} else {
+			buf[13] = 0
+		}
+		binary.LittleEndian.PutUint64(buf[16:], in.Addr)
+		binary.LittleEndian.PutUint64(buf[24:], in.Val)
+		binary.LittleEndian.PutUint64(buf[32:], in.Target)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

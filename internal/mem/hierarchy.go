@@ -13,7 +13,7 @@
 package mem
 
 import (
-	"sort"
+	"slices"
 
 	"icfp/internal/cache"
 )
@@ -106,12 +106,31 @@ type Stats struct {
 	MSHRStallCycles    uint64
 }
 
+// streamBlock is one prefetched block held by a stream buffer.
+type streamBlock struct {
+	line  uint64
+	ready int64 // completion cycle of the prefetch
+}
+
+// streamBuf holds its prefetched blocks in a fixed FIFO ring (backing
+// allocated once in New, StreamBufBlocks entries), so steady-state
+// consume/refill churn never allocates.
 type streamBuf struct {
-	nextLine uint64  // next L2 line address the buffer expects to supply
-	ready    []int64 // completion cycles of the prefetched blocks (FIFO)
-	lines    []uint64
+	nextLine uint64 // next L2 line address the buffer expects to supply
+	blocks   []streamBlock
+	head     int // index of the oldest block
+	n        int // live blocks
 	lastUse  int64
 	valid    bool
+}
+
+// at returns the i-th oldest block.
+func (sb *streamBuf) at(i int) *streamBlock {
+	idx := sb.head + i
+	if idx >= len(sb.blocks) {
+		idx -= len(sb.blocks)
+	}
+	return &sb.blocks[idx]
 }
 
 // Hierarchy is the simulated memory system. Create with New.
@@ -153,6 +172,10 @@ func New(cfg Config) *Hierarchy {
 	}
 	if cfg.StreamBufs > 0 {
 		h.streams = make([]streamBuf, cfg.StreamBufs)
+		blocks := make([]streamBlock, cfg.StreamBufs*cfg.StreamBufBlocks)
+		for i := range h.streams {
+			h.streams[i].blocks = blocks[i*cfg.StreamBufBlocks : (i+1)*cfg.StreamBufBlocks : (i+1)*cfg.StreamBufBlocks]
+		}
 	}
 	return h
 }
@@ -168,6 +191,9 @@ func (h *Hierarchy) l2Line(addr uint64) uint64 {
 // pendingDone returns the completion cycle of an in-flight fill covering
 // addr, or 0 if none. Stale entries are pruned opportunistically.
 func (h *Hierarchy) pendingDone(cycle int64, addr uint64) int64 {
+	if len(h.pending) == 0 {
+		return 0 // no in-flight fills: skip the map probe on the hit path
+	}
 	line := h.l2Line(addr)
 	done, ok := h.pending[line]
 	if !ok {
@@ -193,7 +219,7 @@ func (h *Hierarchy) allocMSHR(cycle, done int64) int64 {
 	h.mshrs = live
 	start := cycle
 	if len(h.mshrs) >= h.cfg.NumMSHRs {
-		sort.Slice(h.mshrs, func(i, j int) bool { return h.mshrs[i] < h.mshrs[j] })
+		slices.Sort(h.mshrs)
 		idx := len(h.mshrs) - h.cfg.NumMSHRs
 		if h.mshrs[idx] > start {
 			h.Stats.MSHRStallCycles += uint64(h.mshrs[idx] - start)
@@ -230,14 +256,18 @@ func (h *Hierarchy) streamProbe(cycle int64, line uint64) (int64, bool) {
 		if !sb.valid {
 			continue
 		}
-		for j, l := range sb.lines {
-			if l != line {
+		for j := 0; j < sb.n; j++ {
+			b := sb.at(j)
+			if b.line != line {
 				continue
 			}
-			ready := sb.ready[j]
+			ready := b.ready
 			// Consume this block and everything older.
-			sb.lines = append(sb.lines[:0], sb.lines[j+1:]...)
-			sb.ready = append(sb.ready[:0], sb.ready[j+1:]...)
+			sb.head += j + 1
+			if sb.head >= len(sb.blocks) {
+				sb.head -= len(sb.blocks)
+			}
+			sb.n -= j + 1
 			sb.lastUse = cycle
 			h.refillStream(cycle, sb)
 			return ready, true
@@ -248,7 +278,7 @@ func (h *Hierarchy) streamProbe(cycle int64, line uint64) (int64, bool) {
 
 // refillStream tops a stream buffer up to its block budget.
 func (h *Hierarchy) refillStream(cycle int64, sb *streamBuf) {
-	for len(sb.lines) < h.cfg.StreamBufBlocks {
+	for sb.n < h.cfg.StreamBufBlocks {
 		line := sb.nextLine
 		sb.nextLine += uint64(h.cfg.L2.LineBytes)
 		if h.L2.Probe(line) {
@@ -256,8 +286,8 @@ func (h *Hierarchy) refillStream(cycle int64, sb *streamBuf) {
 		}
 		done := h.fetchFromMemory(cycle)
 		h.Stats.Prefetches++
-		sb.lines = append(sb.lines, line)
-		sb.ready = append(sb.ready, done)
+		*sb.at(sb.n) = streamBlock{line: line, ready: done}
+		sb.n++
 	}
 }
 
@@ -272,7 +302,7 @@ func (h *Hierarchy) allocStream(cycle int64, line uint64) {
 	prev := line - uint64(h.cfg.L2.LineBytes)
 	if _, ok := h.missedLines[prev]; !ok {
 		if len(h.missedLines) > 4096 {
-			h.missedLines = make(map[uint64]struct{})
+			clear(h.missedLines)
 		}
 		h.missedLines[line] = struct{}{}
 		return
@@ -289,7 +319,10 @@ func (h *Hierarchy) allocStream(cycle int64, line uint64) {
 		}
 	}
 	sb := &h.streams[vi]
-	*sb = streamBuf{nextLine: line + uint64(h.cfg.L2.LineBytes), lastUse: cycle, valid: true}
+	sb.nextLine = line + uint64(h.cfg.L2.LineBytes)
+	sb.head, sb.n = 0, 0
+	sb.lastUse = cycle
+	sb.valid = true
 	h.refillStream(cycle, sb)
 }
 

@@ -5,6 +5,12 @@
 // check that store-load forwarding mechanisms deliver the right values.
 package memimage
 
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
 const (
 	pageShift = 12
 	pageSize  = 1 << pageShift
@@ -54,6 +60,14 @@ func (m *Image) Write8(addr uint64, v byte) {
 
 // Read64 reads a little-endian 64-bit word. The access may straddle pages.
 func (m *Image) Read64(addr uint64) uint64 {
+	if off := addr & pageMask; off <= pageSize-8 {
+		// Fast path: the word lives on one page — a single map probe.
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off : off+8])
+	}
 	var v uint64
 	for i := uint64(0); i < 8; i++ {
 		v |= uint64(m.Read8(addr+i)) << (8 * i)
@@ -63,9 +77,33 @@ func (m *Image) Read64(addr uint64) uint64 {
 
 // Write64 writes a little-endian 64-bit word. The access may straddle pages.
 func (m *Image) Write64(addr uint64, v uint64) {
+	if off := addr & pageMask; off <= pageSize-8 {
+		p := m.page(addr, true)
+		binary.LittleEndian.PutUint64(p[off:off+8], v)
+		return
+	}
 	for i := uint64(0); i < 8; i++ {
 		m.Write8(addr+i, byte(v>>(8*i)))
 	}
+}
+
+// Checksum returns a content hash of the image: identical images (same
+// written bytes, regardless of write order) hash identically. Tests use
+// it to pin that simulation never mutates a shared workload's memory.
+func (m *Image) Checksum() uint64 {
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, pn := range pns {
+		binary.LittleEndian.PutUint64(buf[:], pn)
+		h.Write(buf[:])
+		h.Write(m.pages[pn][:])
+	}
+	return h.Sum64()
 }
 
 // PageCount returns the number of materialized pages (for tests and for

@@ -26,9 +26,10 @@ type sbEntry struct {
 }
 
 // NewStoreBuffer builds a store buffer of the given capacity draining
-// into h.
+// into h. The entry backing is allocated once: occupancy never exceeds
+// the capacity, so the compact/insert churn reuses it allocation-free.
 func NewStoreBuffer(capacity int, h *mem.Hierarchy) *StoreBuffer {
-	return &StoreBuffer{cap: capacity, hier: h}
+	return &StoreBuffer{cap: capacity, hier: h, entries: make([]sbEntry, 0, capacity)}
 }
 
 // compact drops entries whose drain completed by cycle.

@@ -134,10 +134,15 @@ func dataReg(i int, fp bool) isa.Reg {
 	return isa.IntReg(8 + i%16)
 }
 
-func newBuilder(seed int64) *builder {
+func newBuilder(seed int64, n int) *builder {
 	return &builder{
 		rng: rand.New(rand.NewSource(seed)),
 		mem: memimage.New(),
+		// One allocation for the whole trace: generation appends one
+		// iteration (~64-200 instructions) past n at most, and growing a
+		// multi-hundred-kilo-instruction slice by doubling would copy the
+		// whole trace several times over.
+		tr: make([]isa.Inst, 0, n+256),
 	}
 }
 
@@ -218,7 +223,7 @@ func (b *builder) buildChase(base, bytes uint64, reg isa.Reg) chaseWalk {
 // instructions for the profile. The same (profile, seed, n) triple always
 // yields an identical trace.
 func Generate(p Profile, n int, seed int64) *Workload {
-	b := newBuilder(seed)
+	b := newBuilder(seed, n)
 	b.streamPtr = streamBase
 	b.far = b.buildChase(chaseBase, p.ChaseBytes, regChase)
 	b.near = b.buildChase(chase2Base, p.Chase2Bytes, regChase2)

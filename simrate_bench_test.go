@@ -1,0 +1,47 @@
+// Simulator-throughput benchmarks: BenchmarkSimRate measures raw
+// simulation speed per machine model — simulated instructions per second
+// (Minst/s) and allocation per run (B/op via -benchmem) — over one shared
+// pre-generated workload, so the numbers isolate the simulator hot loops
+// from workload generation.
+//
+//	go test -run '^$' -bench BenchmarkSimRate -benchmem
+//
+// cmd/benchgate runs this suite, exports the measurements as a
+// perf-trajectory JSON (BENCH_PR2.json holds the committed baseline), and
+// gates CI on sim-rate regressions. See README.md "Performance".
+package repro
+
+import (
+	"testing"
+
+	"icfp/internal/sim"
+	"icfp/internal/workload"
+)
+
+// simRateBench is the benchmark workload: equake exercises the rally and
+// store-buffer machinery of every advance-mode model without mcf's
+// pathological chase serialization, so rates are comparable across all
+// five machines.
+const simRateBench = "equake"
+
+func BenchmarkSimRate(b *testing.B) {
+	cfg := benchCfg()
+	// One shared read-only workload for every model and iteration; the
+	// arena invariant (TestWorkloadImmutableAcrossModels) makes this safe
+	// and keeps generation cost out of the measurement.
+	w := workload.SPEC(simRateBench, cfg.WarmupInsts+benchTimed)
+	for _, m := range sim.AllModels {
+		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var insts int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := sim.Run(m, cfg, w)
+				insts += r.Insts
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(insts)/secs/1e6, "Minst/s")
+			}
+		})
+	}
+}
