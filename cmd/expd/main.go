@@ -1,0 +1,181 @@
+// Command expd runs the paper's evaluation across hosts over the
+// internal/dist protocol on TCP.
+//
+// On each worker host, start a serving daemon:
+//
+//	expd serve -listen :9700
+//
+// On the coordinator, name the workers and the experiments:
+//
+//	expd -connect hostA:9700,hostB:9700 -all
+//	expd -connect hostA:9700 -run fig5,table2 -n 1000000 -warm 4000000
+//
+// The coordinator plans the deduplicated simulation keys, shards them
+// across the connected workers with work-stealing batches, merges the
+// streamed results, and renders the report locally — byte-identical to
+// `experiments` run in a single process, because simulations are
+// deterministic pure functions of their keys. A worker host that dies
+// mid-run has its unfinished batch reassigned to the survivors.
+// Coordinator and workers must run the same build of this module:
+// version skew changes results, so the handshake rejects mismatched
+// protocols and diverged job sets.
+//
+// -cache-file works as in cmd/experiments: preloaded results are not
+// re-dispatched, and interrupts or failures save a partial snapshot of
+// everything the workers completed.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"icfp/cmd/internal/cliutil"
+	"icfp/internal/dist"
+	"icfp/internal/exp/registry"
+	"icfp/internal/sim"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
+	coordMain(os.Args[1:])
+}
+
+// serveMain is the worker daemon: accept coordinator connections and
+// serve the protocol on each, concurrently, until killed.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("expd serve", flag.ExitOnError)
+	listen := fs.String("listen", ":9700", "TCP address to accept coordinators on")
+	fs.Parse(args)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expd serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "expd serve: listening on %s (%d CPUs)\n", ln.Addr(), runtime.NumCPU())
+	failures := 0
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// A transient accept failure (EMFILE, connection churn) must
+			// not kill a daemon mid-serve on other connections — but a
+			// listener that only ever errors is dead, so bounded
+			// consecutive failures exit instead of looping forever.
+			if errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "expd serve: listener closed:", err)
+				os.Exit(1)
+			}
+			failures++
+			fmt.Fprintf(os.Stderr, "expd serve: accept (%d consecutive failures): %v\n", failures, err)
+			if failures >= 10 {
+				fmt.Fprintln(os.Stderr, "expd serve: listener looks permanently broken, exiting")
+				os.Exit(1)
+			}
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		failures = 0
+		go func(c net.Conn) {
+			defer c.Close()
+			peer := c.RemoteAddr()
+			fmt.Fprintf(os.Stderr, "expd serve: coordinator %s connected\n", peer)
+			if err := dist.Serve(c, registry.ResolveWorker); err != nil {
+				fmt.Fprintf(os.Stderr, "expd serve: coordinator %s: %v\n", peer, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "expd serve: coordinator %s done\n", peer)
+		}(conn)
+	}
+}
+
+// coordMain is the coordinator: dial the worker hosts, distribute the
+// run, render locally.
+func coordMain(args []string) {
+	fs := flag.NewFlagSet("expd", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: expd serve -listen :port        (worker host)")
+		fmt.Fprintln(os.Stderr, "       expd -connect host:port,... [flags]  (coordinator)")
+		fs.PrintDefaults()
+	}
+	var (
+		connect   = fs.String("connect", "", "comma-separated worker addresses (required)")
+		run       = fs.String("run", "", "comma-separated experiment names (default: every experiment)")
+		all       = fs.Bool("all", false, "run every experiment (same as leaving -run empty)")
+		n         = fs.Int("n", 400_000, "timed instructions per sample")
+		warm      = fs.Int("warm", 150_000, "warmup instructions per sample")
+		parallel  = fs.Int("parallel", 0, "per-worker pool size (0 = each worker's GOMAXPROCS)")
+		cacheFile = fs.String("cache-file", "", "load/save the memoization cache from/to this JSON file")
+		timeout   = fs.Duration("worker-timeout", 0, "declare a silent worker dead and reassign its batch after this long (must exceed one simulation's duration; 0 = wait forever)")
+	)
+	fs.Parse(args)
+
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "expd:", err)
+		os.Exit(1)
+	}
+	if *connect == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *n <= 0 || *warm < 0 {
+		fatal(fmt.Errorf("bad sample sizes: -n %d, -warm %d", *n, *warm))
+	}
+	if *run != "" && *all {
+		fatal(fmt.Errorf("-run and -all are mutually exclusive"))
+	}
+	names := registry.Names()
+	if *run != "" {
+		names = names[:0]
+		for _, name := range strings.Split(*run, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		if len(names) == 0 {
+			fatal(fmt.Errorf("-run %q names no experiments", *run))
+		}
+	}
+
+	cache, saveCache, err := cliutil.PersistentCache("expd", *cacheFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	var workers []dist.Worker
+	for _, addr := range strings.Split(*connect, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		w, err := dist.DialTCP(addr)
+		if err != nil {
+			dist.CloseAll(workers)
+			fatal(err)
+		}
+		workers = append(workers, w)
+	}
+
+	p := registry.Params{Cfg: sim.DefaultConfig(), N: *n}
+	p.Cfg.WarmupInsts = *warm
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	opts := dist.Options{Logf: logf, FrameTimeout: *timeout}
+	if _, err := registry.ReportDistributed(os.Stdout, names, p, workers, *parallel, cache, opts); err != nil {
+		if serr := saveCache(); serr != nil {
+			fmt.Fprintln(os.Stderr, "expd: saving cache:", serr)
+		}
+		fatal(err)
+	}
+	// The complete snapshot: failing to persist it is a failed run.
+	if err := saveCache(); err != nil {
+		fatal(fmt.Errorf("saving cache: %w", err))
+	}
+}

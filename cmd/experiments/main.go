@@ -23,12 +23,26 @@
 // byte-identical at every parallelism setting. -json FILE additionally
 // exports every result set as machine-readable JSON.
 //
+// -workers N shards the simulations across N subprocess copies of this
+// binary (internal/dist): the deduplicated job plan is dispatched in
+// work-stealing batches over a length-delimited JSON protocol on each
+// worker's stdin/stdout, completed results stream back into the shared
+// cache as they finish, and the report is rendered locally from the warm
+// cache — so output is byte-identical to a single-process run at any
+// worker count, and a crashed worker's batch is reassigned to the
+// survivors. The hidden -worker-stdio flag is the worker side of that
+// protocol; cmd/expd speaks the same protocol over TCP for multi-host
+// runs.
+//
 // -cache-file FILE persists the memoization cache across invocations:
 // results are loaded before the run and the merged cache is saved after
 // it, so re-running (or running a different selection that shares work)
-// skips simulations already on disk. Results are deterministic, so a
-// cache built by an older simulator version must be deleted after any
-// behavioural change — the golden tests pin when that happens.
+// skips simulations already on disk. Interrupts (SIGINT/SIGTERM) and
+// mid-run errors save a partial snapshot of the completed simulations
+// before exiting, so long runs never lose finished work. Results are
+// deterministic, so a cache built by an older simulator version must be
+// deleted after any behavioural change — the golden tests pin when that
+// happens.
 //
 // -cpuprofile/-memprofile write pprof profiles of the run, the
 // performance workflow described in README.md ("Performance").
@@ -46,21 +60,25 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"icfp/cmd/internal/cliutil"
+	"icfp/internal/dist"
 	"icfp/internal/exp"
 	"icfp/internal/exp/registry"
 	"icfp/internal/sim"
 )
 
 var (
-	flagAll        = flag.Bool("all", false, "run every experiment")
-	flagList       = flag.Bool("list", false, "list the experiment registry and exit")
-	flagN          = flag.Int("n", 400_000, "timed instructions per sample")
-	flagWarm       = flag.Int("warm", 150_000, "warmup instructions per sample")
-	flagParallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (results are identical at any setting)")
-	flagJSON       = flag.String("json", "", "also write every result set to this file as JSON")
-	flagCacheFile  = flag.String("cache-file", "", "load/save the memoization cache from/to this JSON file")
-	flagCPUProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	flagMemProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+	flagAll         = flag.Bool("all", false, "run every experiment")
+	flagList        = flag.Bool("list", false, "list the experiment registry and exit")
+	flagN           = flag.Int("n", 400_000, "timed instructions per sample")
+	flagWarm        = flag.Int("warm", 150_000, "warmup instructions per sample")
+	flagParallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (results are identical at any setting)")
+	flagWorkers     = flag.Int("workers", 0, "shard simulations across N subprocess workers (0 = this process only; results are identical at any setting)")
+	flagWorkerStdio = flag.Bool("worker-stdio", false, "serve as a stdio protocol worker (internal: spawned by -workers)")
+	flagJSON        = flag.String("json", "", "also write every result set to this file as JSON")
+	flagCacheFile   = flag.String("cache-file", "", "load/save the memoization cache from/to this JSON file")
+	flagCPUProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	flagMemProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 )
 
 // export is the -json file layout: the sample-size parameters and one
@@ -71,6 +89,14 @@ type export struct {
 	Experiments map[string]*exp.ResultSet `json:"experiments"`
 }
 
+// usageError prints the message and the flag usage, then exits 2 — the
+// conventional bad-invocation exit code.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "experiments:", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	all := registry.All()
 	sel := make(map[string]*bool, len(all))
@@ -79,11 +105,32 @@ func main() {
 	}
 	flag.Parse()
 
+	if *flagWorkerStdio {
+		// Worker mode: speak the protocol on stdin/stdout and nothing
+		// else; the coordinator owns every other concern.
+		if err := dist.Serve(dist.Stdio(), registry.ResolveWorker); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *flagList {
 		for _, e := range all {
 			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
 		}
 		return
+	}
+
+	switch {
+	case *flagParallel <= 0:
+		usageError(fmt.Sprintf("-parallel %d: need at least one pool worker", *flagParallel))
+	case *flagWorkers < 0:
+		usageError(fmt.Sprintf("-workers %d: need a non-negative worker count", *flagWorkers))
+	case *flagN <= 0:
+		usageError(fmt.Sprintf("-n %d: need at least one timed instruction", *flagN))
+	case *flagWarm < 0:
+		usageError(fmt.Sprintf("-warm %d: need a non-negative warmup", *flagWarm))
 	}
 
 	var names []string
@@ -93,19 +140,36 @@ func main() {
 		}
 	}
 	if len(names) == 0 {
-		flag.Usage()
-		os.Exit(2)
+		usageError("no experiments selected")
+	}
+
+	// The persistent cache checkpoints completed work on every exit
+	// path: SIGINT/SIGTERM (handled inside PersistentCache), mid-run
+	// failures (fail below), and the happy path — where a save failure
+	// is itself fatal, since a silently missing snapshot would make the
+	// next invocation re-simulate everything. Distributed results merge
+	// into the cache as they stream in, so even a mid-batch interrupt
+	// saves every result already received.
+	cache, saveCache, err := cliutil.PersistentCache("experiments", *flagCacheFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if serr := saveCache(); serr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: saving cache:", serr)
+		}
+		os.Exit(1)
 	}
 
 	if *flagCPUProfile != "" {
 		f, err := os.Create(*flagCPUProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -116,32 +180,26 @@ func main() {
 	p := registry.Params{Cfg: sim.DefaultConfig(), N: *flagN}
 	p.Cfg.WarmupInsts = *flagWarm
 
-	cache := exp.NewCache()
-	if *flagCacheFile != "" {
-		if err := exp.LoadCacheFile(cache, *flagCacheFile); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
+	var sets map[string]*exp.ResultSet
+	if *flagWorkers > 0 {
+		sets, err = runDistributed(names, p, cache)
+	} else {
+		sets, err = registry.Report(os.Stdout, names, p, exp.Parallelism(*flagParallel), exp.WithCache(cache))
 	}
-
-	sets, err := registry.Report(os.Stdout, names, p, exp.Parallelism(*flagParallel), exp.WithCache(cache))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
-	if *flagCacheFile != "" {
-		if err := exp.SaveCacheFile(cache, *flagCacheFile); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
+	// The complete snapshot: failing to persist it is a failed run.
+	if err := saveCache(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: saving cache:", err)
+		os.Exit(1)
 	}
 
 	if *flagMemProfile != "" {
 		f, err := os.Create(*flagMemProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		runtime.GC()
 		err = pprof.WriteHeapProfile(f)
@@ -149,16 +207,14 @@ func main() {
 			err = cerr
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 
 	if *flagJSON != "" {
 		f, err := os.Create(*flagJSON)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
@@ -167,8 +223,30 @@ func main() {
 			err = cerr
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
+}
+
+// runDistributed self-execs -workers subprocess copies of this binary in
+// -worker-stdio mode, shards the plan across them, and renders the
+// report locally from the merged cache. The -parallel budget is split
+// across workers (each gets the ceiling share, minimum 1).
+func runDistributed(names []string, p registry.Params, cache *exp.Cache) (map[string]*exp.ResultSet, error) {
+	bin, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary for worker self-exec: %w", err)
+	}
+	workers := make([]dist.Worker, 0, *flagWorkers)
+	for i := 0; i < *flagWorkers; i++ {
+		w, err := dist.Command(fmt.Sprintf("proc %d", i), bin, "-worker-stdio")
+		if err != nil {
+			dist.CloseAll(workers)
+			return nil, err
+		}
+		workers = append(workers, w)
+	}
+	perWorker := (*flagParallel + *flagWorkers - 1) / *flagWorkers
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	return registry.ReportDistributed(os.Stdout, names, p, workers, perWorker, cache, dist.Options{Logf: logf})
 }

@@ -1,0 +1,52 @@
+// Package cliutil holds the cache-persistence and signal plumbing shared
+// by the experiment CLIs (cmd/experiments, cmd/expd), so the
+// interrupt-snapshot semantics live in exactly one place.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"icfp/internal/exp"
+)
+
+// PersistentCache builds the run's memoization cache, preloading the
+// optional snapshot at path, and installs a SIGINT/SIGTERM handler that
+// checkpoints completed results before exiting (with the conventional
+// 130/143 codes) — so interrupted long runs keep their finished
+// simulations. The returned save function writes the snapshot (a no-op
+// without a path); callers must treat its error as fatal on the happy
+// path, where a silently missing snapshot would make the next
+// invocation re-simulate everything, and may merely log it on paths
+// that already exit non-zero.
+func PersistentCache(prog, path string) (*exp.Cache, func() error, error) {
+	cache := exp.NewCache()
+	if path != "" {
+		if err := exp.LoadCacheFile(cache, path); err != nil {
+			return nil, nil, err
+		}
+	}
+	save := func() error {
+		if path == "" {
+			return nil
+		}
+		return exp.SaveCacheFile(cache, path)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "%s: %v: saving partial cache and exiting\n", prog, s)
+		if err := save(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: saving cache: %v\n", prog, err)
+		}
+		if s == syscall.SIGTERM {
+			os.Exit(143)
+		}
+		os.Exit(130)
+	}()
+	return cache, save, nil
+}

@@ -1,0 +1,331 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"icfp/internal/exp"
+)
+
+// Dispatch defaults.
+const (
+	// DefaultBatchSize balances dispatch overhead against stealable
+	// granularity: small enough that a slow worker strands little work,
+	// large enough that the protocol is not one round trip per key.
+	DefaultBatchSize = 4
+	// DefaultMaxAttempts caps how many times one batch may be dispatched
+	// before the run fails: transient worker crashes are survivable, a
+	// batch that kills every worker that touches it is not.
+	DefaultMaxAttempts = 3
+)
+
+// Options configure a coordinator run.
+type Options struct {
+	// Spec is the opaque job spec forwarded to every worker's Resolver.
+	Spec json.RawMessage
+	// BatchSize is the number of keys per dispatched batch (default
+	// DefaultBatchSize).
+	BatchSize int
+	// MaxAttempts caps dispatch attempts per batch (default
+	// DefaultMaxAttempts).
+	MaxAttempts int
+	// FrameTimeout bounds the silence between a worker's frames while a
+	// dispatch is in flight. A worker that stays connected but stops
+	// responding (wedged host, SIGSTOP) is declared dead on expiry and
+	// its batch reassigned, exactly like a transport failure. It must
+	// comfortably exceed one simulation's duration — results stream per
+	// simulation, so that is the longest legitimate silence. Applies
+	// only to transports with read deadlines (TCP, test pipes);
+	// subprocess workers die with their pipes, which EOF on their own.
+	// Zero disables the timeout.
+	FrameTimeout time.Duration
+	// Logf, when set, receives dispatch diagnostics: worker hand-offs,
+	// crash reassignments, retirements. Results themselves are silent.
+	Logf func(format string, args ...any)
+}
+
+// readDeadliner is the optional transport capability FrameTimeout needs.
+type readDeadliner interface{ SetReadDeadline(time.Time) error }
+
+// readFrame reads one frame, bounding the wait by opts.FrameTimeout when
+// the transport supports deadlines.
+func readFrame(rw io.ReadWriteCloser, opts *Options) (*Message, error) {
+	if opts.FrameTimeout > 0 {
+		if rd, ok := rw.(readDeadliner); ok {
+			rd.SetReadDeadline(time.Now().Add(opts.FrameTimeout))
+			defer rd.SetReadDeadline(time.Time{})
+		}
+	}
+	return ReadMessage(rw)
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// batchState is one unit of dispatch. Keys shrink as results stream in,
+// so a batch reassigned after a worker crash carries only its unfinished
+// remainder.
+type batchState struct {
+	id       int
+	keys     []exp.Key
+	attempts int
+}
+
+// Run shards the plan's keys across the workers and merges every
+// completed result into cache. Keys the cache already has (a preloaded
+// -cache-file) are not dispatched at all. Dispatch is work-stealing —
+// idle workers pull the next batch, so shard sizes adapt to worker speed
+// — and crash-tolerant: when a worker's transport fails mid-batch, the
+// batch's unfinished remainder is requeued for the survivors, up to
+// MaxAttempts dispatches per batch. Worker-side errors (spec resolution,
+// job-set divergence, simulation failures) abort the run with the
+// worker's context attached. Run closes every worker transport before
+// returning; for subprocess transports that also reaps the process.
+func Run(keys []exp.Key, workers []Worker, cache *exp.Cache, opts Options) error {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	defer CloseAll(workers)
+
+	var missing []exp.Key
+	for _, k := range keys {
+		if _, ok := cache.Lookup(k); !ok {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(workers) == 0 {
+		return fmt.Errorf("dist: %d keys to simulate but no workers", len(missing))
+	}
+
+	var batches []*batchState
+	for i := 0; i < len(missing); i += opts.BatchSize {
+		end := min(i+opts.BatchSize, len(missing))
+		batches = append(batches, &batchState{id: len(batches) + 1, keys: missing[i:end]})
+	}
+	opts.logf("dist: %d keys in %d batches across %d workers", len(missing), len(batches), len(workers))
+
+	// Each batch is enqueued at most MaxAttempts times, so the buffer
+	// bound makes every send non-blocking.
+	queue := make(chan *batchState, len(batches)*opts.MaxAttempts)
+	for _, b := range batches {
+		queue <- b
+	}
+
+	var (
+		mu        sync.Mutex
+		pending   = len(batches)
+		completed bool // every batch merged: late worker errors no longer matter
+		failure   error
+		once      sync.Once
+	)
+	done := make(chan struct{})
+	fail := func(err error) {
+		mu.Lock()
+		// A fatal error from a straggling worker (say, a slow handshake
+		// reporting skew) after the survivors already finished every
+		// batch must not turn a complete run into a failure.
+		if failure == nil && !completed {
+			failure = err
+		}
+		mu.Unlock()
+		once.Do(func() { close(done) })
+	}
+	completeBatch := func() {
+		mu.Lock()
+		pending--
+		rem := pending
+		if rem == 0 {
+			completed = true
+		}
+		mu.Unlock()
+		if rem == 0 {
+			once.Do(func() { close(done) })
+		}
+	}
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, len(workers))
+	for wi, w := range workers {
+		wg.Add(1)
+		go func(wi int, w Worker) {
+			defer wg.Done()
+			if err := initWorker(w, &opts, len(keys)); err != nil {
+				var fatal *fatalError
+				if errors.As(err, &fatal) {
+					fail(err)
+				} else {
+					opts.logf("dist: worker %s failed during handshake: %v", w.Name, err)
+				}
+				workerErrs[wi] = err
+				return
+			}
+			for {
+				select {
+				case <-done:
+					return
+				case b := <-queue:
+					rest, err := runBatch(w, b, cache, &opts)
+					if err == nil {
+						completeBatch()
+						continue
+					}
+					var fatal *fatalError
+					if errors.As(err, &fatal) {
+						fail(fmt.Errorf("dist: worker %s: %w", w.Name, err))
+						return
+					}
+					// Transport-level failure: the worker is gone. Requeue
+					// whatever the batch still owes and retire this worker.
+					workerErrs[wi] = err
+					if len(rest) == 0 {
+						opts.logf("dist: worker %s died after finishing batch %d: %v", w.Name, b.id, err)
+						completeBatch()
+						return
+					}
+					b.keys = rest
+					b.attempts++
+					if b.attempts >= opts.MaxAttempts {
+						fail(fmt.Errorf("dist: batch %d failed on its %dth dispatch (%d keys left), last worker %s: %w",
+							b.id, b.attempts, len(rest), w.Name, err))
+						return
+					}
+					opts.logf("dist: worker %s died mid-batch %d; requeueing %d keys (attempt %d/%d): %v",
+						w.Name, b.id, len(rest), b.attempts+1, opts.MaxAttempts, err)
+					queue <- b
+					return
+				}
+			}
+		}(wi, w)
+	}
+
+	// If every worker retires while batches remain, nothing will ever
+	// close done — fail with the per-worker context instead of hanging.
+	go func() {
+		wg.Wait()
+		mu.Lock()
+		rem := pending
+		mu.Unlock()
+		if rem > 0 {
+			fail(fmt.Errorf("dist: all %d workers failed with %d batches outstanding: %s",
+				len(workers), rem, joinErrs(workerErrs)))
+		}
+	}()
+
+	<-done
+	// Unblock any worker goroutine still parked in a read, then wait so
+	// no goroutine outlives the run.
+	CloseAll(workers)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return failure
+}
+
+// fatalError marks a worker-reported protocol or simulation error:
+// deterministic, so retrying it on another worker would only fail again.
+type fatalError struct{ msg string }
+
+func (e *fatalError) Error() string { return e.msg }
+
+// initWorker performs the handshake and cross-checks the worker's
+// resolved job table against the coordinator's plan size.
+func initWorker(w Worker, opts *Options, planSize int) error {
+	if err := WriteMessage(w.RW, &Message{Type: TypeInit, Proto: ProtoVersion, Spec: opts.Spec}); err != nil {
+		return err
+	}
+	m, err := readFrame(w.RW, opts)
+	if err != nil {
+		return err
+	}
+	switch m.Type {
+	case TypeReady:
+		if m.Jobs != planSize {
+			return &fatalError{fmt.Sprintf("worker %s resolved %d jobs, coordinator planned %d — binary or spec skew", w.Name, m.Jobs, planSize)}
+		}
+		return nil
+	case TypeError:
+		return &fatalError{m.Err}
+	default:
+		return &fatalError{fmt.Sprintf("handshake: got %q frame, want %q", m.Type, TypeReady)}
+	}
+}
+
+// runBatch dispatches one batch and merges its streamed results until
+// batch_done. On a transport failure it returns the keys still owed, in
+// dispatch order, for requeueing; worker-reported errors come back as
+// fatalError.
+func runBatch(w Worker, b *batchState, cache *exp.Cache, opts *Options) (rest []exp.Key, err error) {
+	remaining := make(map[exp.Key]bool, len(b.keys))
+	for _, k := range b.keys {
+		remaining[k] = true
+	}
+	owed := func() []exp.Key {
+		var out []exp.Key
+		for _, k := range b.keys {
+			if remaining[k] {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	if err := WriteMessage(w.RW, &Message{Type: TypeBatch, BatchID: b.id, Keys: b.keys}); err != nil {
+		return owed(), err
+	}
+	for {
+		m, err := readFrame(w.RW, opts)
+		if err != nil {
+			return owed(), err
+		}
+		switch m.Type {
+		case TypeResult:
+			if m.Result == nil {
+				return owed(), &fatalError{"result frame without a payload"}
+			}
+			cache.AddResults([]exp.CachedResult{*m.Result})
+			delete(remaining, exp.Key{Machine: m.Result.Machine, Config: m.Result.Config, Workload: m.Result.Workload})
+		case TypeBatchDone:
+			if m.BatchID != b.id {
+				return owed(), &fatalError{fmt.Sprintf("batch_done for batch %d while %d was in flight", m.BatchID, b.id)}
+			}
+			if rest := owed(); len(rest) > 0 {
+				// A worker that claims completion without delivering is
+				// broken, but the work itself may succeed elsewhere.
+				return rest, fmt.Errorf("batch %d reported done with %d results missing", b.id, len(rest))
+			}
+			return nil, nil
+		case TypeError:
+			return owed(), &fatalError{m.Err}
+		default:
+			return owed(), &fatalError{fmt.Sprintf("unexpected %q frame during batch %d", m.Type, b.id)}
+		}
+	}
+}
+
+// joinErrs summarizes the non-nil worker errors for the all-workers-dead
+// diagnostic.
+func joinErrs(errs []error) string {
+	var parts []string
+	for i, err := range errs {
+		if err != nil {
+			parts = append(parts, fmt.Sprintf("worker %d: %v", i, err))
+		}
+	}
+	if len(parts) == 0 {
+		return "no worker errors recorded"
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,451 @@
+package dist_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icfp/internal/dist"
+	"icfp/internal/exp"
+	"icfp/internal/pipeline"
+	"icfp/internal/workload"
+)
+
+// The stub world: a spec naming how many keys exist, resolved on both
+// sides into counting stub jobs whose results are a pure function of the
+// key index — so tests can verify merged results without a simulator.
+
+type stubSpec struct {
+	Keys int   `json:"keys"`
+	Base int64 `json:"base"`
+}
+
+func (s stubSpec) raw() json.RawMessage {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+type stubRunner struct {
+	cycles int64
+	runs   *atomic.Int64
+}
+
+func (s stubRunner) Run(*workload.Workload) pipeline.Result {
+	if s.runs != nil {
+		s.runs.Add(1)
+	}
+	return pipeline.Result{Name: "stub", Cycles: s.cycles, Insts: 100}
+}
+
+func stubJob(i int, base int64, runs *atomic.Int64) exp.Job {
+	return exp.Job{
+		Name:    fmt.Sprintf("job%d", i),
+		Machine: fmt.Sprintf("m%d", i),
+		Config:  pipeline.DefaultConfig(),
+		Make: func(pipeline.Config) exp.Runner {
+			return stubRunner{cycles: base + int64(i), runs: runs}
+		},
+		Workload: exp.WorkloadSpec{
+			Key: fmt.Sprintf("w%d", i),
+			New: func() *workload.Workload { return &workload.Workload{Name: "stub"} },
+		},
+	}
+}
+
+func stubJobs(s stubSpec, runs *atomic.Int64) []exp.Job {
+	jobs := make([]exp.Job, 0, s.Keys)
+	for i := 0; i < s.Keys; i++ {
+		jobs = append(jobs, stubJob(i, s.Base, runs))
+	}
+	return jobs
+}
+
+// stubResolver resolves the stub spec, counting simulations into runs.
+func stubResolver(runs *atomic.Int64) dist.Resolver {
+	return func(raw json.RawMessage) (map[exp.Key]exp.Job, int, error) {
+		var s stubSpec
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, 0, err
+		}
+		jobs := make(map[exp.Key]exp.Job, s.Keys)
+		for _, j := range stubJobs(s, runs) {
+			jobs[j.Key()] = j
+		}
+		return jobs, 1, nil
+	}
+}
+
+// startWorker serves one in-process worker over a pipe and returns the
+// coordinator-side handle plus a channel carrying Serve's error.
+func startWorker(t *testing.T, name string, resolve dist.Resolver) (dist.Worker, <-chan error) {
+	t.Helper()
+	coordEnd, workerEnd := dist.Pipe()
+	errc := make(chan error, 1)
+	go func() { errc <- dist.Serve(workerEnd, resolve) }()
+	return dist.Worker{Name: name, RW: coordEnd}, errc
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	msgs := []*dist.Message{
+		{Type: dist.TypeInit, Proto: dist.ProtoVersion, Spec: json.RawMessage(`{"keys":3}`)},
+		{Type: dist.TypeReady, Jobs: 7},
+		{Type: dist.TypeBatch, BatchID: 1, Keys: []exp.Key{{Machine: "m", Config: "c", Workload: "w"}}},
+		{Type: dist.TypeResult, Result: &exp.CachedResult{Machine: "m", Config: "c", Workload: "w", R: pipeline.Result{Cycles: 42}}},
+		{Type: dist.TypeBatchDone, BatchID: 1},
+		{Type: dist.TypeError, Err: "boom"},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := dist.WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := dist.ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, _ := json.Marshal(got)
+		wj, _ := json.Marshal(want)
+		if !bytes.Equal(gj, wj) {
+			t.Errorf("round trip: got %s, want %s", gj, wj)
+		}
+	}
+	if _, err := dist.ReadMessage(&buf); err != io.EOF {
+		t.Errorf("read past final frame = %v, want io.EOF", err)
+	}
+}
+
+func TestReadMessageRejectsOversizeAndTruncated(t *testing.T) {
+	if _, err := dist.ReadMessage(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+		t.Error("oversize frame length accepted")
+	}
+	var buf bytes.Buffer
+	if err := dist.WriteMessage(&buf, &dist.Message{Type: dist.TypeReady, Jobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	if _, err := dist.ReadMessage(bytes.NewReader(cut)); err == nil || err == io.EOF {
+		t.Errorf("truncated frame read = %v, want a mid-frame error", err)
+	}
+}
+
+// TestRunMergesAllResults is the subsystem's core path: a plan sharded
+// over three workers lands complete and correct in the coordinator's
+// cache, with every key simulated exactly once across the fleet.
+func TestRunMergesAllResults(t *testing.T) {
+	spec := stubSpec{Keys: 13, Base: 1000}
+	var runs atomic.Int64
+	plan, err := exp.Plan(stubJobs(spec, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var workers []dist.Worker
+	for i := 0; i < 3; i++ {
+		w, _ := startWorker(t, fmt.Sprintf("w%d", i), stubResolver(&runs))
+		workers = append(workers, w)
+	}
+	cache := exp.NewCache()
+	if err := dist.Run(plan, workers, cache, dist.Options{Spec: spec.raw(), BatchSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range plan {
+		res, ok := cache.Lookup(k)
+		if !ok {
+			t.Fatalf("key %d (%+v) missing from merged cache", i, k)
+		}
+		if want := spec.Base + int64(i); res.Cycles != want {
+			t.Errorf("key %d: cycles %d, want %d", i, res.Cycles, want)
+		}
+	}
+	if got := runs.Load(); got != int64(spec.Keys) {
+		t.Errorf("fleet simulated %d times, want %d (each key exactly once)", got, spec.Keys)
+	}
+}
+
+// TestRunSkipsCachedKeys pins the -cache-file interplay: preloaded keys
+// are never dispatched, and a fully warm cache needs no workers at all.
+func TestRunSkipsCachedKeys(t *testing.T) {
+	spec := stubSpec{Keys: 6, Base: 500}
+	var local atomic.Int64
+	jobs := stubJobs(spec, &local)
+	plan, err := exp.Plan(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := exp.NewCache()
+	if _, err := exp.Run(jobs[:4], exp.WithCache(cache)); err != nil {
+		t.Fatal(err)
+	}
+
+	var remote atomic.Int64
+	w, _ := startWorker(t, "w0", stubResolver(&remote))
+	if err := dist.Run(plan, []dist.Worker{w}, cache, dist.Options{Spec: spec.raw()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := remote.Load(); got != 2 {
+		t.Errorf("worker simulated %d keys, want 2 (4 of 6 preloaded)", got)
+	}
+
+	// Fully warm: no workers required.
+	if err := dist.Run(plan, nil, cache, dist.Options{Spec: spec.raw()}); err != nil {
+		t.Errorf("warm-cache run with no workers: %v", err)
+	}
+	// Cold with no workers must error, not hang.
+	if err := dist.Run(plan, nil, exp.NewCache(), dist.Options{Spec: spec.raw()}); err == nil {
+		t.Error("cold run with no workers must fail")
+	}
+}
+
+// dyingRW lets a fixed number of worker-side frames through, then fails
+// every write and severs the pipe — a deterministic stand-in for a
+// worker process crashing mid-batch.
+type dyingRW struct {
+	rw         io.ReadWriteCloser
+	writesLeft atomic.Int32
+	died       chan struct{}
+	once       sync.Once
+}
+
+func newDyingRW(rw io.ReadWriteCloser, frames int32) *dyingRW {
+	d := &dyingRW{rw: rw, died: make(chan struct{})}
+	d.writesLeft.Store(frames)
+	return d
+}
+
+func (d *dyingRW) Read(p []byte) (int, error) { return d.rw.Read(p) }
+
+func (d *dyingRW) Write(p []byte) (int, error) {
+	if d.writesLeft.Add(-1) < 0 {
+		d.once.Do(func() {
+			d.rw.Close()
+			close(d.died)
+		})
+		return 0, errors.New("worker crashed")
+	}
+	return d.rw.Write(p)
+}
+
+// TestCrashRecovery pins the headline fault-tolerance guarantee: a
+// worker that dies mid-batch loses nothing — the batch's unfinished
+// remainder is reassigned to the survivor and the run completes with a
+// full, correct cache and no error.
+//
+// The schedule is made deterministic by gating the survivor's resolver
+// on the victim's death: the only ready worker when the batch is first
+// dispatched is the one that will crash.
+func TestCrashRecovery(t *testing.T) {
+	spec := stubSpec{Keys: 8, Base: 2000}
+	plan, err := exp.Plan(stubJobs(spec, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim: allowed ready + one result, then crashes.
+	var victimRuns atomic.Int64
+	coordEnd, workerEnd := dist.Pipe()
+	dying := newDyingRW(workerEnd, 2)
+	victimErr := make(chan error, 1)
+	go func() { victimErr <- dist.Serve(dying, stubResolver(&victimRuns)) }()
+	victim := dist.Worker{Name: "victim", RW: coordEnd}
+
+	// Survivor: resolver blocks until the victim is dead, so the first
+	// dispatch must land on the victim.
+	var survivorRuns atomic.Int64
+	gated := func(raw json.RawMessage) (map[exp.Key]exp.Job, int, error) {
+		<-dying.died
+		return stubResolver(&survivorRuns)(raw)
+	}
+	survivor, _ := startWorker(t, "survivor", gated)
+
+	cache := exp.NewCache()
+	err = dist.Run(plan, []dist.Worker{victim, survivor}, cache, dist.Options{
+		Spec:      spec.raw(),
+		BatchSize: len(plan), // one batch: the crash strands a big remainder
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("run with one crashed worker must still succeed, got: %v", err)
+	}
+	for i, k := range plan {
+		res, ok := cache.Lookup(k)
+		if !ok {
+			t.Fatalf("key %d (%+v) missing after crash recovery", i, k)
+		}
+		if want := spec.Base + int64(i); res.Cycles != want {
+			t.Errorf("key %d: cycles %d, want %d", i, res.Cycles, want)
+		}
+	}
+	if serr := <-victimErr; serr == nil {
+		t.Error("victim's Serve must report its send failure")
+	}
+	// Exactly one victim result was merged before the crash, so the
+	// survivor must have re-run the other 7 keys.
+	if got := survivorRuns.Load(); got != int64(spec.Keys)-1 {
+		t.Errorf("survivor simulated %d keys, want %d", got, spec.Keys-1)
+	}
+}
+
+// TestStalledWorkerTimesOut pins FrameTimeout: a worker that stays
+// connected but goes silent mid-batch is declared dead on expiry and its
+// batch reassigned, exactly like a crash. The schedule is deterministic:
+// the survivor's resolver is gated on the staller having received the
+// batch.
+func TestStalledWorkerTimesOut(t *testing.T) {
+	spec := stubSpec{Keys: 6, Base: 3000}
+	plan, err := exp.Plan(stubJobs(spec, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The staller speaks the handshake honestly, accepts the batch, then
+	// never answers.
+	coordEnd, workerEnd := dist.Pipe()
+	gotBatch := make(chan struct{})
+	go func() {
+		m, err := dist.ReadMessage(workerEnd)
+		if err != nil || m.Type != dist.TypeInit {
+			return
+		}
+		if err := dist.WriteMessage(workerEnd, &dist.Message{Type: dist.TypeReady, Jobs: len(plan)}); err != nil {
+			return
+		}
+		if m, err = dist.ReadMessage(workerEnd); err != nil || m.Type != dist.TypeBatch {
+			return
+		}
+		close(gotBatch)
+		// Silence: hold the connection open without ever responding.
+		dist.ReadMessage(workerEnd)
+	}()
+	staller := dist.Worker{Name: "staller", RW: coordEnd}
+
+	var survivorRuns atomic.Int64
+	gated := func(raw json.RawMessage) (map[exp.Key]exp.Job, int, error) {
+		<-gotBatch
+		return stubResolver(&survivorRuns)(raw)
+	}
+	survivor, _ := startWorker(t, "survivor", gated)
+
+	cache := exp.NewCache()
+	err = dist.Run(plan, []dist.Worker{staller, survivor}, cache, dist.Options{
+		Spec:         spec.raw(),
+		BatchSize:    len(plan),
+		FrameTimeout: 150 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("run with one stalled worker must still succeed, got: %v", err)
+	}
+	for i, k := range plan {
+		if _, ok := cache.Lookup(k); !ok {
+			t.Fatalf("key %d (%+v) missing after stall recovery", i, k)
+		}
+	}
+	if got := survivorRuns.Load(); got != int64(spec.Keys) {
+		t.Errorf("survivor simulated %d keys, want all %d", got, spec.Keys)
+	}
+}
+
+// TestRetryCapFails pins that a batch cannot be redispatched forever: at
+// MaxAttempts the run fails with context instead of spinning.
+func TestRetryCapFails(t *testing.T) {
+	spec := stubSpec{Keys: 4, Base: 10}
+	plan, err := exp.Plan(stubJobs(spec, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordEnd, workerEnd := dist.Pipe()
+	dying := newDyingRW(workerEnd, 1) // ready only; every result write fails
+	go dist.Serve(dying, stubResolver(nil))
+
+	err = dist.Run(plan, []dist.Worker{{Name: "flaky", RW: coordEnd}}, exp.NewCache(), dist.Options{
+		Spec: spec.raw(), MaxAttempts: 1,
+	})
+	if err == nil {
+		t.Fatal("run must fail once the retry cap is hit")
+	}
+	if !strings.Contains(err.Error(), "dist:") {
+		t.Errorf("error lacks dist context: %v", err)
+	}
+}
+
+// TestWorkerErrorPropagates pins that a worker-side resolution failure
+// aborts the run with the worker's message attached.
+func TestWorkerErrorPropagates(t *testing.T) {
+	spec := stubSpec{Keys: 2, Base: 10}
+	plan, err := exp.Plan(stubJobs(spec, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, serveErr := startWorker(t, "broken", func(json.RawMessage) (map[exp.Key]exp.Job, int, error) {
+		return nil, 0, errors.New("no such registry entry")
+	})
+	err = dist.Run(plan, []dist.Worker{w}, exp.NewCache(), dist.Options{Spec: spec.raw()})
+	if err == nil || !strings.Contains(err.Error(), "no such registry entry") {
+		t.Errorf("run error = %v, want the worker's resolver message", err)
+	}
+	if serr := <-serveErr; serr == nil {
+		t.Error("worker Serve must also fail")
+	}
+}
+
+// TestJobSetSkewIsFatal pins the two divergence guards: a worker whose
+// resolved job table size differs from the plan fails the handshake, and
+// a worker asked for a key it cannot resolve aborts the run.
+func TestJobSetSkewIsFatal(t *testing.T) {
+	spec := stubSpec{Keys: 4, Base: 10}
+	plan, err := exp.Plan(stubJobs(spec, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Size skew: worker resolves 3 jobs against a 4-key plan.
+	w, _ := startWorker(t, "skewed", stubResolver(nil))
+	err = dist.Run(plan, []dist.Worker{w}, exp.NewCache(),
+		dist.Options{Spec: stubSpec{Keys: 3, Base: 10}.raw()})
+	if err == nil || !strings.Contains(err.Error(), "skew") {
+		t.Errorf("size-skew run error = %v, want a skew diagnostic", err)
+	}
+
+	// Key skew: same size, different keys.
+	rogue := append([]exp.Key{}, plan[:3]...)
+	rogue = append(rogue, exp.Key{Machine: "nope", Config: "nope", Workload: "nope"})
+	w2, _ := startWorker(t, "skewed2", stubResolver(nil))
+	err = dist.Run(rogue, []dist.Worker{w2}, exp.NewCache(), dist.Options{Spec: spec.raw(), BatchSize: 4})
+	if err == nil || !strings.Contains(err.Error(), "unknown key") {
+		t.Errorf("key-skew run error = %v, want an unknown-key diagnostic", err)
+	}
+}
+
+// TestProtocolVersionMismatch pins that version skew is a handshake
+// failure, not silent wrongness.
+func TestProtocolVersionMismatch(t *testing.T) {
+	coordEnd, workerEnd := dist.Pipe()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- dist.Serve(workerEnd, stubResolver(nil)) }()
+	if err := dist.WriteMessage(coordEnd, &dist.Message{Type: dist.TypeInit, Proto: dist.ProtoVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := dist.ReadMessage(coordEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != dist.TypeError || !strings.Contains(m.Err, "version") {
+		t.Errorf("reply = %+v, want a version-mismatch error frame", m)
+	}
+	coordEnd.Close()
+	if serr := <-serveErr; serr == nil {
+		t.Error("Serve must fail on version mismatch")
+	}
+}

@@ -1,0 +1,134 @@
+// Package dist runs an experiment plan across worker processes and
+// hosts. It is the layer between the exp harness and the CLIs: a
+// coordinator takes the deduplicated key plan of a job set (exp.Plan),
+// shards it over any number of workers with work-stealing dispatch
+// (workers pull batches, so a slow shard never straggles the run), and
+// merges the exp.CachedResults the workers stream back into a shared
+// *exp.Cache. The caller then renders its report locally from the warm
+// cache, which makes distributed output byte-identical to a
+// single-process run at any worker count: simulations are deterministic
+// pure functions of their keys, and pipeline.Result round-trips JSON
+// exactly.
+//
+// Coordinator and worker speak a length-delimited JSON protocol over an
+// abstract transport: net.Pipe in tests, the stdin/stdout of a
+// self-exec'd subprocess (cmd/experiments -workers), or a TCP connection
+// (cmd/expd) for multi-host runs. The job spec inside the handshake is
+// opaque to this package — a Resolver supplied by the caller (for the
+// CLIs, the experiment registry) turns it back into runnable jobs on the
+// worker side, which is what keeps dist independent of what the jobs
+// mean.
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"icfp/internal/exp"
+)
+
+// ProtoVersion identifies the wire protocol. Coordinator and workers
+// must match exactly: results are only portable between identical
+// simulators, so version skew is a handshake error, not something to
+// paper over.
+const ProtoVersion = 1
+
+// maxFrame bounds one protocol frame. The largest real frames are batch
+// messages (a few keys) and single results — far below this; the bound
+// exists so a corrupt or malicious length prefix cannot trigger an
+// unbounded allocation.
+const maxFrame = 64 << 20
+
+// Message types, in handshake-then-dispatch order.
+const (
+	// TypeInit is coordinator → worker: protocol version plus the opaque
+	// job spec the worker's Resolver rebuilds its job table from.
+	TypeInit = "init"
+	// TypeReady is worker → coordinator: the handshake reply, carrying
+	// the size of the resolved job table as a cross-version sanity check.
+	TypeReady = "ready"
+	// TypeBatch is coordinator → worker: one batch of plan keys to
+	// simulate.
+	TypeBatch = "batch"
+	// TypeResult is worker → coordinator: one completed simulation,
+	// streamed as soon as it finishes (not held until the batch ends).
+	TypeResult = "result"
+	// TypeBatchDone is worker → coordinator: every key of the identified
+	// batch has been simulated and its result sent.
+	TypeBatchDone = "batch_done"
+	// TypeError, in either direction, reports a fatal condition with
+	// context; the receiver aborts the run.
+	TypeError = "error"
+)
+
+// Message is one protocol frame. Type selects which of the remaining
+// fields are meaningful.
+type Message struct {
+	Type string `json:"type"`
+
+	// Init.
+	Proto int             `json:"proto,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+
+	// Ready.
+	Jobs int `json:"jobs,omitempty"`
+
+	// Batch and BatchDone. Batch IDs start at 1 so a zero ID always
+	// means "absent".
+	BatchID int       `json:"batch_id,omitempty"`
+	Keys    []exp.Key `json:"keys,omitempty"`
+
+	// Result.
+	Result *exp.CachedResult `json:"result,omitempty"`
+
+	// Error.
+	Err string `json:"err,omitempty"`
+}
+
+// WriteMessage frames m as a 4-byte big-endian length prefix followed by
+// its JSON encoding, in a single Write call so frames on a shared stream
+// are never interleaved by the transport.
+func WriteMessage(w io.Writer, m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("dist: encoding %s frame: %w", m.Type, err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("dist: %s frame of %d bytes exceeds the %d-byte limit", m.Type, len(body), maxFrame)
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("dist: writing %s frame: %w", m.Type, err)
+	}
+	return nil
+}
+
+// ReadMessage reads one length-delimited frame. A clean end of stream
+// between frames surfaces as io.EOF; a stream cut mid-frame as
+// io.ErrUnexpectedEOF.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("dist: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("dist: frame of %d bytes exceeds the %d-byte limit", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("dist: reading %d-byte frame body: %w", n, err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("dist: decoding frame: %w", err)
+	}
+	return &m, nil
+}

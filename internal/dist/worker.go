@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"icfp/internal/exp"
+)
+
+// Resolver turns the coordinator's opaque job spec into this worker's
+// job table, keyed by memoization key, plus the parallelism of the
+// worker's internal pool (values below 1 mean GOMAXPROCS). Coordinator
+// and worker must resolve the same spec to the same job set — for the
+// CLIs both sides build it from the shared experiment registry — and the
+// handshake cross-checks the table size so a skewed worker fails loudly
+// instead of simulating the wrong thing.
+type Resolver func(spec json.RawMessage) (jobs map[exp.Key]exp.Job, parallel int, err error)
+
+// Serve runs the worker side of the protocol on rw until the coordinator
+// closes the connection (the clean shutdown, returning nil) or an error
+// occurs. The worker keeps its own cache and arena for the lifetime of
+// the connection, so a key re-dispatched after a coordinator-side retry
+// is answered from cache rather than re-simulated, and completed results
+// are streamed back the moment each simulation finishes.
+func Serve(rw io.ReadWriter, resolve Resolver) error {
+	m, err := ReadMessage(rw)
+	if err == io.EOF || errors.Is(err, io.ErrClosedPipe) {
+		return nil // coordinator had nothing to dispatch (warm cache) and closed us
+	}
+	if err != nil {
+		return fmt.Errorf("dist: worker handshake: %w", err)
+	}
+	if m.Type != TypeInit {
+		return sendError(rw, fmt.Sprintf("handshake: got %q frame, want %q", m.Type, TypeInit))
+	}
+	if m.Proto != ProtoVersion {
+		return sendError(rw, fmt.Sprintf("protocol version mismatch: coordinator %d, worker %d", m.Proto, ProtoVersion))
+	}
+	jobs, parallel, err := resolve(m.Spec)
+	if err != nil {
+		return sendError(rw, fmt.Sprintf("resolving job spec: %v", err))
+	}
+	if err := WriteMessage(rw, &Message{Type: TypeReady, Jobs: len(jobs)}); err != nil {
+		return err
+	}
+
+	cache := exp.NewCache()
+	arena := exp.NewArena()
+	for {
+		m, err := ReadMessage(rw)
+		if err == io.EOF || errors.Is(err, io.ErrClosedPipe) {
+			return nil // coordinator closed the connection: run complete
+		}
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case TypeBatch:
+			if err := serveBatch(rw, m, jobs, cache, arena, parallel); err != nil {
+				return err
+			}
+		case TypeError:
+			return fmt.Errorf("dist: coordinator error: %s", m.Err)
+		default:
+			return sendError(rw, fmt.Sprintf("unexpected %q frame between batches", m.Type))
+		}
+	}
+}
+
+// serveBatch simulates one batch and streams its results. Results are sent
+// from the pool's completion hook, so the coordinator can merge (and
+// checkpoint) them while the rest of the batch is still running.
+func serveBatch(rw io.ReadWriter, m *Message, jobs map[exp.Key]exp.Job, cache *exp.Cache, arena *exp.Arena, parallel int) error {
+	batch := make([]exp.Job, 0, len(m.Keys))
+	for _, k := range m.Keys {
+		j, ok := jobs[k]
+		if !ok {
+			return sendError(rw, fmt.Sprintf("batch %d: unknown key %+v — coordinator and worker job sets diverge", m.BatchID, k))
+		}
+		// The plan never repeats a key, so the key itself is a unique
+		// in-batch job name.
+		j.Name = fmt.Sprintf("%s|%s|%s", k.Machine, k.Config, k.Workload)
+		batch = append(batch, j)
+	}
+
+	var sendErr error
+	sent := make(map[exp.Key]bool, len(batch))
+	send := func(k exp.Key) {
+		if sendErr != nil {
+			return
+		}
+		res, ok := cache.Lookup(k)
+		if !ok {
+			return // cannot happen: the hook fires after the result is published
+		}
+		sent[k] = true
+		sendErr = WriteMessage(rw, &Message{Type: TypeResult, Result: &exp.CachedResult{
+			Machine: k.Machine, Config: k.Config, Workload: k.Workload, R: res,
+		}})
+	}
+	_, err := exp.Run(batch,
+		exp.WithCache(cache), exp.WithArena(arena), exp.Parallelism(parallel),
+		exp.OnRun(send))
+	if err != nil {
+		return sendError(rw, fmt.Sprintf("batch %d: %v", m.BatchID, err))
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	// Keys answered from this worker's cache (re-dispatched after a
+	// coordinator retry) never reach the completion hook; send them now.
+	for _, k := range m.Keys {
+		if !sent[k] {
+			send(k)
+		}
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	return WriteMessage(rw, &Message{Type: TypeBatchDone, BatchID: m.BatchID})
+}
+
+// sendError reports a fatal worker-side condition to the coordinator and
+// returns it as this side's error too.
+func sendError(rw io.ReadWriter, msg string) error {
+	WriteMessage(rw, &Message{Type: TypeError, Err: msg}) // best effort: the transport may already be down
+	return errors.New("dist: worker: " + msg)
+}

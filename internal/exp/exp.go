@@ -155,6 +155,24 @@ func (c *Cache) SimulationsFor(k Key) int {
 	return c.runs[k]
 }
 
+// Lookup returns the completed result for k, if the cache has one.
+// In-flight entries read as absent: Lookup never blocks on a simulation
+// another claimant is still running.
+func (c *Cache) Lookup(k Key) (pipeline.Result, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	c.mu.Unlock()
+	if !ok {
+		return pipeline.Result{}, false
+	}
+	select {
+	case <-e.done:
+		return e.res, true
+	default:
+		return pipeline.Result{}, false
+	}
+}
+
 // options collects Run configuration.
 type options struct {
 	parallelism int
@@ -196,6 +214,48 @@ func OnRun(f func(Key)) Option {
 	return func(o *options) { o.onRun = f }
 }
 
+// validate fails fast on malformed job sets (duplicate names, missing
+// constructor or workload) before any simulation or dispatch happens.
+func validate(jobs []Job) error {
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		switch {
+		case j.Name == "":
+			return fmt.Errorf("exp: job with empty name (machine %q, workload %q)", j.Machine, j.Workload.Key)
+		case seen[j.Name]:
+			return fmt.Errorf("exp: duplicate job name %q", j.Name)
+		case j.Make == nil:
+			return fmt.Errorf("exp: job %q has no machine constructor", j.Name)
+		case j.Workload.New == nil:
+			return fmt.Errorf("exp: job %q has no workload factory", j.Name)
+		}
+		seen[j.Name] = true
+	}
+	return nil
+}
+
+// Plan validates the job set exactly as Run does and returns its
+// deduplicated memoization keys in first-appearance order. The plan is
+// the unit of distribution: every key is one simulation that has to
+// happen somewhere, so a dispatcher (internal/dist) can shard the plan
+// across worker processes, merge the resulting CachedResults into a
+// cache, and then Run locally entirely from cache hits.
+func Plan(jobs []Job) ([]Key, error) {
+	if err := validate(jobs); err != nil {
+		return nil, err
+	}
+	seen := make(map[Key]bool, len(jobs))
+	keys := make([]Key, 0, len(jobs))
+	for _, j := range jobs {
+		k := j.Key()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys, nil
+}
+
 // Run executes the jobs on a worker pool and returns their results in job
 // order. Jobs with equal cache keys simulate once; with a WithCache
 // option, memoization also spans earlier runs. Run fails fast on
@@ -209,6 +269,10 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 	if o.parallelism < 1 {
 		o.parallelism = runtime.GOMAXPROCS(0)
 	}
+	// More pool workers than jobs would only park idle goroutines — and
+	// lets a hostile parallelism setting (dist specs arrive over the
+	// network) cost at most len(jobs) goroutines.
+	o.parallelism = min(o.parallelism, len(jobs))
 	if o.cache == nil {
 		o.cache = NewCache()
 	}
@@ -216,19 +280,8 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 		o.arena = NewArena()
 	}
 
-	seen := make(map[string]bool, len(jobs))
-	for _, j := range jobs {
-		switch {
-		case j.Name == "":
-			return nil, fmt.Errorf("exp: job with empty name (machine %q, workload %q)", j.Machine, j.Workload.Key)
-		case seen[j.Name]:
-			return nil, fmt.Errorf("exp: duplicate job name %q", j.Name)
-		case j.Make == nil:
-			return nil, fmt.Errorf("exp: job %q has no machine constructor", j.Name)
-		case j.Workload.New == nil:
-			return nil, fmt.Errorf("exp: job %q has no workload factory", j.Name)
-		}
-		seen[j.Name] = true
+	if err := validate(jobs); err != nil {
+		return nil, err
 	}
 
 	var hookMu sync.Mutex

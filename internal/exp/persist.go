@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"icfp/internal/pipeline"
@@ -106,20 +107,34 @@ func LoadCacheFile(c *Cache, path string) error {
 }
 
 // SaveCacheFile atomically replaces the named snapshot file with the
-// cache's current completed entries.
+// cache's current completed entries. The temp file gets a unique name in
+// the target directory — concurrent savers (real, now that distributed
+// runs can share a cache directory) never clobber each other's work in
+// progress — and is fsynced before the rename, so a crash leaves either
+// the old snapshot or the complete new one, never a torn file.
 func SaveCacheFile(c *Cache, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	err = c.WriteSnapshot(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if err == nil {
+		// CreateTemp makes the file 0600; snapshots are shareable data.
+		err = f.Chmod(0o644)
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
 	}
 	if err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	return nil
 }

@@ -1,8 +1,11 @@
 package exp_test
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -86,5 +89,79 @@ func TestLoadCacheFileRejectsGarbage(t *testing.T) {
 	}
 	if err := exp.LoadCacheFile(exp.NewCache(), path); err == nil {
 		t.Fatal("corrupt cache file must be rejected")
+	}
+}
+
+// TestLoadCacheFileRejectsTruncated pins the error path for a snapshot
+// cut off mid-write (e.g. a crash without the atomic-rename discipline):
+// both ReadSnapshot and LoadCacheFile must reject it rather than load a
+// silently incomplete result set.
+func TestLoadCacheFileRejectsTruncated(t *testing.T) {
+	var runs atomic.Int64
+	c := exp.NewCache()
+	if _, err := exp.Run([]exp.Job{stubJob("a", "m1", "w1", 100, &runs)}, exp.WithCache(c)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if _, err := exp.ReadSnapshot(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("ReadSnapshot accepted a truncated snapshot")
+	}
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.LoadCacheFile(exp.NewCache(), path); err == nil {
+		t.Fatal("LoadCacheFile accepted a truncated snapshot")
+	}
+}
+
+// TestSaveCacheFileConcurrentSavers pins that simultaneous SaveCacheFile
+// calls on the same path never tear the file: each saver writes its own
+// uniquely named temp file and the final rename is atomic, so the
+// survivor is one complete snapshot.
+func TestSaveCacheFileConcurrentSavers(t *testing.T) {
+	var runs atomic.Int64
+	c := exp.NewCache()
+	jobs := make([]exp.Job, 0, 8)
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, stubJob(fmt.Sprintf("j%d", i), fmt.Sprintf("m%d", i), "w", int64(100+i), &runs))
+	}
+	if _, err := exp.Run(jobs, exp.WithCache(c)); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "cache.json")
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = exp.SaveCacheFile(c, path)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("saver %d: %v", i, err)
+		}
+	}
+	loaded := exp.NewCache()
+	if err := exp.LoadCacheFile(loaded, path); err != nil {
+		t.Fatalf("surviving snapshot is not loadable: %v", err)
+	}
+	if got := len(loaded.Snapshot()); got != len(jobs) {
+		t.Errorf("surviving snapshot has %d entries, want %d", got, len(jobs))
+	}
+	left, err := filepath.Glob(path + ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("temp files left behind: %v", left)
 	}
 }

@@ -1,0 +1,76 @@
+package exp_test
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"icfp/internal/exp"
+)
+
+// TestPlanDeduplicatesKeys pins that Plan surfaces each distinct
+// memoization key exactly once, in first-appearance order — the contract
+// the distributed dispatcher shards on.
+func TestPlanDeduplicatesKeys(t *testing.T) {
+	var runs atomic.Int64
+	jobs := []exp.Job{
+		stubJob("a", "m1", "w1", 100, &runs),
+		stubJob("b", "m1", "w1", 100, &runs), // same key as a
+		stubJob("c", "m2", "w1", 200, &runs),
+		stubJob("d", "m1", "w2", 300, &runs),
+	}
+	plan, err := exp.Plan(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 3 {
+		t.Fatalf("plan has %d keys, want 3: %v", len(plan), plan)
+	}
+	want := []exp.Key{jobs[0].Key(), jobs[2].Key(), jobs[3].Key()}
+	if !reflect.DeepEqual(plan, want) {
+		t.Errorf("plan = %v, want %v (first-appearance order)", plan, want)
+	}
+	if runs.Load() != 0 {
+		t.Errorf("Plan simulated %d jobs; planning must not simulate", runs.Load())
+	}
+}
+
+// TestPlanValidatesLikeRun pins that a job set Run would reject is also
+// rejected at planning time, before any dispatch.
+func TestPlanValidatesLikeRun(t *testing.T) {
+	var runs atomic.Int64
+	for name, jobs := range map[string][]exp.Job{
+		"duplicate name": {stubJob("a", "m1", "w1", 1, &runs), stubJob("a", "m2", "w2", 2, &runs)},
+		"empty name":     {stubJob("", "m1", "w1", 1, &runs)},
+		"no constructor": {{Name: "a", Machine: "m1", Workload: exp.WorkloadSpec{Key: "w1", New: stubJob("x", "m1", "w1", 1, &runs).Workload.New}}},
+		"no workload":    {{Name: "a", Machine: "m1", Make: stubJob("x", "m1", "w1", 1, &runs).Make}},
+	} {
+		if _, err := exp.Plan(jobs); err == nil {
+			t.Errorf("%s: Plan accepted a job set Run rejects", name)
+		}
+	}
+}
+
+// TestCacheLookup pins Lookup's completed-only contract: present after a
+// run, absent for unknown keys, and populated by AddResults.
+func TestCacheLookup(t *testing.T) {
+	var runs atomic.Int64
+	c := exp.NewCache()
+	job := stubJob("a", "m1", "w1", 123, &runs)
+	if _, ok := c.Lookup(job.Key()); ok {
+		t.Fatal("Lookup hit on an empty cache")
+	}
+	if _, err := exp.Run([]exp.Job{job}, exp.WithCache(c)); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := c.Lookup(job.Key())
+	if !ok || res.Cycles != 123 {
+		t.Fatalf("Lookup after run = (%+v, %v), want cycles 123", res, ok)
+	}
+
+	other := exp.NewCache()
+	other.AddResults(c.Snapshot())
+	if res, ok := other.Lookup(job.Key()); !ok || res.Cycles != 123 {
+		t.Fatalf("Lookup after AddResults = (%+v, %v), want cycles 123", res, ok)
+	}
+}

@@ -1,0 +1,111 @@
+package registry_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"icfp/internal/dist"
+	"icfp/internal/exp"
+	"icfp/internal/exp/registry"
+)
+
+// pipeWorkers serves n in-process registry workers over pipes.
+func pipeWorkers(t *testing.T, n int) []dist.Worker {
+	t.Helper()
+	workers := make([]dist.Worker, 0, n)
+	for i := 0; i < n; i++ {
+		coordEnd, workerEnd := dist.Pipe()
+		go dist.Serve(workerEnd, registry.ResolveWorker)
+		workers = append(workers, dist.Worker{Name: fmt.Sprintf("w%d", i), RW: coordEnd})
+	}
+	return workers
+}
+
+// TestDistributedReportMatchesLocal is the cross-process determinism
+// guarantee at the registry level: a report assembled from results that
+// were simulated on dist workers and merged through the JSON protocol is
+// byte-identical to a local single-process report, and the coordinator
+// itself simulates nothing.
+func TestDistributedReportMatchesLocal(t *testing.T) {
+	names := []string{"fig5", "table2", "area"}
+	p := tinyParams()
+
+	var local bytes.Buffer
+	if _, err := registry.Report(&local, names, p, exp.Parallelism(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var distributed bytes.Buffer
+	cache := exp.NewCache()
+	sets, err := registry.ReportDistributed(&distributed, names, p, pipeWorkers(t, 3), 1, cache, dist.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), distributed.Bytes()) {
+		t.Errorf("distributed report differs from local:\n--- local ---\n%s\n--- distributed ---\n%s",
+			local.String(), distributed.String())
+	}
+	if cache.Simulations() != 0 {
+		t.Errorf("coordinator simulated %d times; all simulation must happen on workers", cache.Simulations())
+	}
+	for _, name := range names {
+		if _, ok := sets[name]; !ok {
+			t.Errorf("no result set for %q", name)
+		}
+	}
+}
+
+// TestDistributedReportWarmCache pins the cache-file interplay: a cache
+// warmed by one distributed run satisfies the next without any workers.
+func TestDistributedReportWarmCache(t *testing.T) {
+	names := []string{"fig8"}
+	p := tinyParams()
+	cache := exp.NewCache()
+	var first bytes.Buffer
+	if _, err := registry.ReportDistributed(&first, names, p, pipeWorkers(t, 2), 1, cache, dist.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if _, err := registry.ReportDistributed(&second, names, p, nil, 1, cache, dist.Options{}); err != nil {
+		t.Fatalf("warm-cache distributed run must need no workers: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("warm-cache rerun differs from the run that warmed it")
+	}
+}
+
+// TestResolveWorkerRejectsBadSpecs pins the worker-side validation.
+func TestResolveWorkerRejectsBadSpecs(t *testing.T) {
+	for name, spec := range map[string]string{
+		"garbage":        "not json",
+		"zero n":         `{"names":["fig5"],"n":0,"warm":100}`,
+		"negative":       `{"names":["fig5"],"n":100,"warm":-1}`,
+		"unknown name":   `{"names":["nope"],"n":100,"warm":100}`,
+		"hostile n":      `{"names":["fig5"],"n":2000000000,"warm":100}`,
+		"hostile warm":   `{"names":["fig5"],"n":100,"warm":2000000000}`,
+		"hostile fanout": `{"names":["fig5"],"n":100,"warm":100,"parallel":100000000}`,
+	} {
+		if _, _, err := registry.ResolveWorker([]byte(spec)); err == nil {
+			t.Errorf("%s: ResolveWorker accepted %q", name, spec)
+		}
+	}
+	jobs, parallel, err := registry.ResolveWorker([]byte(`{"names":["fig8"],"n":2000,"warm":1000,"parallel":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 || parallel != 2 {
+		t.Errorf("ResolveWorker = %d jobs, parallel %d; want jobs and parallel 2", len(jobs), parallel)
+	}
+}
+
+// TestDistributedReportUnknownExperiment pins the coordinator-side error
+// path before any dispatch.
+func TestDistributedReportUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	_, err := registry.ReportDistributed(&out, []string{"nope"}, tinyParams(), nil, 1, nil, dist.Options{})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v, want unknown-experiment", err)
+	}
+}

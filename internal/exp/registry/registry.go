@@ -77,6 +77,33 @@ func Lookup(name string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// collect resolves the experiment names (deduplicated, order-preserving)
+// and gathers their combined job list with per-experiment counts — the
+// shared front half of Run and of distributed planning, which must agree
+// exactly on the job set across processes.
+func collect(names []string, p Params) (selected []Experiment, jobs []exp.Job, counts []int, err error) {
+	picked := make(map[string]bool, len(names))
+	for _, name := range names {
+		e, ok := Lookup(name)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("registry: unknown experiment %q (have %v)", name, Names())
+		}
+		if !picked[name] {
+			picked[name] = true
+			selected = append(selected, e)
+		}
+	}
+	counts = make([]int, len(selected))
+	for i, e := range selected {
+		if e.Jobs != nil {
+			js := e.Jobs(p)
+			counts[i] = len(js)
+			jobs = append(jobs, js...)
+		}
+	}
+	return selected, jobs, counts, nil
+}
+
 // Run executes the named experiments and returns their result sets
 // keyed by experiment name. All selected experiments' jobs go through
 // one worker-pool run — job names are experiment-prefixed, so they never
@@ -85,27 +112,9 @@ func Lookup(name string) (Experiment, bool) {
 // across experiments. Options (most usefully exp.Parallelism) are
 // forwarded to the underlying exp.Run.
 func Run(names []string, p Params, opts ...exp.Option) (map[string]*exp.ResultSet, error) {
-	var selected []Experiment
-	picked := make(map[string]bool, len(names))
-	for _, name := range names {
-		e, ok := Lookup(name)
-		if !ok {
-			return nil, fmt.Errorf("registry: unknown experiment %q (have %v)", name, Names())
-		}
-		if !picked[name] {
-			picked[name] = true
-			selected = append(selected, e)
-		}
-	}
-
-	var jobs []exp.Job
-	counts := make([]int, len(selected))
-	for i, e := range selected {
-		if e.Jobs != nil {
-			js := e.Jobs(p)
-			counts[i] = len(js)
-			jobs = append(jobs, js...)
-		}
+	selected, jobs, counts, err := collect(names, p)
+	if err != nil {
+		return nil, err
 	}
 	rs, err := exp.Run(jobs, opts...)
 	if err != nil {
