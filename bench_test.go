@@ -108,7 +108,7 @@ func BenchmarkFigure7(b *testing.B) {
 		b.Run(build.Label, func(b *testing.B) {
 			var r pipeline.Result
 			for i := 0; i < b.N; i++ {
-				r = build.Make(cfg).Run(workload.SPEC("mcf", cfg.WarmupInsts+benchTimed))
+				r = sim.NewFromSpec(build.Machine, cfg).Run(workload.SPEC("mcf", cfg.WarmupInsts+benchTimed))
 			}
 			b.ReportMetric(r.SpeedupOver(base), "speedup%")
 		})
@@ -123,7 +123,7 @@ func BenchmarkFigure8(b *testing.B) {
 		b.Run(sb.Label, func(b *testing.B) {
 			var r pipeline.Result
 			for i := 0; i < b.N; i++ {
-				m := icfp.NewWithOptions(cfg, pipeline.TriggerAll, sb.Mode)
+				m := sim.NewFromSpec(sb.Machine, cfg)
 				r = m.Run(workload.SPEC("swim", cfg.WarmupInsts+benchTimed))
 			}
 			b.ReportMetric(r.SpeedupOver(base), "speedup%")

@@ -10,15 +10,16 @@
 //	expd -connect hostA:9700,hostB:9700 -all
 //	expd -connect hostA:9700 -run fig5,table2 -n 1000000 -warm 4000000
 //
-// The coordinator plans the deduplicated simulation keys, shards them
+// The coordinator plans the deduplicated simulation jobs, shards them
 // across the connected workers with work-stealing batches, merges the
 // streamed results, and renders the report locally — byte-identical to
 // `experiments` run in a single process, because simulations are
-// deterministic pure functions of their keys. A worker host that dies
-// mid-run has its unfinished batch reassigned to the survivors.
-// Coordinator and workers must run the same build of this module:
-// version skew changes results, so the handshake rejects mismatched
-// protocols and diverged job sets.
+// deterministic pure functions of their specs. A worker host that dies
+// mid-run has its unfinished batch reassigned to the survivors. Batches
+// carry self-describing specs (internal/spec), so workers need no copy
+// of the coordinator's job table — heterogeneous builds interoperate as
+// long as they speak the same protocol version and simulate identically;
+// the handshake rejects mismatched protocol versions by name.
 //
 // -cache-file works as in cmd/experiments: preloaded results are not
 // re-dispatched, and interrupts or failures save a partial snapshot of
@@ -88,7 +89,7 @@ func serveMain(args []string) {
 			defer c.Close()
 			peer := c.RemoteAddr()
 			fmt.Fprintf(os.Stderr, "expd serve: coordinator %s connected\n", peer)
-			if err := dist.Serve(c, registry.ResolveWorker); err != nil {
+			if err := dist.Serve(c); err != nil {
 				fmt.Fprintf(os.Stderr, "expd serve: coordinator %s: %v\n", peer, err)
 				return
 			}

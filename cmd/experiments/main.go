@@ -16,6 +16,19 @@
 //	-all      everything above
 //	-list     list the registry and exit
 //
+// Experiments are declarative (internal/spec): every entry above is a
+// serializable spec.Suite of (machine, workload) jobs.
+//
+//	-describe <name>   emit the named experiment as suite JSON and exit
+//	-spec <file>       run a suite from JSON ("-" reads stdin)
+//
+// A described suite run back through -spec renders byte-identically to
+// running the experiment directly, and user-authored suites (see
+// examples/customsuite and the README's "Defining your own experiments")
+// can name any machine, workload, and sweep the simulator supports —
+// no Go required. Decoding is strict: unknown fields and out-of-range
+// values fail with actionable errors.
+//
 // Simulations run on a worker pool (-parallel N) with memoized sharing of
 // common work, so the in-order baselines behind every speedup figure run
 // once for the whole invocation, and every distinct workload is generated
@@ -30,19 +43,22 @@
 // cache as they finish, and the report is rendered locally from the warm
 // cache — so output is byte-identical to a single-process run at any
 // worker count, and a crashed worker's batch is reassigned to the
-// survivors. The hidden -worker-stdio flag is the worker side of that
-// protocol; cmd/expd speaks the same protocol over TCP for multi-host
-// runs.
+// survivors. Batches carry self-describing specs, so workers need no
+// matching job table. The hidden -worker-stdio flag is the worker side
+// of that protocol; cmd/expd speaks the same protocol over TCP for
+// multi-host runs.
 //
 // -cache-file FILE persists the memoization cache across invocations:
 // results are loaded before the run and the merged cache is saved after
 // it, so re-running (or running a different selection that shares work)
-// skips simulations already on disk. Interrupts (SIGINT/SIGTERM) and
-// mid-run errors save a partial snapshot of the completed simulations
-// before exiting, so long runs never lose finished work. Results are
-// deterministic, so a cache built by an older simulator version must be
-// deleted after any behavioural change — the golden tests pin when that
-// happens.
+// skips simulations already on disk. Cache entries are keyed by
+// canonical machine/workload specs; a snapshot from the older
+// fingerprint-keyed schema is ignored with a warning and regenerated.
+// Interrupts (SIGINT/SIGTERM) and mid-run errors save a partial snapshot
+// of the completed simulations before exiting, so long runs never lose
+// finished work. Results are deterministic, so a cache built by an older
+// simulator version must be deleted after any behavioural change — the
+// golden tests pin when that happens.
 //
 // -cpuprofile/-memprofile write pprof profiles of the run, the
 // performance workflow described in README.md ("Performance").
@@ -56,6 +72,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -65,11 +82,14 @@ import (
 	"icfp/internal/exp"
 	"icfp/internal/exp/registry"
 	"icfp/internal/sim"
+	"icfp/internal/spec"
 )
 
 var (
 	flagAll         = flag.Bool("all", false, "run every experiment")
 	flagList        = flag.Bool("list", false, "list the experiment registry and exit")
+	flagDescribe    = flag.String("describe", "", "emit the named experiment as spec.Suite JSON and exit")
+	flagSpec        = flag.String("spec", "", "run a suite from this JSON file instead of named experiments ('-' reads stdin)")
 	flagN           = flag.Int("n", 400_000, "timed instructions per sample")
 	flagWarm        = flag.Int("warm", 150_000, "warmup instructions per sample")
 	flagParallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (results are identical at any setting)")
@@ -82,7 +102,7 @@ var (
 )
 
 // export is the -json file layout: the sample-size parameters and one
-// result set per experiment run.
+// result set per experiment (or suite) run.
 type export struct {
 	N           int                       `json:"n"`
 	Warmup      int                       `json:"warmup"`
@@ -108,7 +128,7 @@ func main() {
 	if *flagWorkerStdio {
 		// Worker mode: speak the protocol on stdin/stdout and nothing
 		// else; the coordinator owns every other concern.
-		if err := dist.Serve(dist.Stdio(), registry.ResolveWorker); err != nil {
+		if err := dist.Serve(dist.Stdio()); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: worker:", err)
 			os.Exit(1)
 		}
@@ -131,6 +151,8 @@ func main() {
 		usageError(fmt.Sprintf("-n %d: need at least one timed instruction", *flagN))
 	case *flagWarm < 0:
 		usageError(fmt.Sprintf("-warm %d: need a non-negative warmup", *flagWarm))
+	case *flagDescribe != "" && *flagSpec != "":
+		usageError("-describe and -spec are mutually exclusive")
 	}
 
 	var names []string
@@ -139,7 +161,47 @@ func main() {
 			names = append(names, e.Name)
 		}
 	}
-	if len(names) == 0 {
+
+	p := registry.Params{Cfg: sim.DefaultConfig(), N: *flagN}
+	p.Cfg.WarmupInsts = *flagWarm
+
+	if *flagDescribe != "" {
+		if len(names) > 0 {
+			usageError("-describe emits one experiment; drop the named experiment flags")
+		}
+		s, err := registry.Describe(*flagDescribe, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		b, err := s.Marshal()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(b)
+		return
+	}
+
+	var suite spec.Suite
+	if *flagSpec != "" {
+		if len(names) > 0 {
+			usageError("-spec runs a suite file; drop the named experiment flags")
+		}
+		// Sample sizes live in the suite; an explicit -n/-warm here
+		// would be silently ignored, so reject the combination.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "n" || f.Name == "warm" {
+				usageError("-" + f.Name + " conflicts with -spec: sample sizes come from the suite file")
+			}
+		})
+		var err error
+		suite, err = loadSuite(*flagSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	} else if len(names) == 0 {
 		usageError("no experiments selected")
 	}
 
@@ -177,13 +239,29 @@ func main() {
 		}()
 	}
 
-	p := registry.Params{Cfg: sim.DefaultConfig(), N: *flagN}
-	p.Cfg.WarmupInsts = *flagWarm
-
-	var sets map[string]*exp.ResultSet
+	var workers []dist.Worker
 	if *flagWorkers > 0 {
-		sets, err = runDistributed(names, p, cache)
-	} else {
+		if workers, err = spawnWorkers(); err != nil {
+			fail(err)
+		}
+	}
+
+	sets := make(map[string]*exp.ResultSet)
+	exportN, exportWarm := *flagN, *flagWarm
+	switch {
+	case *flagSpec != "" && *flagWorkers > 0:
+		var rs *exp.ResultSet
+		rs, err = registry.ReportSuiteDistributed(os.Stdout, suite, workers, perWorkerParallel(), cache, distOptions())
+		sets[suite.Name] = rs
+		exportN, exportWarm = suite.N, suite.Warm
+	case *flagSpec != "":
+		var rs *exp.ResultSet
+		rs, err = registry.ReportSuite(os.Stdout, suite, exp.Parallelism(*flagParallel), exp.WithCache(cache))
+		sets[suite.Name] = rs
+		exportN, exportWarm = suite.N, suite.Warm
+	case *flagWorkers > 0:
+		sets, err = registry.ReportDistributed(os.Stdout, names, p, workers, perWorkerParallel(), cache, distOptions())
+	default:
 		sets, err = registry.Report(os.Stdout, names, p, exp.Parallelism(*flagParallel), exp.WithCache(cache))
 	}
 	if err != nil {
@@ -218,7 +296,7 @@ func main() {
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
-		err = enc.Encode(export{N: *flagN, Warmup: *flagWarm, Experiments: sets})
+		err = enc.Encode(export{N: exportN, Warmup: exportWarm, Experiments: sets})
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -228,11 +306,32 @@ func main() {
 	}
 }
 
-// runDistributed self-execs -workers subprocess copies of this binary in
-// -worker-stdio mode, shards the plan across them, and renders the
-// report locally from the merged cache. The -parallel budget is split
-// across workers (each gets the ceiling share, minimum 1).
-func runDistributed(names []string, p registry.Params, cache *exp.Cache) (map[string]*exp.ResultSet, error) {
+// loadSuite reads and strictly decodes a suite file ("-" means stdin).
+func loadSuite(path string) (spec.Suite, error) {
+	var (
+		data []byte
+		err  error
+	)
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return spec.Suite{}, err
+	}
+	s, err := spec.UnmarshalSuite(data)
+	if err != nil {
+		return spec.Suite{}, fmt.Errorf("suite %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// spawnWorkers self-execs -workers subprocess copies of this binary in
+// -worker-stdio mode and returns their coordinator-side transports.
+// Errors return (never exit) so the caller's failure path still saves
+// the cache snapshot.
+func spawnWorkers() ([]dist.Worker, error) {
 	bin, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("locating own binary for worker self-exec: %w", err)
@@ -246,7 +345,18 @@ func runDistributed(names []string, p registry.Params, cache *exp.Cache) (map[st
 		}
 		workers = append(workers, w)
 	}
-	perWorker := (*flagParallel + *flagWorkers - 1) / *flagWorkers
+	return workers, nil
+}
+
+// perWorkerParallel splits the -parallel budget across workers (each
+// gets the ceiling share, minimum 1).
+func perWorkerParallel() int {
+	return (*flagParallel + *flagWorkers - 1) / *flagWorkers
+}
+
+// distOptions builds the dispatch options shared by both distributed
+// paths.
+func distOptions() dist.Options {
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
-	return registry.ReportDistributed(os.Stdout, names, p, workers, perWorker, cache, dist.Options{Logf: logf})
+	return dist.Options{Logf: logf}
 }

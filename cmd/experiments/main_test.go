@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -130,7 +131,10 @@ func TestFlagValidation(t *testing.T) {
 		{"-all", "-workers", "-1"},
 		{"-all", "-n", "0"},
 		{"-all", "-warm", "-1"},
-		{}, // no experiments selected
+		{},                                       // no experiments selected
+		{"-spec", "whatever.json", "-fig5"},      // -spec excludes named experiments
+		{"-spec", "whatever.json", "-n", "5000"}, // sample sizes come from the suite
+		{"-describe", "fig6", "-fig5"},           // -describe emits one experiment
 	} {
 		cmd := exec.Command(bin, args...)
 		err := cmd.Run()
@@ -182,6 +186,179 @@ func TestInterruptSavesPartialCache(t *testing.T) {
 	// within the window; an empty-but-valid snapshot is then the correct
 	// partial state, just a weaker observation.
 	t.Logf("snapshot preserved %d completed simulations", len(entries))
+}
+
+// TestDescribeSpecRoundTripGolden is the acceptance pin for the spec
+// redesign: for every experiment in the registry,
+// `-describe <name> | -spec /dev/stdin` produces byte-identical output
+// to running the experiment directly. The pairs share one -cache-file,
+// so each simulation happens once across the whole test.
+func TestDescribeSpecRoundTripGolden(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	cachePath := filepath.Join(dir, "cache.json")
+
+	list, err := exec.Command(bin, "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, line := range strings.Split(strings.TrimSpace(string(list)), "\n") {
+		names = append(names, strings.Fields(line)[0])
+	}
+	if len(names) < 10 {
+		t.Fatalf("-list returned only %v", names)
+	}
+
+	for _, name := range names {
+		direct := new(bytes.Buffer)
+		cmd := exec.Command(bin, "-"+name, "-n", "2000", "-warm", "1000", "-cache-file", cachePath)
+		cmd.Stdout = direct
+		cmd.Stderr = &bytes.Buffer{}
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s: direct run: %v", name, err)
+		}
+
+		suite, err := exec.Command(bin, "-describe", name, "-n", "2000", "-warm", "1000").Output()
+		if err != nil {
+			t.Fatalf("%s: -describe: %v", name, err)
+		}
+		suitePath := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(suitePath, suite, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		viaSpec := new(bytes.Buffer)
+		cmd = exec.Command(bin, "-spec", suitePath, "-cache-file", cachePath)
+		cmd.Stdout = viaSpec
+		cmd.Stderr = &bytes.Buffer{}
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s: -spec run: %v", name, err)
+		}
+		if !bytes.Equal(direct.Bytes(), viaSpec.Bytes()) {
+			t.Errorf("%s: -spec output differs from the direct run:\n--- direct ---\n%s\n--- via spec ---\n%s",
+				name, direct.String(), viaSpec.String())
+		}
+	}
+}
+
+// TestCustomSuiteExample exercises the checked-in user-authored suite:
+// it must run cleanly (locally and with subprocess workers,
+// byte-identically) and render the sweep it declares.
+func TestCustomSuiteExample(t *testing.T) {
+	bin := buildBinary(t)
+	suitePath, err := filepath.Abs("../../examples/customsuite/suite.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(extra ...string) string {
+		t.Helper()
+		args := append([]string{"-spec", suitePath}, extra...)
+		cmd := exec.Command(bin, args...)
+		var out, stderr bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%v: %v\nstderr: %s", args, err, stderr.String())
+		}
+		return out.String()
+	}
+	local := run()
+	for _, marker := range []string{"icfp-trigger-l2-sweep", "iCFP-l2", "iCFP-all", "config"} {
+		if !strings.Contains(local, marker) {
+			t.Errorf("suite output missing %q:\n%s", marker, local)
+		}
+	}
+	if workers2 := run("-workers", "2"); workers2 != local {
+		t.Errorf("-workers 2 suite output differs from local:\n--- local ---\n%s\n--- workers ---\n%s", local, workers2)
+	}
+}
+
+// TestSpecRejectsTypos pins the strict-decoding satellite end to end: a
+// typo'd field fails the run with an actionable message instead of
+// silently simulating the default machine.
+func TestSpecRejectsTypos(t *testing.T) {
+	bin := buildBinary(t)
+	good, err := os.ReadFile("../../examples/customsuite/suite.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(good, []byte(`"trigger"`), []byte(`"trigerr"`), 1)
+	if bytes.Equal(good, bad) {
+		t.Fatal("test fixture: no trigger field to misspell")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-spec", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("typo'd suite: err = %v, want exit 1", err)
+	}
+	if !strings.Contains(stderr.String(), "trigerr") {
+		t.Errorf("error does not name the typo'd field:\n%s", stderr.String())
+	}
+}
+
+// TestLegacyCacheFileRegenerates pins the snapshot-versioning satellite:
+// a pre-spec (fingerprint-keyed) cache file is not a fatal decode error
+// — the run warns, proceeds, and replaces it with a current-schema
+// snapshot.
+func TestLegacyCacheFileRegenerates(t *testing.T) {
+	bin := buildBinary(t)
+	cachePath := filepath.Join(t.TempDir(), "cache.json")
+	legacy := []byte(`{"entries":[{"machine":"iCFP","config":"00ff00ff00ff00ff","workload":"spec:mcf:n=3000","result":{"name":"mcf","cycles":1}}]}` + "\n")
+	if err := os.WriteFile(cachePath, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-fig8", "-n", "2000", "-warm", "1000", "-cache-file", cachePath)
+	cmd.Stdout = &bytes.Buffer{}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("run with a legacy cache file must succeed, got %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "regenerated") {
+		t.Errorf("no re-keying warning on stderr:\n%s", stderr.String())
+	}
+	f, err := os.Open(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	entries, err := exp.ReadSnapshot(f)
+	if err != nil {
+		t.Fatalf("cache file was not regenerated under the current schema: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Error("regenerated cache file is empty")
+	}
+}
+
+// TestFutureCacheFileIsFatal pins the other side of snapshot
+// versioning: a cache file from a NEWER schema must abort the run, not
+// be silently overwritten with a downgraded snapshot.
+func TestFutureCacheFileIsFatal(t *testing.T) {
+	bin := buildBinary(t)
+	cachePath := filepath.Join(t.TempDir(), "cache.json")
+	future := []byte(`{"version":99,"entries":[]}` + "\n")
+	if err := os.WriteFile(cachePath, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-table1", "-cache-file", cachePath)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("future-schema cache file: err = %v, want exit 1\nstderr: %s", err, stderr.String())
+	}
+	if got, err := os.ReadFile(cachePath); err != nil || !bytes.Equal(got, future) {
+		t.Errorf("future-schema cache file was modified (err %v):\n%s", err, got)
+	}
 }
 
 // TestListStillWorks guards the registry listing against the CLI

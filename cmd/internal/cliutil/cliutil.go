@@ -4,6 +4,7 @@
 package cliutil
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"os/signal"
@@ -21,11 +22,23 @@ import (
 // path, where a silently missing snapshot would make the next
 // invocation re-simulate everything, and may merely log it on paths
 // that already exit non-zero.
+//
+// A snapshot written under an older schema (the pre-spec,
+// fingerprint-keyed format) is not an error: its entries cannot be
+// re-keyed, so the run warns, starts from an empty cache, and replaces
+// the file with a current-schema snapshot on save. A snapshot from a
+// NEWER schema is fatal — regenerating would overwrite another build's
+// accumulated results with a downgraded file.
 func PersistentCache(prog, path string) (*exp.Cache, func() error, error) {
 	cache := exp.NewCache()
 	if path != "" {
 		if err := exp.LoadCacheFile(cache, path); err != nil {
-			return nil, nil, err
+			var verr *exp.SnapshotVersionError
+			if !errors.As(err, &verr) || verr.Got > exp.SnapshotVersion {
+				return nil, nil, err
+			}
+			fmt.Fprintf(os.Stderr, "%s: cache file %s: %v — entries are re-keyed under the canonical spec schema, so the snapshot is ignored and will be regenerated\n",
+				prog, path, verr)
 		}
 	}
 	save := func() error {

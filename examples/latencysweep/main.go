@@ -30,7 +30,7 @@ func main() {
 	}
 	fmt.Println()
 	for _, m := range machines {
-		sp := sim.SweepL2LatencyCached(cache, m.Label, m.Machine, cfg, "equake", timed, lats)
+		sp := sim.SweepL2LatencyCached(cache, m.Machine, cfg, "equake", timed, lats)
 		fmt.Printf("%-18s", m.Label)
 		for _, v := range sp {
 			fmt.Printf(" %+7.1f%%", v)

@@ -19,6 +19,7 @@ import (
 
 	"icfp/internal/exp"
 	"icfp/internal/sim"
+	"icfp/internal/spec"
 	"icfp/internal/workload"
 )
 
@@ -29,7 +30,7 @@ func main() {
 	var jobs []exp.Job
 	for _, sc := range workload.AllScenarios {
 		for _, m := range sim.AllModels {
-			jobs = append(jobs, sim.Job(string(sc)+"/"+m.String(), m, cfg, exp.ScenarioWorkload(sc)))
+			jobs = append(jobs, sim.Job(string(sc)+"/"+m.String(), m, cfg, spec.ScenarioWorkload(sc)))
 		}
 	}
 	rs, err := exp.Run(jobs) // default parallelism: one worker per CPU

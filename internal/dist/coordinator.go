@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +9,7 @@ import (
 	"time"
 
 	"icfp/internal/exp"
+	"icfp/internal/spec"
 )
 
 // Dispatch defaults.
@@ -26,9 +26,10 @@ const (
 
 // Options configure a coordinator run.
 type Options struct {
-	// Spec is the opaque job spec forwarded to every worker's Resolver.
-	Spec json.RawMessage
-	// BatchSize is the number of keys per dispatched batch (default
+	// Parallel is each worker's internal pool size (values below 1 mean
+	// the worker's GOMAXPROCS).
+	Parallel int
+	// BatchSize is the number of jobs per dispatched batch (default
 	// DefaultBatchSize).
 	BatchSize int
 	// MaxAttempts caps dispatch attempts per batch (default
@@ -70,26 +71,26 @@ func (o *Options) logf(format string, args ...any) {
 	}
 }
 
-// batchState is one unit of dispatch. Keys shrink as results stream in,
+// batchState is one unit of dispatch. Jobs shrink as results stream in,
 // so a batch reassigned after a worker crash carries only its unfinished
 // remainder.
 type batchState struct {
 	id       int
-	keys     []exp.Key
+	jobs     []spec.Job
 	attempts int
 }
 
-// Run shards the plan's keys across the workers and merges every
-// completed result into cache. Keys the cache already has (a preloaded
-// -cache-file) are not dispatched at all. Dispatch is work-stealing —
-// idle workers pull the next batch, so shard sizes adapt to worker speed
-// — and crash-tolerant: when a worker's transport fails mid-batch, the
-// batch's unfinished remainder is requeued for the survivors, up to
-// MaxAttempts dispatches per batch. Worker-side errors (spec resolution,
-// job-set divergence, simulation failures) abort the run with the
+// Run shards the plan's self-describing jobs across the workers and
+// merges every completed result into cache. Jobs whose key the cache
+// already has (a preloaded -cache-file) are not dispatched at all.
+// Dispatch is work-stealing — idle workers pull the next batch, so shard
+// sizes adapt to worker speed — and crash-tolerant: when a worker's
+// transport fails mid-batch, the batch's unfinished remainder is requeued
+// for the survivors, up to MaxAttempts dispatches per batch. Worker-side
+// errors (invalid specs, simulation failures) abort the run with the
 // worker's context attached. Run closes every worker transport before
 // returning; for subprocess transports that also reaps the process.
-func Run(keys []exp.Key, workers []Worker, cache *exp.Cache, opts Options) error {
+func Run(plan []spec.Job, workers []Worker, cache *exp.Cache, opts Options) error {
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = DefaultBatchSize
 	}
@@ -98,25 +99,25 @@ func Run(keys []exp.Key, workers []Worker, cache *exp.Cache, opts Options) error
 	}
 	defer CloseAll(workers)
 
-	var missing []exp.Key
-	for _, k := range keys {
-		if _, ok := cache.Lookup(k); !ok {
-			missing = append(missing, k)
+	var missing []spec.Job
+	for _, sj := range plan {
+		if _, ok := cache.Lookup(exp.KeyOf(sj)); !ok {
+			missing = append(missing, sj)
 		}
 	}
 	if len(missing) == 0 {
 		return nil
 	}
 	if len(workers) == 0 {
-		return fmt.Errorf("dist: %d keys to simulate but no workers", len(missing))
+		return fmt.Errorf("dist: %d jobs to simulate but no workers", len(missing))
 	}
 
 	var batches []*batchState
 	for i := 0; i < len(missing); i += opts.BatchSize {
 		end := min(i+opts.BatchSize, len(missing))
-		batches = append(batches, &batchState{id: len(batches) + 1, keys: missing[i:end]})
+		batches = append(batches, &batchState{id: len(batches) + 1, jobs: missing[i:end]})
 	}
-	opts.logf("dist: %d keys in %d batches across %d workers", len(missing), len(batches), len(workers))
+	opts.logf("dist: %d jobs in %d batches across %d workers", len(missing), len(batches), len(workers))
 
 	// Each batch is enqueued at most MaxAttempts times, so the buffer
 	// bound makes every send non-blocking.
@@ -163,10 +164,10 @@ func Run(keys []exp.Key, workers []Worker, cache *exp.Cache, opts Options) error
 		wg.Add(1)
 		go func(wi int, w Worker) {
 			defer wg.Done()
-			if err := initWorker(w, &opts, len(keys)); err != nil {
+			if err := initWorker(w, &opts); err != nil {
 				var fatal *fatalError
 				if errors.As(err, &fatal) {
-					fail(err)
+					fail(fmt.Errorf("dist: worker %s: %w", w.Name, err))
 				} else {
 					opts.logf("dist: worker %s failed during handshake: %v", w.Name, err)
 				}
@@ -196,14 +197,14 @@ func Run(keys []exp.Key, workers []Worker, cache *exp.Cache, opts Options) error
 						completeBatch()
 						return
 					}
-					b.keys = rest
+					b.jobs = rest
 					b.attempts++
 					if b.attempts >= opts.MaxAttempts {
-						fail(fmt.Errorf("dist: batch %d failed on its %dth dispatch (%d keys left), last worker %s: %w",
+						fail(fmt.Errorf("dist: batch %d failed on its %dth dispatch (%d jobs left), last worker %s: %w",
 							b.id, b.attempts, len(rest), w.Name, err))
 						return
 					}
-					opts.logf("dist: worker %s died mid-batch %d; requeueing %d keys (attempt %d/%d): %v",
+					opts.logf("dist: worker %s died mid-batch %d; requeueing %d jobs (attempt %d/%d): %v",
 						w.Name, b.id, len(rest), b.attempts+1, opts.MaxAttempts, err)
 					queue <- b
 					return
@@ -241,10 +242,11 @@ type fatalError struct{ msg string }
 
 func (e *fatalError) Error() string { return e.msg }
 
-// initWorker performs the handshake and cross-checks the worker's
-// resolved job table against the coordinator's plan size.
-func initWorker(w Worker, opts *Options, planSize int) error {
-	if err := WriteMessage(w.RW, &Message{Type: TypeInit, Proto: ProtoVersion, Spec: opts.Spec}); err != nil {
+// initWorker performs the handshake: protocol version plus the worker's
+// pool size. There is no job-table cross-check — batches are
+// self-describing, so the worker needs no prior copy of the plan.
+func initWorker(w Worker, opts *Options) error {
+	if err := WriteMessage(w.RW, &Message{Type: TypeInit, Proto: ProtoVersion, Parallel: opts.Parallel}); err != nil {
 		return err
 	}
 	m, err := readFrame(w.RW, opts)
@@ -253,9 +255,6 @@ func initWorker(w Worker, opts *Options, planSize int) error {
 	}
 	switch m.Type {
 	case TypeReady:
-		if m.Jobs != planSize {
-			return &fatalError{fmt.Sprintf("worker %s resolved %d jobs, coordinator planned %d — binary or spec skew", w.Name, m.Jobs, planSize)}
-		}
 		return nil
 	case TypeError:
 		return &fatalError{m.Err}
@@ -265,24 +264,24 @@ func initWorker(w Worker, opts *Options, planSize int) error {
 }
 
 // runBatch dispatches one batch and merges its streamed results until
-// batch_done. On a transport failure it returns the keys still owed, in
+// batch_done. On a transport failure it returns the jobs still owed, in
 // dispatch order, for requeueing; worker-reported errors come back as
 // fatalError.
-func runBatch(w Worker, b *batchState, cache *exp.Cache, opts *Options) (rest []exp.Key, err error) {
-	remaining := make(map[exp.Key]bool, len(b.keys))
-	for _, k := range b.keys {
-		remaining[k] = true
+func runBatch(w Worker, b *batchState, cache *exp.Cache, opts *Options) (rest []spec.Job, err error) {
+	remaining := make(map[exp.Key]bool, len(b.jobs))
+	for _, sj := range b.jobs {
+		remaining[exp.KeyOf(sj)] = true
 	}
-	owed := func() []exp.Key {
-		var out []exp.Key
-		for _, k := range b.keys {
-			if remaining[k] {
-				out = append(out, k)
+	owed := func() []spec.Job {
+		var out []spec.Job
+		for _, sj := range b.jobs {
+			if remaining[exp.KeyOf(sj)] {
+				out = append(out, sj)
 			}
 		}
 		return out
 	}
-	if err := WriteMessage(w.RW, &Message{Type: TypeBatch, BatchID: b.id, Keys: b.keys}); err != nil {
+	if err := WriteMessage(w.RW, &Message{Type: TypeBatch, BatchID: b.id, Jobs: b.jobs}); err != nil {
 		return owed(), err
 	}
 	for {
@@ -296,7 +295,7 @@ func runBatch(w Worker, b *batchState, cache *exp.Cache, opts *Options) (rest []
 				return owed(), &fatalError{"result frame without a payload"}
 			}
 			cache.AddResults([]exp.CachedResult{*m.Result})
-			delete(remaining, exp.Key{Machine: m.Result.Machine, Config: m.Result.Config, Workload: m.Result.Workload})
+			delete(remaining, exp.Key{Machine: m.Result.Machine, Workload: m.Result.Workload})
 		case TypeBatchDone:
 			if m.BatchID != b.id {
 				return owed(), &fatalError{fmt.Sprintf("batch_done for batch %d while %d was in flight", m.BatchID, b.id)}

@@ -3,7 +3,6 @@ package dist_test
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -15,92 +14,71 @@ import (
 	"icfp/internal/dist"
 	"icfp/internal/exp"
 	"icfp/internal/pipeline"
+	"icfp/internal/sim"
+	"icfp/internal/spec"
 	"icfp/internal/workload"
 )
 
-// The stub world: a spec naming how many keys exist, resolved on both
-// sides into counting stub jobs whose results are a pure function of the
-// key index — so tests can verify merged results without a simulator.
+// The test world: real (but tiny — tens of instructions) scenario
+// simulations. Batches are self-describing since protocol v2, so workers
+// need no stub resolver: they run whatever specs arrive.
 
-type stubSpec struct {
-	Keys int   `json:"keys"`
-	Base int64 `json:"base"`
-}
-
-func (s stubSpec) raw() json.RawMessage {
-	b, err := json.Marshal(s)
-	if err != nil {
-		panic(err)
+// testJobs builds n distinct real jobs from (model, scenario) combos,
+// with warmup disabled (scenarios pre-warm their caches explicitly).
+func testJobs(n int) []exp.Job {
+	if max := len(sim.AllModels) * len(workload.AllScenarios); n > max {
+		panic(fmt.Sprintf("at most %d distinct test jobs", max))
 	}
-	return b
-}
-
-type stubRunner struct {
-	cycles int64
-	runs   *atomic.Int64
-}
-
-func (s stubRunner) Run(*workload.Workload) pipeline.Result {
-	if s.runs != nil {
-		s.runs.Add(1)
-	}
-	return pipeline.Result{Name: "stub", Cycles: s.cycles, Insts: 100}
-}
-
-func stubJob(i int, base int64, runs *atomic.Int64) exp.Job {
-	return exp.Job{
-		Name:    fmt.Sprintf("job%d", i),
-		Machine: fmt.Sprintf("m%d", i),
-		Config:  pipeline.DefaultConfig(),
-		Make: func(pipeline.Config) exp.Runner {
-			return stubRunner{cycles: base + int64(i), runs: runs}
-		},
-		Workload: exp.WorkloadSpec{
-			Key: fmt.Sprintf("w%d", i),
-			New: func() *workload.Workload { return &workload.Workload{Name: "stub"} },
-		},
-	}
-}
-
-func stubJobs(s stubSpec, runs *atomic.Int64) []exp.Job {
-	jobs := make([]exp.Job, 0, s.Keys)
-	for i := 0; i < s.Keys; i++ {
-		jobs = append(jobs, stubJob(i, s.Base, runs))
+	jobs := make([]exp.Job, 0, n)
+	for i := 0; i < n; i++ {
+		m := sim.AllModels[i%len(sim.AllModels)].Spec()
+		m.Overrides = &spec.Overrides{Warmup: spec.Int(0)}
+		sc := workload.AllScenarios[i/len(sim.AllModels)]
+		jobs = append(jobs, exp.Job{
+			Name:     fmt.Sprintf("job%d", i),
+			Machine:  m,
+			Workload: spec.ScenarioWorkload(sc),
+		})
 	}
 	return jobs
 }
 
-// stubResolver resolves the stub spec, counting simulations into runs.
-func stubResolver(runs *atomic.Int64) dist.Resolver {
-	return func(raw json.RawMessage) (map[exp.Key]exp.Job, int, error) {
-		var s stubSpec
-		if err := json.Unmarshal(raw, &s); err != nil {
-			return nil, 0, err
-		}
-		jobs := make(map[exp.Key]exp.Job, s.Keys)
-		for _, j := range stubJobs(s, runs) {
-			jobs[j.Key()] = j
-		}
-		return jobs, 1, nil
+// localResults simulates the jobs in-process, the reference the
+// distributed path must reproduce exactly.
+func localResults(t *testing.T, jobs []exp.Job) map[exp.Key]pipeline.Result {
+	t.Helper()
+	cache := exp.NewCache()
+	if _, err := exp.Run(jobs, exp.WithCache(cache)); err != nil {
+		t.Fatal(err)
 	}
+	out := make(map[exp.Key]pipeline.Result, len(jobs))
+	for _, j := range jobs {
+		res, ok := cache.Lookup(j.Key())
+		if !ok {
+			t.Fatalf("local reference run missing %v", j.Key())
+		}
+		out[j.Key()] = res
+	}
+	return out
 }
 
 // startWorker serves one in-process worker over a pipe and returns the
 // coordinator-side handle plus a channel carrying Serve's error.
-func startWorker(t *testing.T, name string, resolve dist.Resolver) (dist.Worker, <-chan error) {
+func startWorker(t *testing.T, name string, opts ...dist.ServeOption) (dist.Worker, <-chan error) {
 	t.Helper()
 	coordEnd, workerEnd := dist.Pipe()
 	errc := make(chan error, 1)
-	go func() { errc <- dist.Serve(workerEnd, resolve) }()
+	go func() { errc <- dist.Serve(workerEnd, opts...) }()
 	return dist.Worker{Name: name, RW: coordEnd}, errc
 }
 
 func TestProtocolRoundTrip(t *testing.T) {
+	job := testJobs(1)[0]
 	msgs := []*dist.Message{
-		{Type: dist.TypeInit, Proto: dist.ProtoVersion, Spec: json.RawMessage(`{"keys":3}`)},
-		{Type: dist.TypeReady, Jobs: 7},
-		{Type: dist.TypeBatch, BatchID: 1, Keys: []exp.Key{{Machine: "m", Config: "c", Workload: "w"}}},
-		{Type: dist.TypeResult, Result: &exp.CachedResult{Machine: "m", Config: "c", Workload: "w", R: pipeline.Result{Cycles: 42}}},
+		{Type: dist.TypeInit, Proto: dist.ProtoVersion, Parallel: 2},
+		{Type: dist.TypeReady},
+		{Type: dist.TypeBatch, BatchID: 1, Jobs: []spec.Job{job.Spec()}},
+		{Type: dist.TypeResult, Result: &exp.CachedResult{Machine: job.Key().Machine, Workload: job.Key().Workload, R: pipeline.Result{Cycles: 42}}},
 		{Type: dist.TypeBatchDone, BatchID: 1},
 		{Type: dist.TypeError, Err: "boom"},
 	}
@@ -131,7 +109,7 @@ func TestReadMessageRejectsOversizeAndTruncated(t *testing.T) {
 		t.Error("oversize frame length accepted")
 	}
 	var buf bytes.Buffer
-	if err := dist.WriteMessage(&buf, &dist.Message{Type: dist.TypeReady, Jobs: 1}); err != nil {
+	if err := dist.WriteMessage(&buf, &dist.Message{Type: dist.TypeReady}); err != nil {
 		t.Fatal(err)
 	}
 	cut := buf.Bytes()[:buf.Len()-2]
@@ -141,45 +119,50 @@ func TestReadMessageRejectsOversizeAndTruncated(t *testing.T) {
 }
 
 // TestRunMergesAllResults is the subsystem's core path: a plan sharded
-// over three workers lands complete and correct in the coordinator's
-// cache, with every key simulated exactly once across the fleet.
+// over three workers — none of which has any prior copy of the job set;
+// every batch is self-describing — lands complete and correct in the
+// coordinator's cache, with every job simulated exactly once across the
+// fleet and results identical to a local run.
 func TestRunMergesAllResults(t *testing.T) {
-	spec := stubSpec{Keys: 13, Base: 1000}
-	var runs atomic.Int64
-	plan, err := exp.Plan(stubJobs(spec, nil))
+	jobs := testJobs(13)
+	want := localResults(t, jobs)
+	plan, err := exp.Plan(jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
 
+	var fleetRuns atomic.Int64
 	var workers []dist.Worker
 	for i := 0; i < 3; i++ {
-		w, _ := startWorker(t, fmt.Sprintf("w%d", i), stubResolver(&runs))
+		w, _ := startWorker(t, fmt.Sprintf("w%d", i), dist.OnSimulate(func(exp.Key) { fleetRuns.Add(1) }))
 		workers = append(workers, w)
 	}
 	cache := exp.NewCache()
-	if err := dist.Run(plan, workers, cache, dist.Options{Spec: spec.raw(), BatchSize: 2}); err != nil {
+	if err := dist.Run(plan, workers, cache, dist.Options{BatchSize: 2, Parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
-	for i, k := range plan {
+	for i, sj := range plan {
+		k := exp.KeyOf(sj)
 		res, ok := cache.Lookup(k)
 		if !ok {
-			t.Fatalf("key %d (%+v) missing from merged cache", i, k)
+			t.Fatalf("plan entry %d (%+v) missing from merged cache", i, k)
 		}
-		if want := spec.Base + int64(i); res.Cycles != want {
-			t.Errorf("key %d: cycles %d, want %d", i, res.Cycles, want)
+		if res != want[k] {
+			t.Errorf("plan entry %d: distributed result %+v != local %+v", i, res, want[k])
 		}
 	}
-	if got := runs.Load(); got != int64(spec.Keys) {
-		t.Errorf("fleet simulated %d times, want %d (each key exactly once)", got, spec.Keys)
+	if got := fleetRuns.Load(); got != int64(len(plan)) {
+		t.Errorf("fleet simulated %d times, want %d (each job exactly once)", got, len(plan))
+	}
+	if cache.Simulations() != 0 {
+		t.Errorf("coordinator simulated %d times; all simulation must happen on workers", cache.Simulations())
 	}
 }
 
 // TestRunSkipsCachedKeys pins the -cache-file interplay: preloaded keys
 // are never dispatched, and a fully warm cache needs no workers at all.
 func TestRunSkipsCachedKeys(t *testing.T) {
-	spec := stubSpec{Keys: 6, Base: 500}
-	var local atomic.Int64
-	jobs := stubJobs(spec, &local)
+	jobs := testJobs(6)
 	plan, err := exp.Plan(jobs)
 	if err != nil {
 		t.Fatal(err)
@@ -190,20 +173,20 @@ func TestRunSkipsCachedKeys(t *testing.T) {
 	}
 
 	var remote atomic.Int64
-	w, _ := startWorker(t, "w0", stubResolver(&remote))
-	if err := dist.Run(plan, []dist.Worker{w}, cache, dist.Options{Spec: spec.raw()}); err != nil {
+	w, _ := startWorker(t, "w0", dist.OnSimulate(func(exp.Key) { remote.Add(1) }))
+	if err := dist.Run(plan, []dist.Worker{w}, cache, dist.Options{Parallel: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if got := remote.Load(); got != 2 {
-		t.Errorf("worker simulated %d keys, want 2 (4 of 6 preloaded)", got)
+		t.Errorf("worker simulated %d jobs, want 2 (4 of 6 preloaded)", got)
 	}
 
 	// Fully warm: no workers required.
-	if err := dist.Run(plan, nil, cache, dist.Options{Spec: spec.raw()}); err != nil {
+	if err := dist.Run(plan, nil, cache, dist.Options{}); err != nil {
 		t.Errorf("warm-cache run with no workers: %v", err)
 	}
 	// Cold with no workers must error, not hang.
-	if err := dist.Run(plan, nil, exp.NewCache(), dist.Options{Spec: spec.raw()}); err == nil {
+	if err := dist.Run(plan, nil, exp.NewCache(), dist.Options{}); err == nil {
 		t.Error("cold run with no workers must fail")
 	}
 }
@@ -232,22 +215,35 @@ func (d *dyingRW) Write(p []byte) (int, error) {
 			d.rw.Close()
 			close(d.died)
 		})
-		return 0, errors.New("worker crashed")
+		return 0, fmt.Errorf("worker crashed")
 	}
 	return d.rw.Write(p)
 }
+
+// gatedRW delays a worker's first read (and with it the whole handshake)
+// until the gate opens — the deterministic scheduling device behind the
+// crash and stall tests.
+type gatedRW struct {
+	rw   io.ReadWriteCloser
+	gate <-chan struct{}
+}
+
+func (g *gatedRW) Read(p []byte) (int, error)  { <-g.gate; return g.rw.Read(p) }
+func (g *gatedRW) Write(p []byte) (int, error) { return g.rw.Write(p) }
+func (g *gatedRW) Close() error                { return g.rw.Close() }
 
 // TestCrashRecovery pins the headline fault-tolerance guarantee: a
 // worker that dies mid-batch loses nothing — the batch's unfinished
 // remainder is reassigned to the survivor and the run completes with a
 // full, correct cache and no error.
 //
-// The schedule is made deterministic by gating the survivor's resolver
+// The schedule is made deterministic by gating the survivor's transport
 // on the victim's death: the only ready worker when the batch is first
 // dispatched is the one that will crash.
 func TestCrashRecovery(t *testing.T) {
-	spec := stubSpec{Keys: 8, Base: 2000}
-	plan, err := exp.Plan(stubJobs(spec, nil))
+	jobs := testJobs(8)
+	want := localResults(t, jobs)
+	plan, err := exp.Plan(jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,54 +253,55 @@ func TestCrashRecovery(t *testing.T) {
 	coordEnd, workerEnd := dist.Pipe()
 	dying := newDyingRW(workerEnd, 2)
 	victimErr := make(chan error, 1)
-	go func() { victimErr <- dist.Serve(dying, stubResolver(&victimRuns)) }()
+	go func() {
+		victimErr <- dist.Serve(dying, dist.OnSimulate(func(exp.Key) { victimRuns.Add(1) }))
+	}()
 	victim := dist.Worker{Name: "victim", RW: coordEnd}
 
-	// Survivor: resolver blocks until the victim is dead, so the first
-	// dispatch must land on the victim.
+	// Survivor: its handshake blocks until the victim is dead, so the
+	// first dispatch must land on the victim.
 	var survivorRuns atomic.Int64
-	gated := func(raw json.RawMessage) (map[exp.Key]exp.Job, int, error) {
-		<-dying.died
-		return stubResolver(&survivorRuns)(raw)
-	}
-	survivor, _ := startWorker(t, "survivor", gated)
+	survCoord, survWorker := dist.Pipe()
+	go dist.Serve(&gatedRW{rw: survWorker, gate: dying.died}, dist.OnSimulate(func(exp.Key) { survivorRuns.Add(1) }))
+	survivor := dist.Worker{Name: "survivor", RW: survCoord}
 
 	cache := exp.NewCache()
 	err = dist.Run(plan, []dist.Worker{victim, survivor}, cache, dist.Options{
-		Spec:      spec.raw(),
 		BatchSize: len(plan), // one batch: the crash strands a big remainder
+		Parallel:  1,         // deterministic in-worker order: one result lands before the crash
 		Logf:      t.Logf,
 	})
 	if err != nil {
 		t.Fatalf("run with one crashed worker must still succeed, got: %v", err)
 	}
-	for i, k := range plan {
+	for i, sj := range plan {
+		k := exp.KeyOf(sj)
 		res, ok := cache.Lookup(k)
 		if !ok {
-			t.Fatalf("key %d (%+v) missing after crash recovery", i, k)
+			t.Fatalf("plan entry %d (%+v) missing after crash recovery", i, k)
 		}
-		if want := spec.Base + int64(i); res.Cycles != want {
-			t.Errorf("key %d: cycles %d, want %d", i, res.Cycles, want)
+		if res != want[k] {
+			t.Errorf("plan entry %d: result diverged after crash recovery", i)
 		}
 	}
 	if serr := <-victimErr; serr == nil {
 		t.Error("victim's Serve must report its send failure")
 	}
 	// Exactly one victim result was merged before the crash, so the
-	// survivor must have re-run the other 7 keys.
-	if got := survivorRuns.Load(); got != int64(spec.Keys)-1 {
-		t.Errorf("survivor simulated %d keys, want %d", got, spec.Keys-1)
+	// survivor must have re-run the other 7 jobs.
+	if got := survivorRuns.Load(); got != int64(len(plan))-1 {
+		t.Errorf("survivor simulated %d jobs, want %d", got, len(plan)-1)
 	}
 }
 
 // TestStalledWorkerTimesOut pins FrameTimeout: a worker that stays
 // connected but goes silent mid-batch is declared dead on expiry and its
 // batch reassigned, exactly like a crash. The schedule is deterministic:
-// the survivor's resolver is gated on the staller having received the
+// the survivor's handshake is gated on the staller having received the
 // batch.
 func TestStalledWorkerTimesOut(t *testing.T) {
-	spec := stubSpec{Keys: 6, Base: 3000}
-	plan, err := exp.Plan(stubJobs(spec, nil))
+	jobs := testJobs(6)
+	plan, err := exp.Plan(jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +315,7 @@ func TestStalledWorkerTimesOut(t *testing.T) {
 		if err != nil || m.Type != dist.TypeInit {
 			return
 		}
-		if err := dist.WriteMessage(workerEnd, &dist.Message{Type: dist.TypeReady, Jobs: len(plan)}); err != nil {
+		if err := dist.WriteMessage(workerEnd, &dist.Message{Type: dist.TypeReady}); err != nil {
 			return
 		}
 		if m, err = dist.ReadMessage(workerEnd); err != nil || m.Type != dist.TypeBatch {
@@ -331,15 +328,12 @@ func TestStalledWorkerTimesOut(t *testing.T) {
 	staller := dist.Worker{Name: "staller", RW: coordEnd}
 
 	var survivorRuns atomic.Int64
-	gated := func(raw json.RawMessage) (map[exp.Key]exp.Job, int, error) {
-		<-gotBatch
-		return stubResolver(&survivorRuns)(raw)
-	}
-	survivor, _ := startWorker(t, "survivor", gated)
+	survCoord, survWorker := dist.Pipe()
+	go dist.Serve(&gatedRW{rw: survWorker, gate: gotBatch}, dist.OnSimulate(func(exp.Key) { survivorRuns.Add(1) }))
+	survivor := dist.Worker{Name: "survivor", RW: survCoord}
 
 	cache := exp.NewCache()
 	err = dist.Run(plan, []dist.Worker{staller, survivor}, cache, dist.Options{
-		Spec:         spec.raw(),
 		BatchSize:    len(plan),
 		FrameTimeout: 150 * time.Millisecond,
 		Logf:         t.Logf,
@@ -347,30 +341,29 @@ func TestStalledWorkerTimesOut(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run with one stalled worker must still succeed, got: %v", err)
 	}
-	for i, k := range plan {
-		if _, ok := cache.Lookup(k); !ok {
-			t.Fatalf("key %d (%+v) missing after stall recovery", i, k)
+	for i, sj := range plan {
+		if _, ok := cache.Lookup(exp.KeyOf(sj)); !ok {
+			t.Fatalf("plan entry %d missing after stall recovery", i)
 		}
 	}
-	if got := survivorRuns.Load(); got != int64(spec.Keys) {
-		t.Errorf("survivor simulated %d keys, want all %d", got, spec.Keys)
+	if got := survivorRuns.Load(); got != int64(len(plan)) {
+		t.Errorf("survivor simulated %d jobs, want all %d", got, len(plan))
 	}
 }
 
 // TestRetryCapFails pins that a batch cannot be redispatched forever: at
 // MaxAttempts the run fails with context instead of spinning.
 func TestRetryCapFails(t *testing.T) {
-	spec := stubSpec{Keys: 4, Base: 10}
-	plan, err := exp.Plan(stubJobs(spec, nil))
+	plan, err := exp.Plan(testJobs(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	coordEnd, workerEnd := dist.Pipe()
 	dying := newDyingRW(workerEnd, 1) // ready only; every result write fails
-	go dist.Serve(dying, stubResolver(nil))
+	go dist.Serve(dying)
 
 	err = dist.Run(plan, []dist.Worker{{Name: "flaky", RW: coordEnd}}, exp.NewCache(), dist.Options{
-		Spec: spec.raw(), MaxAttempts: 1,
+		MaxAttempts: 1,
 	})
 	if err == nil {
 		t.Fatal("run must fail once the retry cap is hit")
@@ -380,72 +373,144 @@ func TestRetryCapFails(t *testing.T) {
 	}
 }
 
-// TestWorkerErrorPropagates pins that a worker-side resolution failure
-// aborts the run with the worker's message attached.
-func TestWorkerErrorPropagates(t *testing.T) {
-	spec := stubSpec{Keys: 2, Base: 10}
-	plan, err := exp.Plan(stubJobs(spec, nil))
-	if err != nil {
-		t.Fatal(err)
-	}
-	w, serveErr := startWorker(t, "broken", func(json.RawMessage) (map[exp.Key]exp.Job, int, error) {
-		return nil, 0, errors.New("no such registry entry")
-	})
-	err = dist.Run(plan, []dist.Worker{w}, exp.NewCache(), dist.Options{Spec: spec.raw()})
-	if err == nil || !strings.Contains(err.Error(), "no such registry entry") {
-		t.Errorf("run error = %v, want the worker's resolver message", err)
+// TestWorkerRejectsInvalidJobSpec pins the v2 replacement for the old
+// job-table skew guard: a batch carrying a spec the worker cannot
+// validate aborts the run with the worker's diagnostic, instead of
+// simulating the wrong thing.
+func TestWorkerRejectsInvalidJobSpec(t *testing.T) {
+	w, serveErr := startWorker(t, "strict")
+	rogue := []spec.Job{{
+		Machine:  spec.Machine{Model: "not-a-model"},
+		Workload: spec.ScenarioWorkload(workload.ScenarioLoneL2),
+	}}
+	err := dist.Run(rogue, []dist.Worker{w}, exp.NewCache(), dist.Options{})
+	if err == nil || !strings.Contains(err.Error(), "invalid job spec") {
+		t.Errorf("run error = %v, want the worker's invalid-spec diagnostic", err)
 	}
 	if serr := <-serveErr; serr == nil {
 		t.Error("worker Serve must also fail")
 	}
 }
 
-// TestJobSetSkewIsFatal pins the two divergence guards: a worker whose
-// resolved job table size differs from the plan fails the handshake, and
-// a worker asked for a key it cannot resolve aborts the run.
-func TestJobSetSkewIsFatal(t *testing.T) {
-	spec := stubSpec{Keys: 4, Base: 10}
-	plan, err := exp.Plan(stubJobs(spec, nil))
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// Size skew: worker resolves 3 jobs against a 4-key plan.
-	w, _ := startWorker(t, "skewed", stubResolver(nil))
-	err = dist.Run(plan, []dist.Worker{w}, exp.NewCache(),
-		dist.Options{Spec: stubSpec{Keys: 3, Base: 10}.raw()})
-	if err == nil || !strings.Contains(err.Error(), "skew") {
-		t.Errorf("size-skew run error = %v, want a skew diagnostic", err)
-	}
-
-	// Key skew: same size, different keys.
-	rogue := append([]exp.Key{}, plan[:3]...)
-	rogue = append(rogue, exp.Key{Machine: "nope", Config: "nope", Workload: "nope"})
-	w2, _ := startWorker(t, "skewed2", stubResolver(nil))
-	err = dist.Run(rogue, []dist.Worker{w2}, exp.NewCache(), dist.Options{Spec: spec.raw(), BatchSize: 4})
-	if err == nil || !strings.Contains(err.Error(), "unknown key") {
-		t.Errorf("key-skew run error = %v, want an unknown-key diagnostic", err)
-	}
-}
-
-// TestProtocolVersionMismatch pins that version skew is a handshake
-// failure, not silent wrongness.
-func TestProtocolVersionMismatch(t *testing.T) {
+// TestWorkerRejectsHostileParallelism pins the worker-side cap on the
+// coordinator-requested pool size (the init frame arrives over the
+// network on TCP workers).
+func TestWorkerRejectsHostileParallelism(t *testing.T) {
 	coordEnd, workerEnd := dist.Pipe()
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- dist.Serve(workerEnd, stubResolver(nil)) }()
-	if err := dist.WriteMessage(coordEnd, &dist.Message{Type: dist.TypeInit, Proto: dist.ProtoVersion + 1}); err != nil {
+	go func() { serveErr <- dist.Serve(workerEnd) }()
+	if err := dist.WriteMessage(coordEnd, &dist.Message{Type: dist.TypeInit, Proto: dist.ProtoVersion, Parallel: 1 << 20}); err != nil {
 		t.Fatal(err)
 	}
 	m, err := dist.ReadMessage(coordEnd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Type != dist.TypeError || !strings.Contains(m.Err, "version") {
-		t.Errorf("reply = %+v, want a version-mismatch error frame", m)
+	if m.Type != dist.TypeError || !strings.Contains(m.Err, "parallelism") {
+		t.Errorf("reply = %+v, want a parallelism-cap error frame", m)
+	}
+	coordEnd.Close()
+	if serr := <-serveErr; serr == nil {
+		t.Error("Serve must fail on a hostile parallelism request")
+	}
+}
+
+// TestProtocolVersionMismatchNamesBothVersions pins the version-bump
+// hygiene in both directions: a skewed handshake fails with a message
+// naming both protocol versions — never a decode panic or a silent
+// mis-simulation.
+func TestProtocolVersionMismatchNamesBothVersions(t *testing.T) {
+	// Old coordinator (v1) → this worker (v2): the worker's error frame
+	// names both versions.
+	coordEnd, workerEnd := dist.Pipe()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- dist.Serve(workerEnd) }()
+	if err := dist.WriteMessage(coordEnd, &dist.Message{Type: dist.TypeInit, Proto: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := dist.ReadMessage(coordEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != dist.TypeError ||
+		!strings.Contains(m.Err, "v1") || !strings.Contains(m.Err, fmt.Sprintf("v%d", dist.ProtoVersion)) {
+		t.Errorf("reply = %+v, want a version-mismatch error naming v1 and v%d", m, dist.ProtoVersion)
 	}
 	coordEnd.Close()
 	if serr := <-serveErr; serr == nil {
 		t.Error("Serve must fail on version mismatch")
+	}
+
+	// Old worker (v1) ↔ this coordinator (v2): the v1 worker rejects the
+	// v2 init exactly as the v1 code did — with an error frame naming
+	// both versions — and the coordinator surfaces it as a fatal error,
+	// not a decode panic or a hang.
+	plan, err := exp.Plan(testJobs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, w2 := dist.Pipe()
+	go func() {
+		// A faithful reenactment of the v1 worker's handshake rejection.
+		m, err := dist.ReadMessage(w2)
+		if err != nil || m.Type != dist.TypeInit {
+			return
+		}
+		if m.Proto != 1 {
+			dist.WriteMessage(w2, &dist.Message{Type: dist.TypeError,
+				Err: fmt.Sprintf("protocol version mismatch: coordinator %d, worker %d", m.Proto, 1)})
+		}
+	}()
+	err = dist.Run(plan, []dist.Worker{{Name: "v1-worker", RW: c2}}, exp.NewCache(), dist.Options{})
+	if err == nil || !strings.Contains(err.Error(), "version mismatch") ||
+		!strings.Contains(err.Error(), fmt.Sprintf("%d", dist.ProtoVersion)) || !strings.Contains(err.Error(), "1") {
+		t.Errorf("run against a v1 worker = %v, want a fatal version-mismatch error naming both versions", err)
+	}
+}
+
+// TestWorkerAnswersRedispatchFromCache pins the worker-side cache: a job
+// re-dispatched on the same connection (a coordinator retry) is answered
+// without re-simulating.
+func TestWorkerAnswersRedispatchFromCache(t *testing.T) {
+	jobs := testJobs(3)
+	plan, err := exp.Plan(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int64
+	coordEnd, workerEnd := dist.Pipe()
+	go dist.Serve(workerEnd, dist.OnSimulate(func(exp.Key) { runs.Add(1) }))
+
+	if err := dist.WriteMessage(coordEnd, &dist.Message{Type: dist.TypeInit, Proto: dist.ProtoVersion, Parallel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := dist.ReadMessage(coordEnd); err != nil || m.Type != dist.TypeReady {
+		t.Fatalf("handshake reply = (%+v, %v)", m, err)
+	}
+	for batch := 1; batch <= 2; batch++ {
+		if err := dist.WriteMessage(coordEnd, &dist.Message{Type: dist.TypeBatch, BatchID: batch, Jobs: plan}); err != nil {
+			t.Fatal(err)
+		}
+		results := 0
+		for {
+			m, err := dist.ReadMessage(coordEnd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Type == dist.TypeBatchDone {
+				break
+			}
+			if m.Type != dist.TypeResult {
+				t.Fatalf("unexpected %q frame", m.Type)
+			}
+			results++
+		}
+		if results != len(plan) {
+			t.Fatalf("batch %d returned %d results, want %d", batch, results, len(plan))
+		}
+	}
+	coordEnd.Close()
+	if got := runs.Load(); got != int64(len(plan)) {
+		t.Errorf("worker simulated %d times across a re-dispatch, want %d (second batch from cache)", got, len(plan))
 	}
 }

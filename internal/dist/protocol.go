@@ -1,23 +1,23 @@
 // Package dist runs an experiment plan across worker processes and
 // hosts. It is the layer between the exp harness and the CLIs: a
-// coordinator takes the deduplicated key plan of a job set (exp.Plan),
-// shards it over any number of workers with work-stealing dispatch
-// (workers pull batches, so a slow shard never straggles the run), and
-// merges the exp.CachedResults the workers stream back into a shared
-// *exp.Cache. The caller then renders its report locally from the warm
-// cache, which makes distributed output byte-identical to a
-// single-process run at any worker count: simulations are deterministic
-// pure functions of their keys, and pipeline.Result round-trips JSON
-// exactly.
+// coordinator takes the deduplicated plan of a job set (exp.Plan), shards
+// it over any number of workers with work-stealing dispatch (workers pull
+// batches, so a slow shard never straggles the run), and merges the
+// exp.CachedResults the workers stream back into a shared *exp.Cache. The
+// caller then renders its report locally from the warm cache, which makes
+// distributed output byte-identical to a single-process run at any worker
+// count: simulations are deterministic pure functions of their specs, and
+// pipeline.Result round-trips JSON exactly.
 //
 // Coordinator and worker speak a length-delimited JSON protocol over an
 // abstract transport: net.Pipe in tests, the stdin/stdout of a
 // self-exec'd subprocess (cmd/experiments -workers), or a TCP connection
-// (cmd/expd) for multi-host runs. The job spec inside the handshake is
-// opaque to this package — a Resolver supplied by the caller (for the
-// CLIs, the experiment registry) turns it back into runnable jobs on the
-// worker side, which is what keeps dist independent of what the jobs
-// mean.
+// (cmd/expd) for multi-host runs. Since protocol v2 every batch carries
+// self-describing spec.Jobs — a worker needs no prior copy of the job
+// table, no registry, and no handshake cross-check beyond the protocol
+// version, so heterogeneous fleets (different binaries, elastically
+// joining workers) interoperate as long as they speak the same spec
+// vocabulary.
 package dist
 
 import (
@@ -27,35 +27,37 @@ import (
 	"io"
 
 	"icfp/internal/exp"
+	"icfp/internal/spec"
 )
 
-// ProtoVersion identifies the wire protocol. Coordinator and workers
-// must match exactly: results are only portable between identical
-// simulators, so version skew is a handshake error, not something to
-// paper over.
-const ProtoVersion = 1
+// ProtoVersion identifies the wire protocol. Version 2 replaced the v1
+// job-table handshake (an opaque registry spec plus a table-size
+// cross-check) with self-describing spec.Job batches. Coordinator and
+// workers must match exactly: results are only portable between
+// compatible simulators, so version skew is a handshake error — reported
+// with both versions named — not something to paper over.
+const ProtoVersion = 2
 
 // maxFrame bounds one protocol frame. The largest real frames are batch
-// messages (a few keys) and single results — far below this; the bound
-// exists so a corrupt or malicious length prefix cannot trigger an
+// messages (a few spec jobs) and single results — far below this; the
+// bound exists so a corrupt or malicious length prefix cannot trigger an
 // unbounded allocation.
 const maxFrame = 64 << 20
 
 // Message types, in handshake-then-dispatch order.
 const (
-	// TypeInit is coordinator → worker: protocol version plus the opaque
-	// job spec the worker's Resolver rebuilds its job table from.
+	// TypeInit is coordinator → worker: the protocol version plus the
+	// worker-pool parallelism to simulate with.
 	TypeInit = "init"
-	// TypeReady is worker → coordinator: the handshake reply, carrying
-	// the size of the resolved job table as a cross-version sanity check.
+	// TypeReady is worker → coordinator: the handshake reply.
 	TypeReady = "ready"
-	// TypeBatch is coordinator → worker: one batch of plan keys to
-	// simulate.
+	// TypeBatch is coordinator → worker: one batch of self-describing
+	// plan jobs to simulate.
 	TypeBatch = "batch"
 	// TypeResult is worker → coordinator: one completed simulation,
 	// streamed as soon as it finishes (not held until the batch ends).
 	TypeResult = "result"
-	// TypeBatchDone is worker → coordinator: every key of the identified
+	// TypeBatchDone is worker → coordinator: every job of the identified
 	// batch has been simulated and its result sent.
 	TypeBatchDone = "batch_done"
 	// TypeError, in either direction, reports a fatal condition with
@@ -69,16 +71,16 @@ type Message struct {
 	Type string `json:"type"`
 
 	// Init.
-	Proto int             `json:"proto,omitempty"`
-	Spec  json.RawMessage `json:"spec,omitempty"`
-
-	// Ready.
-	Jobs int `json:"jobs,omitempty"`
+	Proto int `json:"proto,omitempty"`
+	// Parallel is the worker's pool size; values below 1 mean the
+	// worker's GOMAXPROCS.
+	Parallel int `json:"parallel,omitempty"`
 
 	// Batch and BatchDone. Batch IDs start at 1 so a zero ID always
-	// means "absent".
-	BatchID int       `json:"batch_id,omitempty"`
-	Keys    []exp.Key `json:"keys,omitempty"`
+	// means "absent". Jobs are self-describing: each carries the full
+	// machine and workload spec it names.
+	BatchID int        `json:"batch_id,omitempty"`
+	Jobs    []spec.Job `json:"jobs,omitempty"`
 
 	// Result.
 	Result *exp.CachedResult `json:"result,omitempty"`

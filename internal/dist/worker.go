@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -9,22 +8,39 @@ import (
 	"icfp/internal/exp"
 )
 
-// Resolver turns the coordinator's opaque job spec into this worker's
-// job table, keyed by memoization key, plus the parallelism of the
-// worker's internal pool (values below 1 mean GOMAXPROCS). Coordinator
-// and worker must resolve the same spec to the same job set — for the
-// CLIs both sides build it from the shared experiment registry — and the
-// handshake cross-checks the table size so a skewed worker fails loudly
-// instead of simulating the wrong thing.
-type Resolver func(spec json.RawMessage) (jobs map[exp.Key]exp.Job, parallel int, err error)
+// maxWorkerParallel caps the coordinator-requested pool size: the spec
+// arrives over the network on TCP workers, and no legitimate coordinator
+// asks for a wider pool than any real machine has.
+const maxWorkerParallel = 4096
+
+// ServeOption configures a worker.
+type ServeOption func(*serveOptions)
+
+type serveOptions struct {
+	onRun func(exp.Key)
+}
+
+// OnSimulate installs a hook invoked once per actual simulation this
+// worker performs (never for its cache hits) — metrics and tests.
+func OnSimulate(f func(exp.Key)) ServeOption {
+	return func(o *serveOptions) { o.onRun = f }
+}
 
 // Serve runs the worker side of the protocol on rw until the coordinator
 // closes the connection (the clean shutdown, returning nil) or an error
-// occurs. The worker keeps its own cache and arena for the lifetime of
-// the connection, so a key re-dispatched after a coordinator-side retry
-// is answered from cache rather than re-simulated, and completed results
-// are streamed back the moment each simulation finishes.
-func Serve(rw io.ReadWriter, resolve Resolver) error {
+// occurs. Batches are self-describing — each job carries its full
+// machine and workload spec — so the worker needs no prior knowledge of
+// the coordinator's job set; it validates each spec strictly and reports
+// invalid ones as fatal errors. The worker keeps its own cache and arena
+// for the lifetime of the connection, so a job re-dispatched after a
+// coordinator-side retry is answered from cache rather than
+// re-simulated, and completed results are streamed back the moment each
+// simulation finishes.
+func Serve(rw io.ReadWriter, opts ...ServeOption) error {
+	var so serveOptions
+	for _, opt := range opts {
+		opt(&so)
+	}
 	m, err := ReadMessage(rw)
 	if err == io.EOF || errors.Is(err, io.ErrClosedPipe) {
 		return nil // coordinator had nothing to dispatch (warm cache) and closed us
@@ -36,13 +52,13 @@ func Serve(rw io.ReadWriter, resolve Resolver) error {
 		return sendError(rw, fmt.Sprintf("handshake: got %q frame, want %q", m.Type, TypeInit))
 	}
 	if m.Proto != ProtoVersion {
-		return sendError(rw, fmt.Sprintf("protocol version mismatch: coordinator %d, worker %d", m.Proto, ProtoVersion))
+		return sendError(rw, fmt.Sprintf("protocol version mismatch: coordinator speaks v%d, this worker speaks v%d", m.Proto, ProtoVersion))
 	}
-	jobs, parallel, err := resolve(m.Spec)
-	if err != nil {
-		return sendError(rw, fmt.Sprintf("resolving job spec: %v", err))
+	if m.Parallel > maxWorkerParallel {
+		return sendError(rw, fmt.Sprintf("requested parallelism %d exceeds the worker cap %d", m.Parallel, maxWorkerParallel))
 	}
-	if err := WriteMessage(rw, &Message{Type: TypeReady, Jobs: len(jobs)}); err != nil {
+	parallel := m.Parallel
+	if err := WriteMessage(rw, &Message{Type: TypeReady}); err != nil {
 		return err
 	}
 
@@ -58,7 +74,7 @@ func Serve(rw io.ReadWriter, resolve Resolver) error {
 		}
 		switch m.Type {
 		case TypeBatch:
-			if err := serveBatch(rw, m, jobs, cache, arena, parallel); err != nil {
+			if err := serveBatch(rw, m, cache, arena, parallel, &so); err != nil {
 				return err
 			}
 		case TypeError:
@@ -69,20 +85,25 @@ func Serve(rw io.ReadWriter, resolve Resolver) error {
 	}
 }
 
-// serveBatch simulates one batch and streams its results. Results are sent
-// from the pool's completion hook, so the coordinator can merge (and
-// checkpoint) them while the rest of the batch is still running.
-func serveBatch(rw io.ReadWriter, m *Message, jobs map[exp.Key]exp.Job, cache *exp.Cache, arena *exp.Arena, parallel int) error {
-	batch := make([]exp.Job, 0, len(m.Keys))
-	for _, k := range m.Keys {
-		j, ok := jobs[k]
-		if !ok {
-			return sendError(rw, fmt.Sprintf("batch %d: unknown key %+v — coordinator and worker job sets diverge", m.BatchID, k))
+// serveBatch simulates one self-describing batch and streams its
+// results. Results are sent from the pool's completion hook, so the
+// coordinator can merge (and checkpoint) them while the rest of the
+// batch is still running.
+func serveBatch(rw io.ReadWriter, m *Message, cache *exp.Cache, arena *exp.Arena, parallel int, so *serveOptions) error {
+	batch := make([]exp.Job, 0, len(m.Jobs))
+	seen := make(map[exp.Key]bool, len(m.Jobs))
+	for _, sj := range m.Jobs {
+		if err := sj.Validate(); err != nil {
+			return sendError(rw, fmt.Sprintf("batch %d: invalid job spec: %v", m.BatchID, err))
 		}
-		// The plan never repeats a key, so the key itself is a unique
-		// in-batch job name.
-		j.Name = fmt.Sprintf("%s|%s|%s", k.Machine, k.Config, k.Workload)
-		batch = append(batch, j)
+		k := exp.KeyOf(sj)
+		if seen[k] {
+			continue // the plan never repeats a key; tolerate duplicates anyway
+		}
+		seen[k] = true
+		// The key is the unique in-batch job name; results are keyed,
+		// not named, so the name never leaves this process.
+		batch = append(batch, exp.Job{Name: k.Machine + "|" + k.Workload, Machine: sj.Machine, Workload: sj.Workload})
 	}
 
 	var sendErr error
@@ -97,22 +118,29 @@ func serveBatch(rw io.ReadWriter, m *Message, jobs map[exp.Key]exp.Job, cache *e
 		}
 		sent[k] = true
 		sendErr = WriteMessage(rw, &Message{Type: TypeResult, Result: &exp.CachedResult{
-			Machine: k.Machine, Config: k.Config, Workload: k.Workload, R: res,
+			Machine: k.Machine, Workload: k.Workload, R: res,
 		}})
+	}
+	hook := send
+	if so.onRun != nil {
+		hook = func(k exp.Key) {
+			so.onRun(k)
+			send(k)
+		}
 	}
 	_, err := exp.Run(batch,
 		exp.WithCache(cache), exp.WithArena(arena), exp.Parallelism(parallel),
-		exp.OnRun(send))
+		exp.OnRun(hook))
 	if err != nil {
 		return sendError(rw, fmt.Sprintf("batch %d: %v", m.BatchID, err))
 	}
 	if sendErr != nil {
 		return sendErr
 	}
-	// Keys answered from this worker's cache (re-dispatched after a
+	// Jobs answered from this worker's cache (re-dispatched after a
 	// coordinator retry) never reach the completion hook; send them now.
-	for _, k := range m.Keys {
-		if !sent[k] {
+	for _, j := range batch {
+		if k := j.Key(); !sent[k] {
 			send(k)
 		}
 	}

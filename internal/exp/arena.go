@@ -3,19 +3,21 @@ package exp
 import (
 	"sync"
 
+	"icfp/internal/spec"
 	"icfp/internal/workload"
 )
 
-// Arena is a shared workload store: each distinct WorkloadSpec.Key is
-// generated exactly once and the resulting *workload.Workload is handed
-// out, read-only, to every simulation that asks for it. Sharing is sound
-// because workloads are immutable during simulation: machines read the
-// trace and the memory image but never write either (the Prewarm hook
-// writes only to the machine's own hierarchy), an invariant pinned by
-// TestWorkloadImmutableAcrossModels. Trace regeneration used to dominate
-// the harness — every job rebuilt its multi-hundred-kilo-instruction
-// trace and memory image from scratch — so the arena is what makes the
-// evaluation CPU-bound on simulation rather than on generation.
+// Arena is a shared workload store: each distinct workload spec
+// (canonical encoding) is generated exactly once and the resulting
+// *workload.Workload is handed out, read-only, to every simulation that
+// asks for it. Sharing is sound because workloads are immutable during
+// simulation: machines read the trace and the memory image but never
+// write either (the Prewarm hook writes only to the machine's own
+// hierarchy), an invariant pinned by TestWorkloadImmutableAcrossModels.
+// Trace regeneration used to dominate the harness — every job rebuilt
+// its multi-hundred-kilo-instruction trace and memory image from scratch
+// — so the arena is what makes the evaluation CPU-bound on simulation
+// rather than on generation.
 //
 // An Arena may be shared by concurrent Run calls: the first claimant of a
 // key generates, everyone else waits for its result.
@@ -35,21 +37,23 @@ func NewArena() *Arena {
 	return &Arena{entries: make(map[string]*arenaEntry)}
 }
 
-// Get returns the workload for the spec, generating it on first use. The
-// returned workload is shared: callers must treat it as read-only.
-func (a *Arena) Get(spec WorkloadSpec) *workload.Workload {
+// Get returns the workload the spec declares, generating it on first
+// use. The returned workload is shared: callers must treat it as
+// read-only.
+func (a *Arena) Get(w spec.Workload) *workload.Workload {
+	key := w.Canonical()
 	a.mu.Lock()
-	e, ok := a.entries[spec.Key]
+	e, ok := a.entries[key]
 	if ok {
 		a.mu.Unlock()
 		<-e.done
 		return e.w
 	}
 	e = &arenaEntry{done: make(chan struct{})}
-	a.entries[spec.Key] = e
+	a.entries[key] = e
 	a.gens++
 	a.mu.Unlock()
-	e.w = spec.New()
+	e.w = w.New()
 	close(e.done)
 	return e.w
 }

@@ -2,100 +2,45 @@ package exp_test
 
 import (
 	"sync"
-	"sync/atomic"
 	"testing"
 
 	"icfp/internal/exp"
-	"icfp/internal/pipeline"
 	"icfp/internal/sim"
+	"icfp/internal/spec"
 	"icfp/internal/workload"
 )
 
 // TestArenaGeneratesOncePerKey pins the arena contract: one generation
-// per distinct key, even under concurrent Get.
+// per distinct workload spec, even under concurrent Get.
 func TestArenaGeneratesOncePerKey(t *testing.T) {
-	var gens atomic.Int64
-	spec := func(key string) exp.WorkloadSpec {
-		return exp.WorkloadSpec{
-			Key: key,
-			New: func() *workload.Workload {
-				gens.Add(1)
-				return &workload.Workload{Name: key}
-			},
-		}
-	}
 	a := exp.NewArena()
+	wl := spec.ScenarioWorkload(workload.ScenarioLoneL2)
 	var wg sync.WaitGroup
 	got := make([]*workload.Workload, 8)
 	for i := range got {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got[i] = a.Get(spec("k1"))
+			got[i] = a.Get(wl)
 		}(i)
 	}
 	wg.Wait()
-	if gens.Load() != 1 {
-		t.Errorf("8 concurrent Gets generated %d times, want 1", gens.Load())
+	if a.Generations() != 1 {
+		t.Errorf("8 concurrent Gets generated %d times, want 1", a.Generations())
 	}
 	for i := 1; i < len(got); i++ {
 		if got[i] != got[0] {
-			t.Error("all Gets of one key must return the same workload")
+			t.Error("all Gets of one spec must return the same workload")
 		}
 	}
-	a.Get(spec("k2"))
-	if gens.Load() != 2 || a.Generations() != 2 {
-		t.Errorf("distinct keys: %d generations (arena says %d), want 2", gens.Load(), a.Generations())
+	a.Get(spec.ScenarioWorkload(workload.ScenarioChains))
+	if a.Generations() != 2 {
+		t.Errorf("distinct specs: %d generations, want 2", a.Generations())
 	}
-}
-
-// witnessRunner records which workload pointer each simulation received.
-type witnessRunner struct {
-	mu   *sync.Mutex
-	seen *[]*workload.Workload
-}
-
-func (r witnessRunner) Run(w *workload.Workload) pipeline.Result {
-	r.mu.Lock()
-	*r.seen = append(*r.seen, w)
-	r.mu.Unlock()
-	return pipeline.Result{Name: w.Name, Cycles: 1, Insts: 1}
-}
-
-// TestRunSharesWorkloadsWithinRun pins that exp.Run routes every job
-// through one arena: distinct simulations with equal workload keys see
-// the same workload pointer.
-func TestRunSharesWorkloadsWithinRun(t *testing.T) {
-	var gens atomic.Int64
-	wl := exp.WorkloadSpec{
-		Key: "shared",
-		New: func() *workload.Workload {
-			gens.Add(1)
-			return &workload.Workload{Name: "shared"}
-		},
-	}
-	var mu sync.Mutex
-	var seen []*workload.Workload
-	jobs := make([]exp.Job, 0, 4)
-	for _, m := range []string{"m1", "m2", "m3", "m4"} {
-		jobs = append(jobs, exp.Job{
-			Name: "j/" + m, Machine: m, Workload: wl,
-			Make: func(pipeline.Config) exp.Runner { return witnessRunner{mu: &mu, seen: &seen} },
-		})
-	}
-	if _, err := exp.Run(jobs, exp.Parallelism(2)); err != nil {
-		t.Fatal(err)
-	}
-	if gens.Load() != 1 {
-		t.Errorf("4 jobs over one key generated %d workloads, want 1", gens.Load())
-	}
-	if len(seen) != 4 {
-		t.Fatalf("expected 4 simulations, saw %d", len(seen))
-	}
-	for _, w := range seen[1:] {
-		if w != seen[0] {
-			t.Error("jobs sharing a key must receive the same workload pointer")
-		}
+	// Equal specs built separately still share one generation.
+	a.Get(spec.ScenarioWorkload(workload.ScenarioLoneL2))
+	if a.Generations() != 2 {
+		t.Errorf("re-Get of an equal spec regenerated: %d generations, want 2", a.Generations())
 	}
 }
 

@@ -4,94 +4,70 @@
 // each distinct workload once in a shared read-only arena, and collects
 // results into typed, JSON-exportable result sets.
 //
+// Jobs are declarative: a job carries a spec.Machine and a spec.Workload
+// — serializable data, not closures — and the cache key of a simulation
+// is the pair of their canonical encodings (spec.Canonical). That single
+// identity is used everywhere a simulation is named: the in-process memo
+// cache, persisted cache snapshots, and the distributed dispatch protocol
+// all key on the same strings, so results computed anywhere are reusable
+// everywhere.
+//
 // Simulations in this module are deterministic pure functions of their
-// (machine constructor, configuration, workload) inputs, which is what
-// makes both halves of the design sound: runs can be farmed out to any
-// number of workers without changing results, and a result computed for
-// one experiment can be reused verbatim by another. The cache key is the
-// triple (machine identity, configuration fingerprint, workload key); the
-// Machine string must therefore uniquely identify the constructor's
-// behaviour given the configuration — two different constructors may
-// share a label only if they build identical machines.
+// (machine spec, workload spec) inputs, which is what makes the design
+// sound: runs can be farmed out to any number of workers without
+// changing results, and a result computed for one experiment can be
+// reused verbatim by another.
 package exp
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 
 	"icfp/internal/pipeline"
-	"icfp/internal/workload"
+	"icfp/internal/spec"
 )
 
-// Runner runs a workload; every machine in this module satisfies it.
-type Runner interface {
-	Run(w *workload.Workload) pipeline.Result
-}
+// Runner runs a workload; every machine a spec can name satisfies it.
+type Runner = spec.Runner
 
-// WorkloadSpec names a workload and knows how to build it. The factory is
-// called at most once per distinct Key per arena: generated workloads are
-// shared, read-only, across all machines and configurations that name the
-// same key (see Arena). Machines read the trace and memory image but
-// never write either, and the Prewarm hook writes only to the machine's
-// own hierarchy, so sharing is safe even across concurrent simulations.
-type WorkloadSpec struct {
-	Key string // cache-key component; must uniquely identify the workload
-	New func() *workload.Workload
-}
-
-// SPECWorkload is the spec for a generated SPEC2000-profile benchmark
-// with n total dynamic instructions (warmup included).
-func SPECWorkload(name string, n int) WorkloadSpec {
-	return WorkloadSpec{
-		Key: fmt.Sprintf("spec:%s:n=%d", name, n),
-		New: func() *workload.Workload { return workload.SPEC(name, n) },
-	}
-}
-
-// ScenarioWorkload is the spec for one of the Figure 1 micro-scenarios.
-func ScenarioWorkload(sc workload.Scenario) WorkloadSpec {
-	return WorkloadSpec{
-		Key: "scenario:" + string(sc),
-		New: func() *workload.Workload { return workload.NewScenario(sc) },
-	}
-}
-
-// Job is one named simulation: a machine constructor applied to a
-// configuration, run over a workload built from its spec. Job names index
-// the ResultSet and must be unique within one Run call; distinct jobs may
-// share a cache key (same machine, config, workload), in which case the
-// simulation happens once.
+// Job is one named simulation: a declared machine run over a declared
+// workload. Job names index the ResultSet and must be unique within one
+// Run call; distinct jobs may share a cache key (equal canonical machine
+// and workload specs), in which case the simulation happens once.
 type Job struct {
 	Name     string // result name, unique within a Run
-	Machine  string // machine identity; part of the cache key
-	Config   pipeline.Config
-	Make     func(cfg pipeline.Config) Runner
-	Workload WorkloadSpec
+	Machine  spec.Machine
+	Workload spec.Workload
 }
 
-// Key is the memoization key of a job.
+// Key is the memoization key of a simulation: the canonical encodings of
+// its machine and workload specs. Equal keys construct identical
+// simulations by the spec package's contract.
 type Key struct {
 	Machine  string
-	Config   string // configuration fingerprint
 	Workload string
 }
 
 // Key returns the job's memoization key.
 func (j Job) Key() Key {
-	return Key{Machine: j.Machine, Config: Fingerprint(j.Config), Workload: j.Workload.Key}
+	return Key{Machine: j.Machine.Canonical(), Workload: j.Workload.Canonical()}
 }
 
-// Fingerprint deterministically summarizes a configuration. Config is a
-// plain value struct (the only indirection is the predictor's history
-// slice, which prints by value), so the formatted form captures every
-// field; it is hashed to keep keys compact.
-func Fingerprint(cfg pipeline.Config) string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v", cfg)
-	return fmt.Sprintf("%016x", h.Sum64())
+// Spec returns the job's identity as a self-describing spec.Job (the
+// name is dropped: plan entries are identity, not presentation).
+func (j Job) Spec() spec.Job {
+	return spec.Job{Machine: j.Machine, Workload: j.Workload}
 }
+
+// KeyOf returns the memoization key of a self-describing spec job.
+func KeyOf(sj spec.Job) Key {
+	return Key{Machine: sj.Machine.Canonical(), Workload: sj.Workload.Canonical()}
+}
+
+// newRunner builds a job's machine; engine tests swap it to inject
+// synthetic runners (see engine_test.go).
+var newRunner = func(j Job) (Runner, error) { return j.Machine.New() }
 
 // Cache memoizes simulation results across Run calls. The zero value is
 // not usable; create one with NewCache. A single cache may be shared by
@@ -214,53 +190,54 @@ func OnRun(f func(Key)) Option {
 	return func(o *options) { o.onRun = f }
 }
 
-// validate fails fast on malformed job sets (duplicate names, missing
-// constructor or workload) before any simulation or dispatch happens.
+// validate fails fast on malformed job sets (duplicate names, invalid
+// machine or workload specs) before any simulation or dispatch happens.
 func validate(jobs []Job) error {
 	seen := make(map[string]bool, len(jobs))
 	for _, j := range jobs {
 		switch {
 		case j.Name == "":
-			return fmt.Errorf("exp: job with empty name (machine %q, workload %q)", j.Machine, j.Workload.Key)
+			return fmt.Errorf("exp: job with empty name (machine %s, workload %s)", j.Machine.Canonical(), j.Workload.Canonical())
 		case seen[j.Name]:
 			return fmt.Errorf("exp: duplicate job name %q", j.Name)
-		case j.Make == nil:
-			return fmt.Errorf("exp: job %q has no machine constructor", j.Name)
-		case j.Workload.New == nil:
-			return fmt.Errorf("exp: job %q has no workload factory", j.Name)
 		}
 		seen[j.Name] = true
+		if err := (spec.Job{Name: j.Name, Machine: j.Machine, Workload: j.Workload}).Validate(); err != nil {
+			return fmt.Errorf("exp: %w", err)
+		}
 	}
 	return nil
 }
 
 // Plan validates the job set exactly as Run does and returns its
-// deduplicated memoization keys in first-appearance order. The plan is
-// the unit of distribution: every key is one simulation that has to
-// happen somewhere, so a dispatcher (internal/dist) can shard the plan
-// across worker processes, merge the resulting CachedResults into a
-// cache, and then Run locally entirely from cache hits.
-func Plan(jobs []Job) ([]Key, error) {
+// deduplicated simulations as self-describing specs, in first-appearance
+// order. The plan is the unit of distribution: every entry is one
+// simulation that has to happen somewhere, so a dispatcher
+// (internal/dist) can shard the plan across worker processes — each
+// entry carries everything a worker needs to run it — merge the
+// resulting CachedResults into a cache, and then Run locally entirely
+// from cache hits.
+func Plan(jobs []Job) ([]spec.Job, error) {
 	if err := validate(jobs); err != nil {
 		return nil, err
 	}
 	seen := make(map[Key]bool, len(jobs))
-	keys := make([]Key, 0, len(jobs))
+	plan := make([]spec.Job, 0, len(jobs))
 	for _, j := range jobs {
 		k := j.Key()
 		if !seen[k] {
 			seen[k] = true
-			keys = append(keys, k)
+			plan = append(plan, j.Spec())
 		}
 	}
-	return keys, nil
+	return plan, nil
 }
 
 // Run executes the jobs on a worker pool and returns their results in job
 // order. Jobs with equal cache keys simulate once; with a WithCache
 // option, memoization also spans earlier runs. Run fails fast on
-// malformed job sets (duplicate names, missing constructor or workload)
-// before simulating anything.
+// malformed job sets (duplicate names, invalid specs) before simulating
+// anything.
 func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 	o := options{}
 	for _, opt := range opts {
@@ -306,7 +283,13 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 				k := j.Key()
 				e, claimed := o.cache.claim(k)
 				if claimed {
-					res := j.Make(j.Config).Run(o.arena.Get(j.Workload))
+					r, err := newRunner(j)
+					if err != nil {
+						// validate() vetted every spec; a constructor
+						// failure here is a bug, not an input error.
+						panic(fmt.Sprintf("exp: job %q: %v", j.Name, err))
+					}
+					res := r.Run(o.arena.Get(j.Workload))
 					o.cache.finish(k, e, res)
 					if o.onRun != nil {
 						hookMu.Lock()
@@ -323,7 +306,7 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 						continue
 					}
 				}
-				results[i] = Result{Name: j.Name, Machine: j.Machine, Workload: j.Workload.Key, R: e.res}
+				results[i] = Result{Name: j.Name, Machine: j.Machine, Workload: j.Workload, R: e.res}
 			}
 		}()
 	}
@@ -335,7 +318,7 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 	for _, d := range deferred {
 		<-d.e.done
 		j := jobs[d.idx]
-		results[d.idx] = Result{Name: j.Name, Machine: j.Machine, Workload: j.Workload.Key, R: d.e.res}
+		results[d.idx] = Result{Name: j.Name, Machine: j.Machine, Workload: j.Workload, R: d.e.res}
 	}
 	return &ResultSet{Results: results}, nil
 }

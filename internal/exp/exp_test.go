@@ -2,188 +2,14 @@ package exp_test
 
 import (
 	"bytes"
-	"fmt"
 	"reflect"
-	"runtime"
-	"sync/atomic"
 	"testing"
-	"time"
 
 	"icfp/internal/exp"
-	"icfp/internal/pipeline"
 	"icfp/internal/sim"
+	"icfp/internal/spec"
 	"icfp/internal/workload"
 )
-
-// stubRunner returns a canned result and counts its runs, letting engine
-// tests observe exactly how many simulations happen.
-type stubRunner struct {
-	cycles int64
-	runs   *atomic.Int64
-}
-
-func (s stubRunner) Run(*workload.Workload) pipeline.Result {
-	s.runs.Add(1)
-	return pipeline.Result{Name: "stub", Cycles: s.cycles, Insts: 100}
-}
-
-// stubJob builds a job whose machine is a counting stub. Jobs sharing a
-// machine label, config, and workload key share a cache key.
-func stubJob(name, machine, wkey string, cycles int64, runs *atomic.Int64) exp.Job {
-	return exp.Job{
-		Name:    name,
-		Machine: machine,
-		Config:  pipeline.DefaultConfig(),
-		Make: func(pipeline.Config) exp.Runner {
-			return stubRunner{cycles: cycles, runs: runs}
-		},
-		Workload: exp.WorkloadSpec{
-			Key: wkey,
-			New: func() *workload.Workload { return &workload.Workload{Name: wkey} },
-		},
-	}
-}
-
-func TestRunMemoizesEqualKeys(t *testing.T) {
-	var runs atomic.Int64
-	jobs := []exp.Job{
-		stubJob("a", "m1", "w1", 100, &runs),
-		stubJob("b", "m1", "w1", 100, &runs), // same key as a
-		stubJob("c", "m2", "w1", 200, &runs), // different machine
-		stubJob("d", "m1", "w2", 300, &runs), // different workload
-	}
-	hooks := 0
-	rs, err := exp.Run(jobs, exp.Parallelism(4), exp.OnRun(func(exp.Key) { hooks++ }))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := runs.Load(); got != 3 {
-		t.Errorf("simulations = %d, want 3 (jobs a and b share a key)", got)
-	}
-	if hooks != 3 {
-		t.Errorf("OnRun fired %d times, want 3", hooks)
-	}
-	if rs.MustGet("a").Cycles != 100 || rs.MustGet("b").Cycles != 100 ||
-		rs.MustGet("c").Cycles != 200 || rs.MustGet("d").Cycles != 300 {
-		t.Errorf("wrong results: %+v", rs.Results)
-	}
-}
-
-// slowRunner blocks until released, forcing concurrent duplicate-key
-// jobs onto the engine's deferred path (workers must not park on an
-// in-flight key; they defer it and keep draining the queue).
-type slowRunner struct {
-	release <-chan struct{}
-	runs    *atomic.Int64
-}
-
-func (s slowRunner) Run(*workload.Workload) pipeline.Result {
-	s.runs.Add(1)
-	<-s.release
-	return pipeline.Result{Name: "slow", Cycles: 7, Insts: 1}
-}
-
-func TestRunDefersInFlightDuplicates(t *testing.T) {
-	var runs atomic.Int64
-	release := make(chan struct{})
-	var fastRuns atomic.Int64
-	slow := func(name string) exp.Job {
-		j := stubJob(name, "slow", "w-slow", 7, &fastRuns)
-		j.Make = func(pipeline.Config) exp.Runner { return slowRunner{release: release, runs: &runs} }
-		return j
-	}
-	jobs := []exp.Job{slow("s1"), slow("s2"), slow("s3")}
-	for i := 0; i < 8; i++ {
-		jobs = append(jobs, stubJob(fmt.Sprintf("f%d", i), "fast", fmt.Sprintf("w%d", i), int64(i), &fastRuns))
-	}
-	done := make(chan *exp.ResultSet, 1)
-	go func() {
-		rs, err := exp.Run(jobs, exp.Parallelism(2))
-		if err != nil {
-			t.Error(err)
-		}
-		done <- rs
-	}()
-	// With 2 workers and the slow key claimed, the remaining worker (and
-	// the one that dequeues s2/s3) must still drain every fast job
-	// before the slow simulation is released.
-	deadline := time.Now().Add(10 * time.Second)
-	for fastRuns.Load() < 8 {
-		if time.Now().After(deadline) {
-			close(release)
-			t.Fatal("fast jobs did not drain while the slow key was in flight (worker parked on a duplicate?)")
-		}
-		runtime.Gosched()
-	}
-	close(release)
-	rs := <-done
-	if runs.Load() != 1 {
-		t.Errorf("slow key simulated %d times, want 1", runs.Load())
-	}
-	for _, name := range []string{"s1", "s2", "s3"} {
-		if rs.MustGet(name).Cycles != 7 {
-			t.Errorf("%s: cycles = %d, want 7", name, rs.MustGet(name).Cycles)
-		}
-	}
-}
-
-func TestRunSharedCacheAcrossRuns(t *testing.T) {
-	var runs atomic.Int64
-	cache := exp.NewCache()
-	for i := 0; i < 3; i++ {
-		if _, err := exp.Run([]exp.Job{stubJob("a", "m1", "w1", 1, &runs)}, exp.WithCache(cache)); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if got := runs.Load(); got != 1 {
-		t.Errorf("simulations across 3 cached runs = %d, want 1", got)
-	}
-	if cache.Simulations() != 1 {
-		t.Errorf("cache.Simulations() = %d, want 1", cache.Simulations())
-	}
-	k := stubJob("a", "m1", "w1", 1, &runs).Key()
-	if cache.SimulationsFor(k) != 1 {
-		t.Errorf("SimulationsFor(%v) = %d, want 1", k, cache.SimulationsFor(k))
-	}
-}
-
-func TestRunRejectsMalformedJobs(t *testing.T) {
-	var runs atomic.Int64
-	good := stubJob("a", "m1", "w1", 1, &runs)
-	for _, tc := range []struct {
-		name string
-		jobs []exp.Job
-	}{
-		{"duplicate names", []exp.Job{good, stubJob("a", "m2", "w2", 1, &runs)}},
-		{"empty name", []exp.Job{stubJob("", "m1", "w1", 1, &runs)}},
-		{"nil constructor", []exp.Job{{Name: "x", Machine: "m", Workload: good.Workload}}},
-		{"nil workload factory", []exp.Job{{Name: "x", Machine: "m", Make: good.Make}}},
-	} {
-		if _, err := exp.Run(tc.jobs); err == nil {
-			t.Errorf("%s: Run succeeded, want error", tc.name)
-		}
-	}
-	if runs.Load() != 0 {
-		t.Errorf("malformed job sets must not simulate; ran %d", runs.Load())
-	}
-}
-
-func TestFingerprintSeparatesConfigs(t *testing.T) {
-	a := pipeline.DefaultConfig()
-	b := a
-	if exp.Fingerprint(a) != exp.Fingerprint(b) {
-		t.Error("equal configs must share a fingerprint")
-	}
-	b.PoisonBits = 1
-	if exp.Fingerprint(a) == exp.Fingerprint(b) {
-		t.Error("configs differing in PoisonBits must not share a fingerprint")
-	}
-	c := a
-	c.Hier.L2HitLat++
-	if exp.Fingerprint(a) == exp.Fingerprint(c) {
-		t.Error("configs differing in nested hierarchy fields must not share a fingerprint")
-	}
-}
 
 // scenarioJobs is a small all-real job set: every Figure 1 scenario on
 // every machine.
@@ -193,7 +19,7 @@ func scenarioJobs() []exp.Job {
 	var jobs []exp.Job
 	for _, sc := range workload.AllScenarios {
 		for _, m := range sim.AllModels {
-			jobs = append(jobs, sim.Job(string(sc)+"/"+m.String(), m, cfg, exp.ScenarioWorkload(sc)))
+			jobs = append(jobs, sim.Job(string(sc)+"/"+m.String(), m, cfg, spec.ScenarioWorkload(sc)))
 		}
 	}
 	return jobs
@@ -210,6 +36,58 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Error("result sets differ between -parallel 1 and -parallel 8")
+	}
+}
+
+func TestRunRejectsMalformedJobs(t *testing.T) {
+	good := scenarioJobs()[0]
+	badMachine := good
+	badMachine.Machine.Model = "not-a-model"
+	badWorkload := good
+	badWorkload.Workload = spec.Workload{SPEC: "mcf", Scenario: "a-lone-l2"}
+	noName := good
+	noName.Name = ""
+	for _, tc := range []struct {
+		name string
+		jobs []exp.Job
+	}{
+		{"duplicate names", []exp.Job{good, good}},
+		{"empty name", []exp.Job{noName}},
+		{"invalid machine spec", []exp.Job{badMachine}},
+		{"invalid workload spec", []exp.Job{badWorkload}},
+	} {
+		if _, err := exp.Run(tc.jobs); err == nil {
+			t.Errorf("%s: Run succeeded, want error", tc.name)
+		}
+		if _, err := exp.Plan(tc.jobs); err == nil {
+			t.Errorf("%s: Plan succeeded, want error", tc.name)
+		}
+	}
+}
+
+// TestCanonicalKeysSeparateConfigs pins the new cache identity: keys are
+// canonical spec encodings, so jobs differing in any override (top-level
+// or nested) get distinct keys, and identical specs share one.
+func TestCanonicalKeysSeparateConfigs(t *testing.T) {
+	base := exp.Job{Machine: sim.ICFP.Spec(), Workload: spec.SPECWorkload("mcf", 1000)}
+	same := exp.Job{Machine: sim.ICFP.Spec(), Workload: spec.SPECWorkload("mcf", 1000)}
+	if base.Key() != same.Key() {
+		t.Error("equal specs must share a key")
+	}
+	poison := base
+	poison.Machine.Overrides = &spec.Overrides{PoisonBits: spec.Int(1)}
+	if base.Key() == poison.Key() {
+		t.Error("jobs differing in PoisonBits must not share a key")
+	}
+	lat := base
+	lat.Machine.Overrides = &spec.Overrides{L2HitLat: spec.Int(21)}
+	if base.Key() == lat.Key() || poison.Key() == lat.Key() {
+		t.Error("jobs differing in hierarchy overrides must not share a key")
+	}
+	wl := base
+	wl.Workload = spec.SPECWorkload("mcf", 1001)
+	if base.Key() == wl.Key() {
+		t.Error("jobs differing in workload length must not share a key")
 	}
 }
 
@@ -232,22 +110,23 @@ func TestResultSetJSONRoundTrip(t *testing.T) {
 }
 
 func TestResultSetReductions(t *testing.T) {
-	var runs atomic.Int64
-	rs, err := exp.Run([]exp.Job{
-		stubJob("base", "m-base", "w", 200, &runs),
-		stubJob("test", "m-test", "w", 100, &runs),
-	})
+	jobs := scenarioJobs()
+	rs, err := exp.Run(jobs[:4], exp.Parallelism(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sp := rs.Speedup("test", "base"); sp != 100 {
-		t.Errorf("Speedup = %.1f%%, want +100%%", sp)
+	a, b := jobs[0].Name, jobs[1].Name
+	want := rs.MustGet(a).SpeedupOver(rs.MustGet(b))
+	if sp := rs.Speedup(a, b); sp != want {
+		t.Errorf("Speedup = %.3f%%, want %.3f%%", sp, want)
 	}
-	if geo := rs.GeoMeanSpeedup([][2]string{{"test", "base"}, {"test", "base"}}); geo != 100 {
-		t.Errorf("GeoMeanSpeedup = %.1f%%, want +100%%", geo)
+	geo := rs.GeoMeanSpeedup([][2]string{{a, b}, {a, b}})
+	ratio := float64(rs.MustGet(b).Cycles) / float64(rs.MustGet(a).Cycles)
+	if wantGeo := (ratio - 1) * 100; geo < wantGeo-1e-9 || geo > wantGeo+1e-9 {
+		t.Errorf("GeoMeanSpeedup = %.6f%%, want %.6f%%", geo, wantGeo)
 	}
-	if geo := exp.GeoMeanPercent([]float64{100, 100}); geo != 100 {
-		t.Errorf("GeoMeanPercent = %.1f%%, want +100%%", geo)
+	if g := exp.GeoMeanPercent([]float64{100, 100}); g != 100 {
+		t.Errorf("GeoMeanPercent = %.1f%%, want +100%%", g)
 	}
 	if _, ok := rs.Get("missing"); ok {
 		t.Error("Get of a missing name must report absence")
@@ -275,8 +154,8 @@ func TestJobNamesIndexResults(t *testing.T) {
 		if rs.Results[i].Name != j.Name {
 			t.Fatalf("result %d is %q, want job order preserved (%q)", i, rs.Results[i].Name, j.Name)
 		}
-		if rs.Results[i].Workload != j.Workload.Key {
-			t.Fatalf("result %d workload %q, want %q", i, rs.Results[i].Workload, j.Workload.Key)
+		if !reflect.DeepEqual(rs.Results[i].Workload, j.Workload) {
+			t.Fatalf("result %d workload %+v, want %+v", i, rs.Results[i].Workload, j.Workload)
 		}
 	}
 }

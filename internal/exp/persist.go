@@ -11,25 +11,46 @@ import (
 	"icfp/internal/pipeline"
 )
 
+// SnapshotVersion identifies the cache-file schema this build reads and
+// writes. Version 2 keys entries by canonical machine/workload specs
+// (spec.Canonical); the unversioned pre-spec schema keyed entries by a
+// machine label and an opaque configuration fingerprint, which cannot be
+// re-keyed — loading one yields a SnapshotVersionError so callers can
+// warn and regenerate instead of failing or silently mixing identities.
+const SnapshotVersion = 2
+
+// SnapshotVersionError reports a cache file written under a different
+// schema version than this build understands.
+type SnapshotVersionError struct {
+	Got, Want int
+}
+
+func (e *SnapshotVersionError) Error() string {
+	if e.Got == 0 {
+		return fmt.Sprintf("exp: cache snapshot uses the unversioned fingerprint-keyed schema; this build keys on canonical specs (v%d)", e.Want)
+	}
+	return fmt.Sprintf("exp: cache snapshot schema v%d, this build reads v%d", e.Got, e.Want)
+}
+
 // CachedResult is one completed simulation in a persisted cache file:
-// the full memoization key plus its result. Simulations are deterministic
-// pure functions of the key, which is what makes reloading them in a
-// later process sound.
+// the full memoization key (canonical machine and workload specs) plus
+// its result. Simulations are deterministic pure functions of the key,
+// which is what makes reloading them in a later process sound.
 type CachedResult struct {
 	Machine  string          `json:"machine"`
-	Config   string          `json:"config"`
 	Workload string          `json:"workload"`
 	R        pipeline.Result `json:"result"`
 }
 
 // cacheFile is the on-disk layout of a persisted cache.
 type cacheFile struct {
+	Version int            `json:"version"`
 	Entries []CachedResult `json:"entries"`
 }
 
 // Snapshot returns every completed cache entry in deterministic
-// (machine, config, workload) order. In-flight entries are skipped: a
-// snapshot taken concurrently with a run captures only finished work.
+// (machine, workload) order. In-flight entries are skipped: a snapshot
+// taken concurrently with a run captures only finished work.
 func (c *Cache) Snapshot() []CachedResult {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -37,7 +58,7 @@ func (c *Cache) Snapshot() []CachedResult {
 	for k, e := range c.entries {
 		select {
 		case <-e.done:
-			out = append(out, CachedResult{Machine: k.Machine, Config: k.Config, Workload: k.Workload, R: e.res})
+			out = append(out, CachedResult{Machine: k.Machine, Workload: k.Workload, R: e.res})
 		default:
 		}
 	}
@@ -45,9 +66,6 @@ func (c *Cache) Snapshot() []CachedResult {
 		a, b := out[i], out[j]
 		if a.Machine != b.Machine {
 			return a.Machine < b.Machine
-		}
-		if a.Config != b.Config {
-			return a.Config < b.Config
 		}
 		return a.Workload < b.Workload
 	})
@@ -61,7 +79,7 @@ func (c *Cache) AddResults(rs []CachedResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, r := range rs {
-		k := Key{Machine: r.Machine, Config: r.Config, Workload: r.Workload}
+		k := Key{Machine: r.Machine, Workload: r.Workload}
 		if _, ok := c.entries[k]; ok {
 			continue
 		}
@@ -75,20 +93,28 @@ func (c *Cache) AddResults(rs []CachedResult) {
 func (c *Cache) WriteSnapshot(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(cacheFile{Entries: c.Snapshot()})
+	return enc.Encode(cacheFile{Version: SnapshotVersion, Entries: c.Snapshot()})
 }
 
-// ReadSnapshot parses a snapshot previously written by WriteSnapshot.
+// ReadSnapshot parses a snapshot previously written by WriteSnapshot. A
+// file from a different schema version (including the unversioned
+// pre-spec format) returns a SnapshotVersionError.
 func ReadSnapshot(r io.Reader) ([]CachedResult, error) {
 	var f cacheFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return nil, fmt.Errorf("exp: decoding cache snapshot: %w", err)
 	}
+	if f.Version != SnapshotVersion {
+		return nil, &SnapshotVersionError{Got: f.Version, Want: SnapshotVersion}
+	}
 	return f.Entries, nil
 }
 
 // LoadCacheFile pre-fills the cache from the named snapshot file. A
-// missing file is not an error — it is the normal first-invocation state.
+// missing file is not an error — it is the normal first-invocation
+// state. A version mismatch surfaces as a wrapped SnapshotVersionError;
+// callers that treat old snapshots as regenerate-rather-than-fail should
+// errors.As for it.
 func LoadCacheFile(c *Cache, path string) error {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {

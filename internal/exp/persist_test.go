@@ -2,69 +2,73 @@ package exp_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 	"testing"
 
 	"icfp/internal/exp"
+	"icfp/internal/sim"
+	"icfp/internal/workload"
 )
+
+// persistJobs is a pair of distinct, cheap, real jobs.
+func persistJobs() []exp.Job {
+	return []exp.Job{
+		planJob("a", sim.InOrder, workload.ScenarioLoneL2),
+		planJob("b", sim.ICFP, workload.ScenarioLoneL2),
+	}
+}
 
 // TestCacheFileRoundTrip pins the -cache-file workflow: a cache saved by
 // one invocation pre-fills the next, so repeated runs simulate nothing.
 func TestCacheFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cache.json")
-
-	var runs atomic.Int64
-	jobs := []exp.Job{
-		stubJob("a", "m1", "w1", 100, &runs),
-		stubJob("b", "m2", "w1", 200, &runs),
-	}
+	jobs := persistJobs()
 
 	first := exp.NewCache()
 	if err := exp.LoadCacheFile(first, path); err != nil {
 		t.Fatalf("loading a missing cache file must be a no-op, got %v", err)
 	}
-	if _, err := exp.Run(jobs, exp.WithCache(first)); err != nil {
+	rs1, err := exp.Run(jobs, exp.WithCache(first))
+	if err != nil {
 		t.Fatal(err)
 	}
 	if err := exp.SaveCacheFile(first, path); err != nil {
 		t.Fatal(err)
 	}
-	if runs.Load() != 2 {
-		t.Fatalf("first invocation simulated %d, want 2", runs.Load())
+	if first.Simulations() != 2 {
+		t.Fatalf("first invocation simulated %d, want 2", first.Simulations())
 	}
 
 	second := exp.NewCache()
 	if err := exp.LoadCacheFile(second, path); err != nil {
 		t.Fatal(err)
 	}
-	rs, err := exp.Run(jobs, exp.WithCache(second))
+	rs2, err := exp.Run(jobs, exp.WithCache(second))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runs.Load() != 2 {
-		t.Errorf("second invocation simulated %d more, want 0 (cache file must satisfy both jobs)", runs.Load()-2)
-	}
 	if second.Simulations() != 0 {
-		t.Errorf("loaded entries counted as simulations: %d", second.Simulations())
+		t.Errorf("second invocation simulated %d, want 0 (cache file must satisfy both jobs)", second.Simulations())
 	}
-	if rs.MustGet("a").Cycles != 100 || rs.MustGet("b").Cycles != 200 {
-		t.Errorf("results changed across the cache file round trip: %+v", rs.Results)
+	for _, name := range []string{"a", "b"} {
+		if rs1.MustGet(name).Cycles != rs2.MustGet(name).Cycles {
+			t.Errorf("%s: results changed across the cache file round trip", name)
+		}
 	}
 }
 
 // TestSnapshotDeterministicOrder pins that a snapshot's entry order does
 // not depend on map iteration, so saved cache files diff cleanly.
 func TestSnapshotDeterministicOrder(t *testing.T) {
-	var runs atomic.Int64
 	c := exp.NewCache()
 	jobs := []exp.Job{
-		stubJob("z", "m9", "w9", 9, &runs),
-		stubJob("y", "m1", "w2", 2, &runs),
-		stubJob("x", "m1", "w1", 1, &runs),
+		planJob("z", sim.ICFP, workload.ScenarioChains),
+		planJob("y", sim.InOrder, workload.ScenarioChains),
+		planJob("x", sim.InOrder, workload.ScenarioLoneL2),
 	}
 	if _, err := exp.Run(jobs, exp.WithCache(c)); err != nil {
 		t.Fatal(err)
@@ -97,9 +101,8 @@ func TestLoadCacheFileRejectsGarbage(t *testing.T) {
 // both ReadSnapshot and LoadCacheFile must reject it rather than load a
 // silently incomplete result set.
 func TestLoadCacheFileRejectsTruncated(t *testing.T) {
-	var runs atomic.Int64
 	c := exp.NewCache()
-	if _, err := exp.Run([]exp.Job{stubJob("a", "m1", "w1", 100, &runs)}, exp.WithCache(c)); err != nil {
+	if _, err := exp.Run(persistJobs()[:1], exp.WithCache(c)); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -119,16 +122,80 @@ func TestLoadCacheFileRejectsTruncated(t *testing.T) {
 	}
 }
 
+// TestSnapshotVersionMismatch pins the schema-versioning contract: a
+// pre-spec (unversioned, fingerprint-keyed) snapshot and a
+// future-versioned one both surface as SnapshotVersionError — loadable
+// nowhere, but distinguishable from corruption so callers can warn and
+// regenerate instead of failing.
+func TestSnapshotVersionMismatch(t *testing.T) {
+	legacy := []byte(`{
+  "entries": [
+    {"machine": "iCFP", "config": "00f0ba41cafe0000", "workload": "spec:mcf:n=3000", "result": {"name": "mcf", "cycles": 123}}
+  ]
+}`)
+	_, err := exp.ReadSnapshot(bytes.NewReader(legacy))
+	var verr *exp.SnapshotVersionError
+	if !errors.As(err, &verr) {
+		t.Fatalf("legacy snapshot: err = %v, want SnapshotVersionError", err)
+	}
+	if verr.Got != 0 || verr.Want != exp.SnapshotVersion {
+		t.Errorf("legacy snapshot error = %+v, want got 0, want %d", verr, exp.SnapshotVersion)
+	}
+
+	future := []byte(`{"version": 99, "entries": []}`)
+	_, err = exp.ReadSnapshot(bytes.NewReader(future))
+	if !errors.As(err, &verr) || verr.Got != 99 {
+		t.Fatalf("future snapshot: err = %v, want SnapshotVersionError{Got: 99}", err)
+	}
+
+	// LoadCacheFile wraps the same error so callers can errors.As it.
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.LoadCacheFile(exp.NewCache(), path); !errors.As(err, &verr) {
+		t.Fatalf("LoadCacheFile of a legacy snapshot: err = %v, want wrapped SnapshotVersionError", err)
+	}
+}
+
+// TestSnapshotRoundTripsCurrentVersion pins that what SaveCacheFile
+// writes, ReadSnapshot accepts — the trivial-but-load-bearing inverse of
+// the version rejection above.
+func TestSnapshotRoundTripsCurrentVersion(t *testing.T) {
+	c := exp.NewCache()
+	if _, err := exp.Run(persistJobs(), exp.WithCache(c)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := exp.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("round trip kept %d entries, want 2", len(entries))
+	}
+	for _, e := range entries {
+		// Keys are canonical spec encodings, not labels or hashes.
+		if !bytes.Contains([]byte(e.Machine), []byte(`"model"`)) {
+			t.Errorf("entry machine key %q is not a canonical machine spec", e.Machine)
+		}
+	}
+}
+
 // TestSaveCacheFileConcurrentSavers pins that simultaneous SaveCacheFile
 // calls on the same path never tear the file: each saver writes its own
 // uniquely named temp file and the final rename is atomic, so the
 // survivor is one complete snapshot.
 func TestSaveCacheFileConcurrentSavers(t *testing.T) {
-	var runs atomic.Int64
 	c := exp.NewCache()
 	jobs := make([]exp.Job, 0, 8)
-	for i := 0; i < 8; i++ {
-		jobs = append(jobs, stubJob(fmt.Sprintf("j%d", i), fmt.Sprintf("m%d", i), "w", int64(100+i), &runs))
+	for i, sc := range workload.AllScenarios[:4] {
+		jobs = append(jobs,
+			planJob(fmt.Sprintf("io/%d", i), sim.InOrder, sc),
+			planJob(fmt.Sprintf("ic/%d", i), sim.ICFP, sc))
 	}
 	if _, err := exp.Run(jobs, exp.WithCache(c)); err != nil {
 		t.Fatal(err)

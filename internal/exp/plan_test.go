@@ -2,51 +2,59 @@ package exp_test
 
 import (
 	"reflect"
-	"sync/atomic"
 	"testing"
 
 	"icfp/internal/exp"
+	"icfp/internal/sim"
+	"icfp/internal/spec"
+	"icfp/internal/workload"
 )
 
+// planJob builds a real, cheap job from a model and a scenario. Warmup
+// is disabled: scenarios pre-warm their caches explicitly, and the base
+// configuration's sampling warmup would otherwise consume the whole
+// trace.
+func planJob(name string, m sim.Model, sc workload.Scenario) exp.Job {
+	mach := m.Spec()
+	mach.Overrides = &spec.Overrides{Warmup: spec.Int(0)}
+	return exp.Job{Name: name, Machine: mach, Workload: spec.ScenarioWorkload(sc)}
+}
+
 // TestPlanDeduplicatesKeys pins that Plan surfaces each distinct
-// memoization key exactly once, in first-appearance order — the contract
-// the distributed dispatcher shards on.
+// simulation exactly once, as a self-describing spec, in
+// first-appearance order — the contract the distributed dispatcher
+// shards on.
 func TestPlanDeduplicatesKeys(t *testing.T) {
-	var runs atomic.Int64
 	jobs := []exp.Job{
-		stubJob("a", "m1", "w1", 100, &runs),
-		stubJob("b", "m1", "w1", 100, &runs), // same key as a
-		stubJob("c", "m2", "w1", 200, &runs),
-		stubJob("d", "m1", "w2", 300, &runs),
+		planJob("a", sim.InOrder, workload.ScenarioLoneL2),
+		planJob("b", sim.InOrder, workload.ScenarioLoneL2), // same key as a
+		planJob("c", sim.ICFP, workload.ScenarioLoneL2),
+		planJob("d", sim.InOrder, workload.ScenarioChains),
 	}
 	plan, err := exp.Plan(jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(plan) != 3 {
-		t.Fatalf("plan has %d keys, want 3: %v", len(plan), plan)
+		t.Fatalf("plan has %d entries, want 3: %v", len(plan), plan)
 	}
 	want := []exp.Key{jobs[0].Key(), jobs[2].Key(), jobs[3].Key()}
-	if !reflect.DeepEqual(plan, want) {
-		t.Errorf("plan = %v, want %v (first-appearance order)", plan, want)
+	got := make([]exp.Key, len(plan))
+	for i, sj := range plan {
+		got[i] = exp.KeyOf(sj)
+		if sj.Name != "" {
+			t.Errorf("plan entry %d carries a name %q; plan entries are identity, not presentation", i, sj.Name)
+		}
 	}
-	if runs.Load() != 0 {
-		t.Errorf("Plan simulated %d jobs; planning must not simulate", runs.Load())
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("plan keys = %v, want %v (first-appearance order)", got, want)
 	}
-}
-
-// TestPlanValidatesLikeRun pins that a job set Run would reject is also
-// rejected at planning time, before any dispatch.
-func TestPlanValidatesLikeRun(t *testing.T) {
-	var runs atomic.Int64
-	for name, jobs := range map[string][]exp.Job{
-		"duplicate name": {stubJob("a", "m1", "w1", 1, &runs), stubJob("a", "m2", "w2", 2, &runs)},
-		"empty name":     {stubJob("", "m1", "w1", 1, &runs)},
-		"no constructor": {{Name: "a", Machine: "m1", Workload: exp.WorkloadSpec{Key: "w1", New: stubJob("x", "m1", "w1", 1, &runs).Workload.New}}},
-		"no workload":    {{Name: "a", Machine: "m1", Make: stubJob("x", "m1", "w1", 1, &runs).Make}},
-	} {
-		if _, err := exp.Plan(jobs); err == nil {
-			t.Errorf("%s: Plan accepted a job set Run rejects", name)
+	// Each entry is self-describing: rebuilding a job from it yields the
+	// same key.
+	for i, sj := range plan {
+		rebuilt := exp.Job{Name: "x", Machine: sj.Machine, Workload: sj.Workload}
+		if rebuilt.Key() != got[i] {
+			t.Errorf("plan entry %d does not round-trip through its spec", i)
 		}
 	}
 }
@@ -54,9 +62,8 @@ func TestPlanValidatesLikeRun(t *testing.T) {
 // TestCacheLookup pins Lookup's completed-only contract: present after a
 // run, absent for unknown keys, and populated by AddResults.
 func TestCacheLookup(t *testing.T) {
-	var runs atomic.Int64
 	c := exp.NewCache()
-	job := stubJob("a", "m1", "w1", 123, &runs)
+	job := planJob("a", sim.InOrder, workload.ScenarioLoneL2)
 	if _, ok := c.Lookup(job.Key()); ok {
 		t.Fatal("Lookup hit on an empty cache")
 	}
@@ -64,13 +71,13 @@ func TestCacheLookup(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, ok := c.Lookup(job.Key())
-	if !ok || res.Cycles != 123 {
-		t.Fatalf("Lookup after run = (%+v, %v), want cycles 123", res, ok)
+	if !ok || res.Cycles <= 0 {
+		t.Fatalf("Lookup after run = (%+v, %v), want a real result", res, ok)
 	}
 
 	other := exp.NewCache()
 	other.AddResults(c.Snapshot())
-	if res, ok := other.Lookup(job.Key()); !ok || res.Cycles != 123 {
-		t.Fatalf("Lookup after AddResults = (%+v, %v), want cycles 123", res, ok)
+	if got, ok := other.Lookup(job.Key()); !ok || got.Cycles != res.Cycles {
+		t.Fatalf("Lookup after AddResults = (%+v, %v), want cycles %d", got, ok, res.Cycles)
 	}
 }

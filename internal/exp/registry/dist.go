@@ -1,123 +1,21 @@
 package registry
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 
 	"icfp/internal/dist"
 	"icfp/internal/exp"
-	"icfp/internal/sim"
+	"icfp/internal/spec"
 )
 
-// WorkerSpec is the job spec a coordinator sends its dist workers:
-// exactly enough for a worker to rebuild the coordinator's job set from
-// the shared registry. Distributed runs cover Params built from
-// sim.DefaultConfig with the spec's warmup and sample size — the CLI
-// contract — and any other divergence between the two sides is caught
-// by the dist handshake and unknown-key guards rather than silently
-// mis-simulated.
-type WorkerSpec struct {
-	Names    []string `json:"names"`    // selected experiments, deduplicated, registry order preserved
-	N        int      `json:"n"`        // timed instructions per sample
-	Warm     int      `json:"warm"`     // warmup instructions per sample
-	Parallel int      `json:"parallel"` // worker-internal pool size; <1 means GOMAXPROCS
-}
-
-// params rebuilds the run parameters exactly as the CLIs do.
-func (s WorkerSpec) params() Params {
-	cfg := sim.DefaultConfig()
-	cfg.WarmupInsts = s.Warm
-	return Params{Cfg: cfg, N: s.N}
-}
-
-// ResolveWorker is the registry's dist.Resolver: it parses a WorkerSpec
-// and rebuilds the named experiments' jobs, keyed by memoization key.
-// Jobs sharing a key are identical by the harness's cache contract, so
-// keeping the first suffices.
-func ResolveWorker(spec json.RawMessage) (map[exp.Key]exp.Job, int, error) {
-	var s WorkerSpec
-	if err := json.Unmarshal(spec, &s); err != nil {
-		return nil, 0, fmt.Errorf("registry: parsing worker spec: %w", err)
-	}
-	// The spec arrives over the network on TCP workers: reject values no
-	// legitimate coordinator would send instead of obeying them — pool
-	// sizes beyond any real machine (<1 means GOMAXPROCS, and exp.Run
-	// additionally caps the pool at the batch size), and per-key sample
-	// sizes far past paper scale (1M timed after 4M warmup), which would
-	// otherwise pin the daemon's cores for hours per key.
-	const maxInstsPerKey = 1 << 30
-	if s.N <= 0 {
-		return nil, 0, fmt.Errorf("registry: worker spec has n=%d, want > 0", s.N)
-	}
-	if s.Warm < 0 {
-		return nil, 0, fmt.Errorf("registry: worker spec has warm=%d, want >= 0", s.Warm)
-	}
-	if s.N > maxInstsPerKey || s.Warm > maxInstsPerKey {
-		return nil, 0, fmt.Errorf("registry: worker spec has n=%d, warm=%d, want <= %d each", s.N, s.Warm, maxInstsPerKey)
-	}
-	if s.Parallel > 4096 {
-		return nil, 0, fmt.Errorf("registry: worker spec has parallel=%d, want <= 4096", s.Parallel)
-	}
-	_, jobs, _, err := collect(s.Names, s.params())
-	if err != nil {
-		return nil, 0, err
-	}
-	table := make(map[exp.Key]exp.Job, len(jobs))
-	for _, j := range jobs {
-		k := j.Key()
-		if _, ok := table[k]; !ok {
-			table[k] = j
-		}
-	}
-	return table, s.Parallel, nil
-}
-
-// ReportDistributed is the distributed counterpart of Report: it plans
-// the named experiments' deduplicated keys, shards them across the dist
-// workers (workerParallel is each worker's internal pool size), merges
-// the streamed results into cache, and renders every experiment locally
-// from the warm cache. Because simulations are deterministic pure
-// functions of their keys and results round-trip JSON exactly, the
-// rendered report is byte-identical to a single-process Report at any
-// worker count. Keys already in the cache are not dispatched, so a
-// preloaded -cache-file shrinks distributed runs the same way it
-// shrinks local ones. The dispatch options pass through to dist.Run
-// except Spec, which this function owns.
-func ReportDistributed(w io.Writer, names []string, p Params, workers []dist.Worker, workerParallel int, cache *exp.Cache, opts dist.Options) (map[string]*exp.ResultSet, error) {
-	if cache == nil {
-		cache = exp.NewCache()
-	}
-	// dist.Run closes every worker transport on all of its paths; the
-	// error returns before it must do the same or connections (and
-	// subprocess workers) leak.
-	ws := WorkerSpec{N: p.N, Warm: p.Cfg.WarmupInsts, Parallel: workerParallel}
-	if got, want := exp.Fingerprint(p.Cfg), exp.Fingerprint(ws.params().Cfg); got != want {
-		// The wire spec carries only N and the warmup: any other Cfg
-		// customization cannot reach the workers, and letting it through
-		// would fail mid-dispatch with a misleading skew diagnostic.
-		dist.CloseAll(workers)
-		return nil, fmt.Errorf("registry: distributed runs support only sim.DefaultConfig plus WarmupInsts; got config fingerprint %s, want %s", got, want)
-	}
-	selected, jobs, _, err := collect(names, p)
-	if err != nil {
-		dist.CloseAll(workers)
-		return nil, err
-	}
-	plan, err := exp.Plan(jobs)
-	if err != nil {
-		dist.CloseAll(workers)
-		return nil, fmt.Errorf("registry: %w", err)
-	}
-	for _, e := range selected {
-		ws.Names = append(ws.Names, e.Name)
-	}
-	spec, err := json.Marshal(ws)
-	if err != nil {
-		dist.CloseAll(workers)
-		return nil, fmt.Errorf("registry: encoding worker spec: %w", err)
-	}
-	opts.Spec = spec
+// runPlanDistributed shards a deduplicated plan of self-describing jobs
+// across the dist workers and merges the streamed results into cache.
+// Keys already in the cache are not dispatched, so a preloaded
+// -cache-file shrinks distributed runs the same way it shrinks local
+// ones.
+func runPlanDistributed(plan []spec.Job, workers []dist.Worker, workerParallel int, cache *exp.Cache, opts dist.Options) error {
+	opts.Parallel = workerParallel
 	if opts.BatchSize <= 0 {
 		// A worker simulates one batch at a time with a pool capped at
 		// the batch size, so batches must be at least as large as the
@@ -132,10 +30,64 @@ func ReportDistributed(w io.Writer, names []string, p Params, workers []dist.Wor
 		}
 		opts.BatchSize = max(dist.DefaultBatchSize, 2*width)
 	}
-	if err := dist.Run(plan, workers, cache, opts); err != nil {
+	return dist.Run(plan, workers, cache, opts)
+}
+
+// ReportDistributed is the distributed counterpart of Report: it plans
+// the named experiments' deduplicated jobs, shards them across the dist
+// workers (workerParallel is each worker's internal pool size), merges
+// the streamed results into cache, and renders every experiment locally
+// from the warm cache. Because simulations are deterministic pure
+// functions of their specs and results round-trip JSON exactly, the
+// rendered report is byte-identical to a single-process Report at any
+// worker count. Every dispatched job is self-describing, so workers need
+// no matching job table — only a compatible simulator. The dispatch
+// options pass through to dist.Run except Parallel, which this function
+// owns.
+func ReportDistributed(w io.Writer, names []string, p Params, workers []dist.Worker, workerParallel int, cache *exp.Cache, opts dist.Options) (map[string]*exp.ResultSet, error) {
+	if cache == nil {
+		cache = exp.NewCache()
+	}
+	// dist.Run closes every worker transport on all of its paths; the
+	// error returns before it must do the same or connections (and
+	// subprocess workers) leak.
+	_, jobs, _, err := collect(names, p)
+	if err != nil {
+		dist.CloseAll(workers)
+		return nil, err
+	}
+	plan, err := exp.Plan(jobs)
+	if err != nil {
+		dist.CloseAll(workers)
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	if err := runPlanDistributed(plan, workers, workerParallel, cache, opts); err != nil {
 		return nil, err
 	}
 	// Every key is now cached: this Run simulates nothing, it only
 	// assembles result sets and renders — same code path, same bytes.
 	return Report(w, names, p, exp.WithCache(cache), exp.Parallelism(1))
+}
+
+// ReportSuiteDistributed is ReportSuite across dist workers: the suite's
+// deduplicated jobs are dispatched, results merge into cache, and the
+// suite renders locally from the warm cache — byte-identical to a local
+// ReportSuite at any worker count.
+func ReportSuiteDistributed(w io.Writer, s spec.Suite, workers []dist.Worker, workerParallel int, cache *exp.Cache, opts dist.Options) (*exp.ResultSet, error) {
+	if cache == nil {
+		cache = exp.NewCache()
+	}
+	if err := s.Validate(); err != nil {
+		dist.CloseAll(workers)
+		return nil, err
+	}
+	plan, err := exp.Plan(suiteJobs(s))
+	if err != nil {
+		dist.CloseAll(workers)
+		return nil, fmt.Errorf("registry: suite %q: %w", s.Name, err)
+	}
+	if err := runPlanDistributed(plan, workers, workerParallel, cache, opts); err != nil {
+		return nil, err
+	}
+	return ReportSuite(w, s, exp.WithCache(cache), exp.Parallelism(1))
 }

@@ -11,13 +11,14 @@ import (
 	"icfp/internal/exp/registry"
 )
 
-// pipeWorkers serves n in-process registry workers over pipes.
+// pipeWorkers serves n in-process workers over pipes. Workers carry no
+// registry knowledge: batches are self-describing since protocol v2.
 func pipeWorkers(t *testing.T, n int) []dist.Worker {
 	t.Helper()
 	workers := make([]dist.Worker, 0, n)
 	for i := 0; i < n; i++ {
 		coordEnd, workerEnd := dist.Pipe()
-		go dist.Serve(workerEnd, registry.ResolveWorker)
+		go dist.Serve(workerEnd)
 		workers = append(workers, dist.Worker{Name: fmt.Sprintf("w%d", i), RW: coordEnd})
 	}
 	return workers
@@ -76,27 +77,31 @@ func TestDistributedReportWarmCache(t *testing.T) {
 	}
 }
 
-// TestResolveWorkerRejectsBadSpecs pins the worker-side validation.
-func TestResolveWorkerRejectsBadSpecs(t *testing.T) {
-	for name, spec := range map[string]string{
-		"garbage":        "not json",
-		"zero n":         `{"names":["fig5"],"n":0,"warm":100}`,
-		"negative":       `{"names":["fig5"],"n":100,"warm":-1}`,
-		"unknown name":   `{"names":["nope"],"n":100,"warm":100}`,
-		"hostile n":      `{"names":["fig5"],"n":2000000000,"warm":100}`,
-		"hostile warm":   `{"names":["fig5"],"n":100,"warm":2000000000}`,
-		"hostile fanout": `{"names":["fig5"],"n":100,"warm":100,"parallel":100000000}`,
-	} {
-		if _, _, err := registry.ResolveWorker([]byte(spec)); err == nil {
-			t.Errorf("%s: ResolveWorker accepted %q", name, spec)
-		}
-	}
-	jobs, parallel, err := registry.ResolveWorker([]byte(`{"names":["fig8"],"n":2000,"warm":1000,"parallel":2}`))
+// TestSuiteDistributedMatchesLocal pins the -spec / -workers interplay:
+// a described suite dispatched to workers renders byte-identically to a
+// local run of the same suite — and, transitively, to the compiled-in
+// experiment.
+func TestSuiteDistributedMatchesLocal(t *testing.T) {
+	p := tinyParams()
+	s, err := registry.Describe("fig8", p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(jobs) == 0 || parallel != 2 {
-		t.Errorf("ResolveWorker = %d jobs, parallel %d; want jobs and parallel 2", len(jobs), parallel)
+	var local bytes.Buffer
+	if _, err := registry.ReportSuite(&local, s, exp.Parallelism(1)); err != nil {
+		t.Fatal(err)
+	}
+	var distributed bytes.Buffer
+	cache := exp.NewCache()
+	if _, err := registry.ReportSuiteDistributed(&distributed, s, pipeWorkers(t, 2), 1, cache, dist.Options{Logf: t.Logf}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), distributed.Bytes()) {
+		t.Errorf("distributed suite report differs from local:\n--- local ---\n%s\n--- distributed ---\n%s",
+			local.String(), distributed.String())
+	}
+	if cache.Simulations() != 0 {
+		t.Errorf("coordinator simulated %d times; all simulation must happen on workers", cache.Simulations())
 	}
 }
 

@@ -6,10 +6,9 @@ import (
 
 	"icfp/internal/area"
 	"icfp/internal/exp"
-	"icfp/internal/icfp"
-	"icfp/internal/ooo"
 	"icfp/internal/pipeline"
 	"icfp/internal/sim"
+	"icfp/internal/spec"
 	"icfp/internal/workload"
 )
 
@@ -29,400 +28,368 @@ var figure8Names = []string{"applu", "equake", "swim", "bzip2", "gzip", "vpr"}
 // ablateNames pair a dependent-miss workload with a streaming one.
 var ablateNames = []string{"mcf", "swim"}
 
-// pointJob wraps one of sim's labelled machine constructors (the Figure
-// 6 latency points) as a harness job; the label is the cache identity.
-func pointJob(name string, m sim.L2LatencyPoint, cfg pipeline.Config, wl exp.WorkloadSpec) exp.Job {
-	return exp.Job{
-		Name:     name,
-		Machine:  m.Label,
-		Config:   cfg,
-		Make:     func(cfg pipeline.Config) exp.Runner { return m.Machine(cfg) },
-		Workload: wl,
-	}
-}
-
 func table1Exp() Experiment {
-	return Experiment{
+	e := Experiment{
 		Name: "table1",
 		Desc: "simulated processor configuration (Table 1)",
-		Print: func(w io.Writer, p Params, _ *exp.ResultSet) {
-			cfg := p.Cfg
-			h := cfg.Hier
-			fmt.Fprintln(w, "== Table 1: simulated processor configuration ==")
-			fmt.Fprintf(w, "Pipeline   %d-wide, %d front-end stages + 1 ALU + %d D$ + 1 reg-write; %d int ports, %d fp/ls/br port\n",
-				cfg.Width, cfg.FrontDepth, cfg.DCachePipe, cfg.IntPorts, cfg.MemFPBrPorts)
-			fmt.Fprintf(w, "Bpred      PPM %d-table (hist %v), %d-entry BTB, %d-entry RAS\n",
-				len(cfg.Bpred.HistLens), cfg.Bpred.HistLens, 1<<cfg.Bpred.BTBBits, cfg.Bpred.RASEntries)
-			fmt.Fprintf(w, "I$/D$      %d KB, %d-way, %d B lines, %d-entry victim buffers\n",
-				h.L1D.SizeBytes>>10, h.L1D.Assoc, h.L1D.LineBytes, h.L1D.VictimEntries)
-			fmt.Fprintf(w, "L2         %d MB, %d-way, %d B lines, %d-cycle hit, %d-entry victim buffer\n",
-				h.L2.SizeBytes>>20, h.L2.Assoc, h.L2.LineBytes, h.L2HitLat, h.L2.VictimEntries)
-			fmt.Fprintf(w, "Memory     %d-cycle latency, %d cycles per %d B chunk, %d MSHRs\n",
-				h.MemLat, h.MemChunkLat, h.MemChunkBytes, h.NumMSHRs)
-			fmt.Fprintf(w, "Prefetch   %d stream buffers x %d blocks\n", h.StreamBufs, h.StreamBufBlocks)
-			fmt.Fprintf(w, "iCFP       %d-entry chained SB, %d-entry chain table, %d-entry slice buffer, %d-bit poison vectors\n",
-				cfg.ChainedSBEntries, cfg.ChainTableEntries, cfg.SliceEntries, cfg.PoisonBits)
-			fmt.Fprintf(w, "Others     %d-entry runahead cache, %d-entry SRL, %d-entry result buffer, %d-entry store buffer\n\n",
-				cfg.RunaheadCache, cfg.SRLEntries, cfg.ResultBufEntries, cfg.StoreBufEntries)
-		},
 	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		return newSuite(e, p).done() // analytic: no simulations
+	}
+	e.Print = func(w io.Writer, p Params, _ *exp.ResultSet) {
+		cfg := p.Cfg
+		h := cfg.Hier
+		fmt.Fprintln(w, "== Table 1: simulated processor configuration ==")
+		fmt.Fprintf(w, "Pipeline   %d-wide, %d front-end stages + 1 ALU + %d D$ + 1 reg-write; %d int ports, %d fp/ls/br port\n",
+			cfg.Width, cfg.FrontDepth, cfg.DCachePipe, cfg.IntPorts, cfg.MemFPBrPorts)
+		fmt.Fprintf(w, "Bpred      PPM %d-table (hist %v), %d-entry BTB, %d-entry RAS\n",
+			len(cfg.Bpred.HistLens), cfg.Bpred.HistLens, 1<<cfg.Bpred.BTBBits, cfg.Bpred.RASEntries)
+		fmt.Fprintf(w, "I$/D$      %d KB, %d-way, %d B lines, %d-entry victim buffers\n",
+			h.L1D.SizeBytes>>10, h.L1D.Assoc, h.L1D.LineBytes, h.L1D.VictimEntries)
+		fmt.Fprintf(w, "L2         %d MB, %d-way, %d B lines, %d-cycle hit, %d-entry victim buffer\n",
+			h.L2.SizeBytes>>20, h.L2.Assoc, h.L2.LineBytes, h.L2HitLat, h.L2.VictimEntries)
+		fmt.Fprintf(w, "Memory     %d-cycle latency, %d cycles per %d B chunk, %d MSHRs\n",
+			h.MemLat, h.MemChunkLat, h.MemChunkBytes, h.NumMSHRs)
+		fmt.Fprintf(w, "Prefetch   %d stream buffers x %d blocks\n", h.StreamBufs, h.StreamBufBlocks)
+		fmt.Fprintf(w, "iCFP       %d-entry chained SB, %d-entry chain table, %d-entry slice buffer, %d-bit poison vectors\n",
+			cfg.ChainedSBEntries, cfg.ChainTableEntries, cfg.SliceEntries, cfg.PoisonBits)
+		fmt.Fprintf(w, "Others     %d-entry runahead cache, %d-entry SRL, %d-entry result buffer, %d-entry store buffer\n\n",
+			cfg.RunaheadCache, cfg.SRLEntries, cfg.ResultBufEntries, cfg.StoreBufEntries)
+	}
+	return e
 }
 
 func fig5Exp() Experiment {
-	return Experiment{
+	e := Experiment{
 		Name: "fig5",
 		Desc: "speedups over in-order: Runahead, Multipass, SLTP, iCFP (Figure 5)",
-		Jobs: func(p Params) []exp.Job {
-			var jobs []exp.Job
-			for _, name := range workload.AllSPECNames {
-				wl := exp.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
-				jobs = append(jobs, sim.Job("fig5/"+name+"/base", sim.InOrder, p.Cfg, wl))
-				for _, m := range fig5Models {
-					jobs = append(jobs, sim.Job("fig5/"+name+"/"+m.String(), m, p.Cfg, wl))
-				}
-			}
-			return jobs
-		},
-		Print: func(w io.Writer, p Params, rs *exp.ResultSet) {
-			sp := func(name string, m sim.Model) float64 {
-				return rs.Speedup("fig5/"+name+"/"+m.String(), "fig5/"+name+"/base")
-			}
-			fmt.Fprintln(w, "== Figure 5: % speedup over in-order ==")
-			fmt.Fprintf(w, "%-9s %9s %9s %9s %9s\n", "bench", "Runahead", "Multipass", "SLTP", "iCFP")
-			for _, name := range workload.AllSPECNames {
-				fmt.Fprintf(w, "%-9s %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%\n", name,
-					sp(name, sim.Runahead), sp(name, sim.Multipass), sp(name, sim.SLTP), sp(name, sim.ICFP))
-			}
-			for _, grp := range []struct {
-				label string
-				names []string
-			}{
-				{"SPECfp", workload.SPECfpNames},
-				{"SPECint", workload.SPECintNames},
-				{"SPEC", workload.AllSPECNames},
-			} {
-				geo := func(m sim.Model) float64 {
-					pairs := make([][2]string, 0, len(grp.names))
-					for _, name := range grp.names {
-						pairs = append(pairs, [2]string{"fig5/" + name + "/" + m.String(), "fig5/" + name + "/base"})
-					}
-					return rs.GeoMeanSpeedup(pairs)
-				}
-				fmt.Fprintf(w, "%-9s %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%   (geomean)\n", grp.label,
-					geo(sim.Runahead), geo(sim.Multipass), geo(sim.SLTP), geo(sim.ICFP))
-			}
-			fmt.Fprintln(w, "paper geomeans: Runahead 11%, Multipass 11%, SLTP 9%, iCFP 16%")
-			fmt.Fprintln(w)
-		},
 	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		b := newSuite(e, p)
+		for _, name := range workload.AllSPECNames {
+			wl := spec.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
+			b.add("fig5/"+name+"/base", sim.InOrder.Spec(), p.Cfg, wl)
+			for _, m := range fig5Models {
+				b.add("fig5/"+name+"/"+m.String(), m.Spec(), p.Cfg, wl)
+			}
+		}
+		return b.done()
+	}
+	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
+		sp := func(name string, m sim.Model) float64 {
+			return rs.Speedup("fig5/"+name+"/"+m.String(), "fig5/"+name+"/base")
+		}
+		fmt.Fprintln(w, "== Figure 5: % speedup over in-order ==")
+		fmt.Fprintf(w, "%-9s %9s %9s %9s %9s\n", "bench", "Runahead", "Multipass", "SLTP", "iCFP")
+		for _, name := range workload.AllSPECNames {
+			fmt.Fprintf(w, "%-9s %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%\n", name,
+				sp(name, sim.Runahead), sp(name, sim.Multipass), sp(name, sim.SLTP), sp(name, sim.ICFP))
+		}
+		for _, grp := range []struct {
+			label string
+			names []string
+		}{
+			{"SPECfp", workload.SPECfpNames},
+			{"SPECint", workload.SPECintNames},
+			{"SPEC", workload.AllSPECNames},
+		} {
+			geo := func(m sim.Model) float64 {
+				pairs := make([][2]string, 0, len(grp.names))
+				for _, name := range grp.names {
+					pairs = append(pairs, [2]string{"fig5/" + name + "/" + m.String(), "fig5/" + name + "/base"})
+				}
+				return rs.GeoMeanSpeedup(pairs)
+			}
+			fmt.Fprintf(w, "%-9s %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%   (geomean)\n", grp.label,
+				geo(sim.Runahead), geo(sim.Multipass), geo(sim.SLTP), geo(sim.ICFP))
+		}
+		fmt.Fprintln(w, "paper geomeans: Runahead 11%, Multipass 11%, SLTP 9%, iCFP 16%")
+		fmt.Fprintln(w)
+	}
+	return e
 }
 
 func table2Exp() Experiment {
 	models := []sim.Model{sim.InOrder, sim.Runahead, sim.ICFP}
-	return Experiment{
+	e := Experiment{
 		Name: "table2",
 		Desc: "diagnostics: miss rates, D$/L2 MLP, iCFP rally rate (Table 2)",
-		Jobs: func(p Params) []exp.Job {
-			var jobs []exp.Job
-			for _, name := range workload.AllSPECNames {
-				wl := exp.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
-				for _, m := range models {
-					jobs = append(jobs, sim.Job("table2/"+name+"/"+m.String(), m, p.Cfg, wl))
-				}
-			}
-			return jobs
-		},
-		Print: func(w io.Writer, p Params, rs *exp.ResultSet) {
-			fmt.Fprintln(w, "== Table 2: diagnostics (miss/KI from the in-order baseline) ==")
-			fmt.Fprintf(w, "%-9s %6s %6s | %6s %6s %6s | %6s %6s %6s | %8s\n",
-				"bench", "D$/KI", "L2/KI", "dMLPiO", "dMLPra", "dMLPic", "l2iO", "l2ra", "l2ic", "rally/KI")
-			for _, name := range workload.AllSPECNames {
-				io := rs.MustGet("table2/" + name + "/in-order")
-				ra := rs.MustGet("table2/" + name + "/Runahead")
-				ic := rs.MustGet("table2/" + name + "/iCFP")
-				fmt.Fprintf(w, "%-9s %6.1f %6.1f | %6.1f %6.1f %6.1f | %6.1f %6.1f %6.1f | %8.0f\n",
-					name, io.DCacheMissPerKI, io.L2MissPerKI,
-					io.DCacheMLP, ra.DCacheMLP, ic.DCacheMLP,
-					io.L2MLP, ra.L2MLP, ic.L2MLP, ic.RallyPerKI)
-			}
-			fmt.Fprintln(w)
-		},
 	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		b := newSuite(e, p)
+		for _, name := range workload.AllSPECNames {
+			wl := spec.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
+			for _, m := range models {
+				b.add("table2/"+name+"/"+m.String(), m.Spec(), p.Cfg, wl)
+			}
+		}
+		return b.done()
+	}
+	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
+		fmt.Fprintln(w, "== Table 2: diagnostics (miss/KI from the in-order baseline) ==")
+		fmt.Fprintf(w, "%-9s %6s %6s | %6s %6s %6s | %6s %6s %6s | %8s\n",
+			"bench", "D$/KI", "L2/KI", "dMLPiO", "dMLPra", "dMLPic", "l2iO", "l2ra", "l2ic", "rally/KI")
+		for _, name := range workload.AllSPECNames {
+			io := rs.MustGet("table2/" + name + "/in-order")
+			ra := rs.MustGet("table2/" + name + "/Runahead")
+			ic := rs.MustGet("table2/" + name + "/iCFP")
+			fmt.Fprintf(w, "%-9s %6.1f %6.1f | %6.1f %6.1f %6.1f | %6.1f %6.1f %6.1f | %8.0f\n",
+				name, io.DCacheMissPerKI, io.L2MissPerKI,
+				io.DCacheMLP, ra.DCacheMLP, ic.DCacheMLP,
+				io.L2MLP, ra.L2MLP, ic.L2MLP, ic.RallyPerKI)
+		}
+		fmt.Fprintln(w)
+	}
+	return e
 }
 
 func fig6Exp() Experiment {
 	machines := sim.Figure6Machines()[1:] // skip the in-order baseline row
-	return Experiment{
+	e := Experiment{
 		Name: "fig6",
 		Desc: "L2 hit-latency sensitivity, equake + SPEC geomean (Figure 6)",
-		Jobs: func(p Params) []exp.Job {
-			var jobs []exp.Job
-			n2 := p.N / 2 // the full-suite sweep is the heaviest experiment
-			for _, lat := range fig6Lats {
-				cl := p.Cfg
-				cl.Hier.L2HitLat = lat
-				wlEq := exp.SPECWorkload("equake", cl.WarmupInsts+p.N)
-				jobs = append(jobs, sim.Job(fmt.Sprintf("fig6/equake/base/%d", lat), sim.InOrder, cl, wlEq))
+	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		b := newSuite(e, p)
+		n2 := p.N / 2 // the full-suite sweep is the heaviest experiment
+		for _, lat := range fig6Lats {
+			cl := p.Cfg
+			cl.Hier.L2HitLat = lat
+			wlEq := spec.SPECWorkload("equake", cl.WarmupInsts+p.N)
+			b.add(fmt.Sprintf("fig6/equake/base/%d", lat), sim.InOrder.Spec(), cl, wlEq)
+			for _, m := range machines {
+				b.add(fmt.Sprintf("fig6/equake/%s/%d", m.Label, lat), m.Machine, cl, wlEq)
+			}
+			for _, bench := range workload.AllSPECNames {
+				wl := spec.SPECWorkload(bench, cl.WarmupInsts+n2)
+				b.add(fmt.Sprintf("fig6/spec/%s/base/%d", bench, lat), sim.InOrder.Spec(), cl, wl)
 				for _, m := range machines {
-					jobs = append(jobs, pointJob(fmt.Sprintf("fig6/equake/%s/%d", m.Label, lat), m, cl, wlEq))
-				}
-				for _, bench := range workload.AllSPECNames {
-					wl := exp.SPECWorkload(bench, cl.WarmupInsts+n2)
-					jobs = append(jobs, sim.Job(fmt.Sprintf("fig6/spec/%s/base/%d", bench, lat), sim.InOrder, cl, wl))
-					for _, m := range machines {
-						jobs = append(jobs, pointJob(fmt.Sprintf("fig6/spec/%s/%s/%d", bench, m.Label, lat), m, cl, wl))
-					}
+					b.add(fmt.Sprintf("fig6/spec/%s/%s/%d", bench, m.Label, lat), m.Machine, cl, wl)
 				}
 			}
-			return jobs
-		},
-		Print: func(w io.Writer, p Params, rs *exp.ResultSet) {
-			fmt.Fprintln(w, "== Figure 6: % speedup over in-order vs L2 hit latency ==")
-			header := func() {
-				fmt.Fprintf(w, "%-18s", "config")
-				for _, l := range fig6Lats {
-					fmt.Fprintf(w, " %7d", l)
-				}
-				fmt.Fprintln(w)
-			}
-			fmt.Fprintln(w, "-- equake --")
-			header()
-			for _, m := range machines {
-				fmt.Fprintf(w, "%-18s", m.Label)
-				for _, lat := range fig6Lats {
-					fmt.Fprintf(w, " %+6.1f%%", rs.Speedup(
-						fmt.Sprintf("fig6/equake/%s/%d", m.Label, lat),
-						fmt.Sprintf("fig6/equake/base/%d", lat)))
-				}
-				fmt.Fprintln(w)
-			}
-			fmt.Fprintln(w, "-- SPEC geomean --")
-			header()
-			for _, m := range machines {
-				fmt.Fprintf(w, "%-18s", m.Label)
-				for _, lat := range fig6Lats {
-					pairs := make([][2]string, 0, len(workload.AllSPECNames))
-					for _, bench := range workload.AllSPECNames {
-						pairs = append(pairs, [2]string{
-							fmt.Sprintf("fig6/spec/%s/%s/%d", bench, m.Label, lat),
-							fmt.Sprintf("fig6/spec/%s/base/%d", bench, lat)})
-					}
-					fmt.Fprintf(w, " %+6.1f%%", rs.GeoMeanSpeedup(pairs))
-				}
-				fmt.Fprintln(w)
+		}
+		return b.done()
+	}
+	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
+		fmt.Fprintln(w, "== Figure 6: % speedup over in-order vs L2 hit latency ==")
+		header := func() {
+			fmt.Fprintf(w, "%-18s", "config")
+			for _, l := range fig6Lats {
+				fmt.Fprintf(w, " %7d", l)
 			}
 			fmt.Fprintln(w)
-		},
+		}
+		fmt.Fprintln(w, "-- equake --")
+		header()
+		for _, m := range machines {
+			fmt.Fprintf(w, "%-18s", m.Label)
+			for _, lat := range fig6Lats {
+				fmt.Fprintf(w, " %+6.1f%%", rs.Speedup(
+					fmt.Sprintf("fig6/equake/%s/%d", m.Label, lat),
+					fmt.Sprintf("fig6/equake/base/%d", lat)))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, "-- SPEC geomean --")
+		header()
+		for _, m := range machines {
+			fmt.Fprintf(w, "%-18s", m.Label)
+			for _, lat := range fig6Lats {
+				pairs := make([][2]string, 0, len(workload.AllSPECNames))
+				for _, bench := range workload.AllSPECNames {
+					pairs = append(pairs, [2]string{
+						fmt.Sprintf("fig6/spec/%s/%s/%d", bench, m.Label, lat),
+						fmt.Sprintf("fig6/spec/%s/base/%d", bench, lat)})
+				}
+				fmt.Fprintf(w, " %+6.1f%%", rs.GeoMeanSpeedup(pairs))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
 	}
+	return e
 }
 
 func fig7Exp() Experiment {
 	builds := sim.FeatureBuildConfigs()
-	return Experiment{
+	e := Experiment{
 		Name: "fig7",
 		Desc: "iCFP feature build from SLTP (Figure 7)",
-		Jobs: func(p Params) []exp.Job {
-			var jobs []exp.Job
-			for _, name := range figure7Names {
-				wl := exp.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
-				jobs = append(jobs, sim.Job("fig7/"+name+"/base", sim.InOrder, p.Cfg, wl))
-				for i, b := range builds {
-					jobs = append(jobs, exp.Job{
-						Name:     fmt.Sprintf("fig7/%s/bar%d", name, i+1),
-						Machine:  b.Label,
-						Config:   p.Cfg,
-						Make:     func(cfg pipeline.Config) exp.Runner { return b.Make(cfg) },
-						Workload: wl,
-					})
-				}
-			}
-			return jobs
-		},
-		Print: func(w io.Writer, p Params, rs *exp.ResultSet) {
-			fmt.Fprintln(w, "== Figure 7: iCFP feature build, % speedup over in-order ==")
-			fmt.Fprintf(w, "%-9s", "bench")
-			for i := range builds {
-				fmt.Fprintf(w, "  bar%d   ", i+1)
-			}
-			fmt.Fprintln(w)
-			for i, b := range builds {
-				fmt.Fprintf(w, "bar%d = %s\n", i+1, b.Label)
-			}
-			for _, name := range figure7Names {
-				fmt.Fprintf(w, "%-9s", name)
-				for i := range builds {
-					fmt.Fprintf(w, " %+7.1f%%", rs.Speedup(fmt.Sprintf("fig7/%s/bar%d", name, i+1), "fig7/"+name+"/base"))
-				}
-				fmt.Fprintln(w)
-			}
-			fmt.Fprintln(w)
-		},
 	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		b := newSuite(e, p)
+		for _, name := range figure7Names {
+			wl := spec.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
+			b.add("fig7/"+name+"/base", sim.InOrder.Spec(), p.Cfg, wl)
+			for i, build := range builds {
+				b.add(fmt.Sprintf("fig7/%s/bar%d", name, i+1), build.Machine, p.Cfg, wl)
+			}
+		}
+		return b.done()
+	}
+	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
+		fmt.Fprintln(w, "== Figure 7: iCFP feature build, % speedup over in-order ==")
+		fmt.Fprintf(w, "%-9s", "bench")
+		for i := range builds {
+			fmt.Fprintf(w, "  bar%d   ", i+1)
+		}
+		fmt.Fprintln(w)
+		for i, b := range builds {
+			fmt.Fprintf(w, "bar%d = %s\n", i+1, b.Label)
+		}
+		for _, name := range figure7Names {
+			fmt.Fprintf(w, "%-9s", name)
+			for i := range builds {
+				fmt.Fprintf(w, " %+7.1f%%", rs.Speedup(fmt.Sprintf("fig7/%s/bar%d", name, i+1), "fig7/"+name+"/base"))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	return e
 }
 
 func fig8Exp() Experiment {
 	sbs := sim.StoreBufferConfigs()
-	return Experiment{
+	e := Experiment{
 		Name: "fig8",
 		Desc: "store-buffer design comparison (Figure 8)",
-		Jobs: func(p Params) []exp.Job {
-			var jobs []exp.Job
-			for _, name := range figure8Names {
-				wl := exp.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
-				jobs = append(jobs, sim.Job("fig8/"+name+"/base", sim.InOrder, p.Cfg, wl))
-				for _, sb := range sbs {
-					jobs = append(jobs, exp.Job{
-						Name:     fmt.Sprintf("fig8/%s/%s", name, sb.Label),
-						Machine:  "iCFP-sb:" + sb.Label,
-						Config:   p.Cfg,
-						Make:     func(cfg pipeline.Config) exp.Runner { return icfp.NewWithOptions(cfg, pipeline.TriggerAll, sb.Mode) },
-						Workload: wl,
-					})
-				}
+	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		b := newSuite(e, p)
+		for _, name := range figure8Names {
+			wl := spec.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
+			b.add("fig8/"+name+"/base", sim.InOrder.Spec(), p.Cfg, wl)
+			for _, sb := range sbs {
+				b.add(fmt.Sprintf("fig8/%s/%s", name, sb.Label), sb.Machine, p.Cfg, wl)
 			}
-			return jobs
-		},
-		Print: func(w io.Writer, p Params, rs *exp.ResultSet) {
-			fmt.Fprintln(w, "== Figure 8: store buffer designs, % speedup over in-order ==")
-			fmt.Fprintf(w, "%-9s %12s %12s %12s\n", "bench", "limited", "chained", "ideal")
-			for _, name := range figure8Names {
-				fmt.Fprintf(w, "%-9s", name)
-				for _, sb := range sbs {
-					fmt.Fprintf(w, " %+11.1f%%", rs.Speedup(fmt.Sprintf("fig8/%s/%s", name, sb.Label), "fig8/"+name+"/base"))
-				}
-				fmt.Fprintln(w)
+		}
+		return b.done()
+	}
+	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
+		fmt.Fprintln(w, "== Figure 8: store buffer designs, % speedup over in-order ==")
+		fmt.Fprintf(w, "%-9s %12s %12s %12s\n", "bench", "limited", "chained", "ideal")
+		for _, name := range figure8Names {
+			fmt.Fprintf(w, "%-9s", name)
+			for _, sb := range sbs {
+				fmt.Fprintf(w, " %+11.1f%%", rs.Speedup(fmt.Sprintf("fig8/%s/%s", name, sb.Label), "fig8/"+name+"/base"))
 			}
 			fmt.Fprintln(w)
-		},
+		}
+		fmt.Fprintln(w)
 	}
+	return e
 }
 
 func hopsExp() Experiment {
-	return Experiment{
+	e := Experiment{
 		Name: "hops",
 		Desc: "chained store buffer hop statistics and chain-table size (§3.2)",
-		Jobs: func(p Params) []exp.Job {
-			small := p.Cfg
-			small.ChainTableEntries = 64
-			var jobs []exp.Job
-			for _, name := range workload.AllSPECNames {
-				wl := exp.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
-				jobs = append(jobs,
-					sim.Job("hops/"+name+"/512", sim.ICFP, p.Cfg, wl),
-					sim.Job("hops/"+name+"/64", sim.ICFP, small, wl))
-			}
-			return jobs
-		},
-		Print: func(w io.Writer, p Params, rs *exp.ResultSet) {
-			fmt.Fprintln(w, "== §3.2: chained store buffer excess hops per load ==")
-			fmt.Fprintf(w, "%-9s %12s %12s | %12s\n", "bench", "hops(512ct)", ">=5 hops", "hops(64ct)")
-			for _, name := range workload.AllSPECNames {
-				r := rs.MustGet("hops/" + name + "/512")
-				r64 := rs.MustGet("hops/" + name + "/64")
-				fmt.Fprintf(w, "%-9s %12.3f %11.1f%% | %12.3f\n", name, r.SBExtraHops, r.SBHopsAtLeast*100, r64.SBExtraHops)
-			}
-			fmt.Fprintln(w, "paper: < 0.5 for all benchmarks, < 0.05 for most")
-			fmt.Fprintln(w)
-		},
 	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		b := newSuite(e, p)
+		small := p.Cfg
+		small.ChainTableEntries = 64
+		for _, name := range workload.AllSPECNames {
+			wl := spec.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
+			b.add("hops/"+name+"/512", sim.ICFP.Spec(), p.Cfg, wl)
+			b.add("hops/"+name+"/64", sim.ICFP.Spec(), small, wl)
+		}
+		return b.done()
+	}
+	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
+		fmt.Fprintln(w, "== §3.2: chained store buffer excess hops per load ==")
+		fmt.Fprintf(w, "%-9s %12s %12s | %12s\n", "bench", "hops(512ct)", ">=5 hops", "hops(64ct)")
+		for _, name := range workload.AllSPECNames {
+			r := rs.MustGet("hops/" + name + "/512")
+			r64 := rs.MustGet("hops/" + name + "/64")
+			fmt.Fprintf(w, "%-9s %12.3f %11.1f%% | %12.3f\n", name, r.SBExtraHops, r.SBHopsAtLeast*100, r64.SBExtraHops)
+		}
+		fmt.Fprintln(w, "paper: < 0.5 for all benchmarks, < 0.05 for most")
+		fmt.Fprintln(w)
+	}
+	return e
 }
 
 func poisonExp() Experiment {
-	return Experiment{
+	e := Experiment{
 		Name: "poison",
 		Desc: "poison vector width study, 1 vs 8 bits (§3.4)",
-		Jobs: func(p Params) []exp.Job {
-			one := p.Cfg
-			one.PoisonBits = 1
-			var jobs []exp.Job
-			for _, name := range workload.AllSPECNames {
-				wl := exp.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
-				jobs = append(jobs,
-					sim.Job("poison/"+name+"/1", sim.ICFP, one, wl),
-					sim.Job("poison/"+name+"/8", sim.ICFP, p.Cfg, wl))
-			}
-			return jobs
-		},
-		Print: func(w io.Writer, p Params, rs *exp.ResultSet) {
-			fmt.Fprintln(w, "== §3.4: poison vector width (speedup of 8-bit over 1-bit) ==")
-			speedups := []float64{}
-			for _, name := range workload.AllSPECNames {
-				sp := rs.Speedup("poison/"+name+"/8", "poison/"+name+"/1")
-				speedups = append(speedups, sp)
-				fmt.Fprintf(w, "%-9s %+6.1f%%\n", name, sp)
-			}
-			fmt.Fprintf(w, "%-9s %+6.1f%%   (paper: +1.5%% average, +6%% on mcf)\n\n", "geomean", exp.GeoMeanPercent(speedups))
-		},
 	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		b := newSuite(e, p)
+		one := p.Cfg
+		one.PoisonBits = 1
+		for _, name := range workload.AllSPECNames {
+			wl := spec.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
+			b.add("poison/"+name+"/1", sim.ICFP.Spec(), one, wl)
+			b.add("poison/"+name+"/8", sim.ICFP.Spec(), p.Cfg, wl)
+		}
+		return b.done()
+	}
+	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
+		fmt.Fprintln(w, "== §3.4: poison vector width (speedup of 8-bit over 1-bit) ==")
+		speedups := []float64{}
+		for _, name := range workload.AllSPECNames {
+			sp := rs.Speedup("poison/"+name+"/8", "poison/"+name+"/1")
+			speedups = append(speedups, sp)
+			fmt.Fprintf(w, "%-9s %+6.1f%%\n", name, sp)
+		}
+		fmt.Fprintf(w, "%-9s %+6.1f%%   (paper: +1.5%% average, +6%% on mcf)\n\n", "geomean", exp.GeoMeanPercent(speedups))
+	}
+	return e
 }
 
 func areaExp() Experiment {
-	return Experiment{
+	e := Experiment{
 		Name: "area",
 		Desc: "area overheads at 45 nm (§5.3)",
-		Print: func(w io.Writer, p Params, _ *exp.ResultSet) {
-			fmt.Fprintln(w, "== §5.3: area overheads (45 nm) ==")
-			for _, d := range area.AllDesigns() {
-				fmt.Fprintf(w, "%-10s %.3f mm²  (paper %.2f)\n", d.Name, d.Total(), area.PaperMM2[d.Name])
-				for _, s := range d.Structures {
-					fmt.Fprintf(w, "    %-28s %.4f\n", s.Name, s.MM2())
-				}
-			}
-			fmt.Fprintln(w)
-		},
 	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		return newSuite(e, p).done() // analytic: no simulations
+	}
+	e.Print = func(w io.Writer, p Params, _ *exp.ResultSet) {
+		fmt.Fprintln(w, "== §5.3: area overheads (45 nm) ==")
+		for _, d := range area.AllDesigns() {
+			fmt.Fprintf(w, "%-10s %.3f mm²  (paper %.2f)\n", d.Name, d.Total(), area.PaperMM2[d.Name])
+			for _, s := range d.Structures {
+				fmt.Fprintf(w, "    %-28s %.4f\n", s.Name, s.MM2())
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return e
 }
 
 func oooExp() Experiment {
-	return Experiment{
+	e := Experiment{
 		Name: "ooo",
 		Desc: "out-of-order and out-of-order CFP comparison (§5.3)",
-		Jobs: func(p Params) []exp.Job {
-			var jobs []exp.Job
-			for _, name := range workload.AllSPECNames {
-				wl := exp.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
-				jobs = append(jobs,
-					sim.Job("ooo/"+name+"/base", sim.InOrder, p.Cfg, wl),
-					exp.Job{
-						Name:    "ooo/" + name + "/2way",
-						Machine: "ooo-2way",
-						Config:  p.Cfg,
-						Make: func(cfg pipeline.Config) exp.Runner {
-							oc := ooo.DefaultConfig()
-							oc.Config = cfg
-							return ooo.New(oc)
-						},
-						Workload: wl,
-					},
-					exp.Job{
-						Name:    "ooo/" + name + "/cfp",
-						Machine: "ooo-cfp",
-						Config:  p.Cfg,
-						Make: func(cfg pipeline.Config) exp.Runner {
-							oc := ooo.DefaultConfig()
-							oc.Config = cfg
-							oc.CFP = true
-							return ooo.New(oc)
-						},
-						Workload: wl,
-					})
-			}
-			return jobs
-		},
-		Print: func(w io.Writer, p Params, rs *exp.ResultSet) {
-			fmt.Fprintln(w, "== §5.3: 2-way out-of-order and out-of-order CFP vs in-order ==")
-			var po, pc [][2]string
-			for _, name := range workload.AllSPECNames {
-				fmt.Fprintf(w, "%-9s ooo %+7.1f%%   ooo-cfp %+7.1f%%\n", name,
-					rs.Speedup("ooo/"+name+"/2way", "ooo/"+name+"/base"),
-					rs.Speedup("ooo/"+name+"/cfp", "ooo/"+name+"/base"))
-				po = append(po, [2]string{"ooo/" + name + "/2way", "ooo/" + name + "/base"})
-				pc = append(pc, [2]string{"ooo/" + name + "/cfp", "ooo/" + name + "/base"})
-			}
-			fmt.Fprintf(w, "%-9s ooo %+7.1f%%   ooo-cfp %+7.1f%%   (geomean; paper: +68%% and +83%%)\n\n",
-				"SPEC", rs.GeoMeanSpeedup(po), rs.GeoMeanSpeedup(pc))
-		},
 	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		b := newSuite(e, p)
+		for _, name := range workload.AllSPECNames {
+			wl := spec.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
+			b.add("ooo/"+name+"/base", sim.InOrder.Spec(), p.Cfg, wl)
+			b.add("ooo/"+name+"/2way", spec.Machine{Model: spec.ModelOOO}, p.Cfg, wl)
+			b.add("ooo/"+name+"/cfp", spec.Machine{Model: spec.ModelOOO, CFP: true}, p.Cfg, wl)
+		}
+		return b.done()
+	}
+	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
+		fmt.Fprintln(w, "== §5.3: 2-way out-of-order and out-of-order CFP vs in-order ==")
+		var po, pc [][2]string
+		for _, name := range workload.AllSPECNames {
+			fmt.Fprintf(w, "%-9s ooo %+7.1f%%   ooo-cfp %+7.1f%%\n", name,
+				rs.Speedup("ooo/"+name+"/2way", "ooo/"+name+"/base"),
+				rs.Speedup("ooo/"+name+"/cfp", "ooo/"+name+"/base"))
+			po = append(po, [2]string{"ooo/" + name + "/2way", "ooo/" + name + "/base"})
+			pc = append(pc, [2]string{"ooo/" + name + "/cfp", "ooo/" + name + "/base"})
+		}
+		fmt.Fprintf(w, "%-9s ooo %+7.1f%%   ooo-cfp %+7.1f%%   (geomean; paper: +68%% and +83%%)\n\n",
+			"SPEC", rs.GeoMeanSpeedup(po), rs.GeoMeanSpeedup(pc))
+	}
+	return e
 }
 
 // ablateSweeps are the DESIGN.md structure-size ablations: each varies
@@ -438,43 +405,44 @@ var ablateSweeps = []struct {
 }
 
 func ablateExp() Experiment {
-	return Experiment{
+	e := Experiment{
 		Name: "ablate",
 		Desc: "iCFP structure-size ablations (DESIGN.md)",
-		Jobs: func(p Params) []exp.Job {
-			var jobs []exp.Job
-			// The in-order baseline ignores every swept structure, so one
-			// baseline per benchmark serves all sweep points.
-			for _, name := range ablateNames {
-				wl := exp.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
-				jobs = append(jobs, sim.Job("ablate/base/"+name, sim.InOrder, p.Cfg, wl))
-			}
-			for si, sweep := range ablateSweeps {
-				for _, v := range sweep.vals {
-					c := p.Cfg
-					sweep.modify(&c, v)
-					for _, name := range ablateNames {
-						wl := exp.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
-						jobs = append(jobs, sim.Job(fmt.Sprintf("ablate/%d/%d/%s", si, v, name), sim.ICFP, c, wl))
-					}
-				}
-			}
-			return jobs
-		},
-		Print: func(w io.Writer, p Params, rs *exp.ResultSet) {
-			fmt.Fprintln(w, "== Ablations: iCFP structure sizing ==")
-			for si, sweep := range ablateSweeps {
-				fmt.Fprintf(w, "-- %s --\n", sweep.label)
-				for _, v := range sweep.vals {
-					fmt.Fprintf(w, "%4d:", v)
-					for _, name := range ablateNames {
-						fmt.Fprintf(w, "  %s %+7.1f%%", name,
-							rs.Speedup(fmt.Sprintf("ablate/%d/%d/%s", si, v, name), "ablate/base/"+name))
-					}
-					fmt.Fprintln(w)
-				}
-			}
-			fmt.Fprintln(w)
-		},
 	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		b := newSuite(e, p)
+		// The in-order baseline ignores every swept structure, so one
+		// baseline per benchmark serves all sweep points.
+		for _, name := range ablateNames {
+			wl := spec.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
+			b.add("ablate/base/"+name, sim.InOrder.Spec(), p.Cfg, wl)
+		}
+		for si, sweep := range ablateSweeps {
+			for _, v := range sweep.vals {
+				c := p.Cfg
+				sweep.modify(&c, v)
+				for _, name := range ablateNames {
+					wl := spec.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
+					b.add(fmt.Sprintf("ablate/%d/%d/%s", si, v, name), sim.ICFP.Spec(), c, wl)
+				}
+			}
+		}
+		return b.done()
+	}
+	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
+		fmt.Fprintln(w, "== Ablations: iCFP structure sizing ==")
+		for si, sweep := range ablateSweeps {
+			fmt.Fprintf(w, "-- %s --\n", sweep.label)
+			for _, v := range sweep.vals {
+				fmt.Fprintf(w, "%4d:", v)
+				for _, name := range ablateNames {
+					fmt.Fprintf(w, "  %s %+7.1f%%", name,
+						rs.Speedup(fmt.Sprintf("ablate/%d/%d/%s", si, v, name), "ablate/base/"+name))
+				}
+				fmt.Fprintln(w)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return e
 }

@@ -1,6 +1,9 @@
 // Package registry names the experiments of the paper's evaluation —
-// every figure, table, and sensitivity study of §3/§5 — and runs them on
-// the exp harness. All experiments selected for one Run share a
+// every figure, table, and sensitivity study of §3/§5 — as declarative
+// spec.Suite values and runs them on the exp harness. Each experiment's
+// suite marshals losslessly to JSON (`cmd/experiments -describe`), and a
+// suite run from JSON (`-spec`) renders byte-identically to the
+// compiled-in path. All experiments selected for one Run share a
 // memoization cache, so common work (above all the in-order baseline
 // runs that every speedup figure divides by) simulates exactly once no
 // matter how many experiments need it.
@@ -13,11 +16,14 @@ import (
 	"icfp/internal/exp"
 	"icfp/internal/pipeline"
 	"icfp/internal/sim"
+	"icfp/internal/spec"
 )
 
 // Params are the knobs shared by every experiment: the machine
 // configuration (whose WarmupInsts is the per-sample warmup) and the
-// number of timed instructions per sample.
+// number of timed instructions per sample. The configuration must be
+// spec-expressible (the base machine plus named overrides), or suite
+// building fails.
 type Params struct {
 	Cfg pipeline.Config
 	N   int
@@ -30,13 +36,14 @@ func DefaultParams() Params {
 	return Params{Cfg: cfg, N: 400_000}
 }
 
-// Experiment is one named entry of the evaluation. Jobs builds the
-// simulations it needs (nil for analytic experiments like the area
-// model); Print renders its table from the completed results.
+// Experiment is one named entry of the evaluation. Suite declares the
+// simulations it needs as a serializable spec (possibly with zero jobs,
+// for analytic experiments like the area model); Print renders its table
+// from the completed results.
 type Experiment struct {
 	Name  string
 	Desc  string
-	Jobs  func(p Params) []exp.Job
+	Suite func(p Params) (spec.Suite, error)
 	Print func(w io.Writer, p Params, rs *exp.ResultSet)
 }
 
@@ -77,10 +84,75 @@ func Lookup(name string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// Describe returns the named experiment as a self-contained suite: the
+// exact jobs a direct run would simulate, plus a builtin render that
+// reproduces the experiment's own table. The result marshals losslessly
+// (spec.Suite.Marshal) and running it back through ReportSuite renders
+// byte-identically to the compiled-in path.
+func Describe(name string, p Params) (spec.Suite, error) {
+	e, ok := Lookup(name)
+	if !ok {
+		return spec.Suite{}, fmt.Errorf("registry: unknown experiment %q (have %v)", name, Names())
+	}
+	return e.Suite(p)
+}
+
+// suiteBuilder accumulates one experiment's suite, converting each job's
+// concrete configuration into overrides of the spec base. The first
+// error sticks and surfaces from done().
+type suiteBuilder struct {
+	s   spec.Suite
+	err error
+}
+
+// newSuite starts the experiment's suite at the given parameters, with a
+// builtin render pointing back at the experiment's own table code.
+func newSuite(e Experiment, p Params) *suiteBuilder {
+	return &suiteBuilder{s: spec.Suite{
+		Name:   e.Name,
+		Desc:   e.Desc,
+		N:      p.N,
+		Warm:   p.Cfg.WarmupInsts,
+		Render: &spec.Render{Kind: spec.RenderBuiltin, Builtin: e.Name},
+	}}
+}
+
+// add appends one job: machine m configured by cfg (whose divergence
+// from the spec base rides in the overrides; the machine's own overrides
+// win where both set a knob) over the workload.
+func (b *suiteBuilder) add(name string, m spec.Machine, cfg pipeline.Config, wl spec.Workload) {
+	if b.err != nil {
+		return
+	}
+	ov, err := spec.OverridesFor(cfg)
+	if err != nil {
+		b.err = fmt.Errorf("registry: suite %q job %q: %w", b.s.Name, name, err)
+		return
+	}
+	m.Overrides = spec.Merge(m.Overrides, ov)
+	b.s.Jobs = append(b.s.Jobs, spec.Job{Name: name, Machine: m, Workload: wl})
+}
+
+// done returns the built suite or the first accumulated error.
+func (b *suiteBuilder) done() (spec.Suite, error) {
+	if b.err != nil {
+		return spec.Suite{}, b.err
+	}
+	return b.s, nil
+}
+
+// suiteJobs converts a suite's declarative jobs into harness jobs.
+func suiteJobs(s spec.Suite) []exp.Job {
+	jobs := make([]exp.Job, len(s.Jobs))
+	for i, j := range s.Jobs {
+		jobs[i] = exp.Job{Name: j.Name, Machine: j.Machine, Workload: j.Workload}
+	}
+	return jobs
+}
+
 // collect resolves the experiment names (deduplicated, order-preserving)
-// and gathers their combined job list with per-experiment counts — the
-// shared front half of Run and of distributed planning, which must agree
-// exactly on the job set across processes.
+// into suites and gathers their combined job list with per-experiment
+// counts — the shared front half of Run and of distributed planning.
 func collect(names []string, p Params) (selected []Experiment, jobs []exp.Job, counts []int, err error) {
 	picked := make(map[string]bool, len(names))
 	for _, name := range names {
@@ -95,11 +167,12 @@ func collect(names []string, p Params) (selected []Experiment, jobs []exp.Job, c
 	}
 	counts = make([]int, len(selected))
 	for i, e := range selected {
-		if e.Jobs != nil {
-			js := e.Jobs(p)
-			counts[i] = len(js)
-			jobs = append(jobs, js...)
+		s, err := e.Suite(p)
+		if err != nil {
+			return nil, nil, nil, err
 		}
+		counts[i] = len(s.Jobs)
+		jobs = append(jobs, suiteJobs(s)...)
 	}
 	return selected, jobs, counts, nil
 }
@@ -145,4 +218,22 @@ func Report(w io.Writer, names []string, p Params, opts ...exp.Option) (map[stri
 		}
 	}
 	return sets, nil
+}
+
+// ReportSuite runs one suite — built-in (Describe) or user-authored
+// (spec.UnmarshalSuite) — and renders it to w according to its Render
+// declaration. A described builtin suite renders byte-identically to
+// running the experiment directly.
+func ReportSuite(w io.Writer, s spec.Suite, opts ...exp.Option) (*exp.ResultSet, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rs, err := exp.Run(suiteJobs(s), opts...)
+	if err != nil {
+		return nil, fmt.Errorf("registry: suite %q: %w", s.Name, err)
+	}
+	if err := renderSuite(w, s, rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
 }

@@ -11,6 +11,12 @@ import (
 	"icfp/internal/sim"
 )
 
+// isInOrderKey reports whether a memoization key names the in-order
+// machine (keys are canonical machine specs).
+func isInOrderKey(k exp.Key) bool {
+	return strings.Contains(k.Machine, `"model":"in-order"`)
+}
+
 // tinyParams keeps the full registry fast enough for tests while still
 // simulating every experiment for real.
 func tinyParams() registry.Params {
@@ -26,7 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	for _, name := range want {
 		e, ok := registry.Lookup(name)
-		if !ok || e.Name != name || e.Desc == "" || e.Print == nil {
+		if !ok || e.Name != name || e.Desc == "" || e.Print == nil || e.Suite == nil {
 			t.Errorf("experiment %q incomplete: %+v", name, e)
 		}
 	}
@@ -85,7 +91,7 @@ func TestSharedBaselinesSimulateOnce(t *testing.T) {
 		if n != 1 {
 			t.Errorf("key %v simulated %d times, want 1", k, n)
 		}
-		if k.Machine == sim.InOrder.String() {
+		if isInOrderKey(k) {
 			baselines++
 		}
 	}

@@ -6,14 +6,17 @@ import (
 	"io"
 
 	"icfp/internal/pipeline"
+	"icfp/internal/spec"
 	"icfp/internal/stats"
 )
 
-// Result is one job's outcome.
+// Result is one job's outcome: the job's name, its self-describing
+// machine and workload specs, and the simulation result. Exported result
+// sets therefore carry everything needed to reproduce each number.
 type Result struct {
 	Name     string          `json:"name"`
-	Machine  string          `json:"machine"`
-	Workload string          `json:"workload"`
+	Machine  spec.Machine    `json:"machine"`
+	Workload spec.Workload   `json:"workload"`
 	R        pipeline.Result `json:"result"`
 }
 

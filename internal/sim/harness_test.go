@@ -2,10 +2,18 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"icfp/internal/exp"
+	"icfp/internal/spec"
 )
+
+// isInOrderKey reports whether a memoization key names the in-order
+// machine (keys are canonical machine specs).
+func isInOrderKey(k exp.Key) bool {
+	return strings.Contains(k.Machine, `"model":"in-order"`)
+}
 
 // TestSweepSharedBaselineRunsOnce pins the fix for the redundant baseline
 // re-simulation in SweepL2Latency: sweeping several machines against one
@@ -21,7 +29,7 @@ func TestSweepSharedBaselineRunsOnce(t *testing.T) {
 	counts := map[exp.Key]int{}
 	hook := exp.OnRun(func(k exp.Key) { counts[k]++ })
 	for _, m := range sweep {
-		sp := SweepL2LatencyCached(cache, m.Label, m.Machine, cfg, "equake", 50_000, lats, hook)
+		sp := SweepL2LatencyCached(cache, m.Machine, cfg, "equake", 50_000, lats, hook)
 		if len(sp) != len(lats) {
 			t.Fatalf("%s: %d points, want %d", m.Label, len(sp), len(lats))
 		}
@@ -32,7 +40,7 @@ func TestSweepSharedBaselineRunsOnce(t *testing.T) {
 		if n != 1 {
 			t.Errorf("key %v simulated %d times, want 1", k, n)
 		}
-		if k.Machine == InOrder.String() {
+		if isInOrderKey(k) {
 			baselines++
 		}
 	}
@@ -93,7 +101,7 @@ func TestSweepMatchesCachedSweep(t *testing.T) {
 	lats := []int{10, 30}
 	m := Figure6Machines()[1]
 	plain := SweepL2Latency(m.Machine, cfg, "equake", 50_000, lats)
-	cached := SweepL2LatencyCached(exp.NewCache(), m.Label, m.Machine, cfg, "equake", 50_000, lats)
+	cached := SweepL2LatencyCached(exp.NewCache(), m.Machine, cfg, "equake", 50_000, lats)
 	for k := range lats {
 		if plain[k] != cached[k] {
 			t.Errorf("lat %d: plain %.3f%% vs cached %.3f%%", lats[k], plain[k], cached[k])
@@ -104,7 +112,7 @@ func TestSweepMatchesCachedSweep(t *testing.T) {
 // TestJobBuildsModelRunner pins the sim.Job bridge into the harness.
 func TestJobBuildsModelRunner(t *testing.T) {
 	cfg := quickCfg()
-	wl := exp.SPECWorkload("swim", cfg.WarmupInsts+50_000)
+	wl := spec.SPECWorkload("swim", cfg.WarmupInsts+50_000)
 	var jobs []exp.Job
 	for _, m := range AllModels {
 		jobs = append(jobs, Job(fmt.Sprintf("job/%s", m), m, cfg, wl))

@@ -1,6 +1,13 @@
 // Package sim is the top-level driver: it names the five simulated
 // micro-architectures, runs workloads against them, and provides the
 // sweep helpers behind the paper's figures.
+//
+// Machines are identified declaratively: every named configuration in
+// this package is a thin producer of spec.Machine values, and
+// spec.Machine.New is the one constructor path behind the experiment
+// harness. The direct New/Run helpers remain for programmatic use (unit
+// tests, fuzzing, benchmarks) where a concrete pipeline.Config in hand
+// is more convenient than a spec.
 package sim
 
 import (
@@ -13,6 +20,7 @@ import (
 	"icfp/internal/pipeline"
 	"icfp/internal/runahead"
 	"icfp/internal/sltp"
+	"icfp/internal/spec"
 	"icfp/internal/workload"
 )
 
@@ -48,18 +56,35 @@ func (m Model) String() string {
 	return fmt.Sprintf("model(%d)", int(m))
 }
 
+// Spec returns the model's declarative machine spec with its paper
+// defaults (no trigger or store-buffer variation, no overrides).
+func (m Model) Spec() spec.Machine {
+	switch m {
+	case InOrder:
+		return spec.Machine{Model: spec.ModelInOrder}
+	case Runahead:
+		return spec.Machine{Model: spec.ModelRunahead}
+	case Multipass:
+		return spec.Machine{Model: spec.ModelMultipass}
+	case SLTP:
+		return spec.Machine{Model: spec.ModelSLTP}
+	case ICFP:
+		return spec.Machine{Model: spec.ModelICFP}
+	}
+	panic(fmt.Sprintf("sim: unknown model %d", int(m)))
+}
+
 // DefaultConfig returns the Table 1 machine with the paper's sampling
-// methodology defaults (warmup before each measured sample).
+// methodology defaults — the configuration every spec diverges from
+// (spec.BaseConfig).
 func DefaultConfig() pipeline.Config {
-	cfg := pipeline.DefaultConfig()
-	cfg.WarmupInsts = 150_000
-	return cfg
+	return spec.BaseConfig()
 }
 
 // New constructs model m on the given configuration. Each model applies
 // its own paper configuration for the advance trigger (Figure 5's
-// settings); use the model packages directly for trigger sensitivity
-// studies.
+// settings); use machine specs (or the model packages directly) for
+// trigger sensitivity studies.
 func New(m Model, cfg pipeline.Config) Runner {
 	switch m {
 	case InOrder:
@@ -76,18 +101,42 @@ func New(m Model, cfg pipeline.Config) Runner {
 	panic(fmt.Sprintf("sim: unknown model %d", int(m)))
 }
 
-// Job expresses "run model m over the named SPEC benchmark" as a harness
-// job, the building block of the experiment registry. The result name is
-// the job's identity within its run; the model's String() is its cache
-// identity.
-func Job(name string, m Model, cfg pipeline.Config, wl exp.WorkloadSpec) exp.Job {
-	return exp.Job{
-		Name:     name,
-		Machine:  m.String(),
-		Config:   cfg,
-		Make:     func(cfg pipeline.Config) exp.Runner { return New(m, cfg) },
-		Workload: wl,
+// NewFromSpec constructs the machine a spec names, with cfg's divergence
+// from the spec base carried as overrides. It panics when cfg touches a
+// field overrides cannot express or the spec is invalid — callers hold
+// both, so an error is a call-site bug.
+func NewFromSpec(m spec.Machine, cfg pipeline.Config) Runner {
+	r, err := specMachineAt(m, cfg).New()
+	if err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
 	}
+	return r
+}
+
+// specMachineAt merges cfg's divergence from the base into the machine
+// spec (the machine's own overrides win). It panics on an inexpressible
+// configuration.
+func specMachineAt(m spec.Machine, cfg pipeline.Config) spec.Machine {
+	ov, err := spec.OverridesFor(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	m.Overrides = spec.Merge(m.Overrides, ov)
+	return m
+}
+
+// Job expresses "run model m, configured by cfg, over the workload" as a
+// harness job, the building block of the experiment registry. The
+// configuration's divergence from the base rides in the machine spec's
+// overrides; Job panics when cfg is not spec-expressible.
+func Job(name string, m Model, cfg pipeline.Config, wl spec.Workload) exp.Job {
+	return JobFor(name, m.Spec(), cfg, wl)
+}
+
+// JobFor is Job for an explicit machine spec (a Figure 6 latency point,
+// a feature build, a store-buffer design).
+func JobFor(name string, m spec.Machine, cfg pipeline.Config, wl spec.Workload) exp.Job {
+	return exp.Job{Name: name, Machine: specMachineAt(m, cfg), Workload: wl}
 }
 
 // Run simulates workload w on model m.
@@ -122,7 +171,7 @@ func SpeedupsCached(c *exp.Cache, base, test Model, cfg pipeline.Config, names [
 			continue // one job pair per benchmark; repeats reuse it
 		}
 		seen[name] = true
-		wl := exp.SPECWorkload(name, cfg.WarmupInsts+n)
+		wl := spec.SPECWorkload(name, cfg.WarmupInsts+n)
 		jobs = append(jobs,
 			Job("base/"+name, base, cfg, wl),
 			Job("test/"+name, test, cfg, wl))
@@ -140,74 +189,53 @@ func SpeedupsCached(c *exp.Cache, base, test Model, cfg pipeline.Config, names [
 	return per, rs.GeoMeanSpeedup(pairs)
 }
 
-// L2LatencyPoint is one configuration point of the Figure 6 sweep.
+// L2LatencyPoint is one machine of the Figure 6 sweep: a display label
+// and the declarative machine spec behind it.
 type L2LatencyPoint struct {
 	Label   string
-	Machine func(cfg pipeline.Config) Runner
+	Machine spec.Machine
 }
 
 // Runner runs a workload (satisfied by every machine in this module).
-type Runner interface {
-	Run(w *workload.Workload) pipeline.Result
-}
+type Runner = spec.Runner
 
 // Figure6Machines returns the six configurations of the paper's L2
 // hit-latency sensitivity study: the baseline, three Runahead trigger
-// variants, and two iCFP trigger variants.
+// variants, and two iCFP trigger variants — as machine specs.
 func Figure6Machines() []L2LatencyPoint {
 	return []L2LatencyPoint{
-		{"in-order", func(cfg pipeline.Config) Runner { return inorder.New(cfg) }},
-		{"RA-L2", func(cfg pipeline.Config) Runner {
-			cfg.Trigger = pipeline.TriggerL2Only
-			cfg.BlockSecondaryD1 = true
-			return runahead.New(cfg)
-		}},
-		{"RA-L2/D$-primary", func(cfg pipeline.Config) Runner {
-			cfg.Trigger = pipeline.TriggerPrimaryD1
-			cfg.BlockSecondaryD1 = true
-			return runahead.New(cfg)
-		}},
-		{"RA-all", func(cfg pipeline.Config) Runner {
-			cfg.Trigger = pipeline.TriggerAll
-			cfg.BlockSecondaryD1 = false
-			return runahead.New(cfg)
-		}},
-		{"iCFP-L2", func(cfg pipeline.Config) Runner {
-			return icfp.NewWithOptions(cfg, pipeline.TriggerL2Only, icfp.SBChained)
-		}},
-		{"iCFP-all", func(cfg pipeline.Config) Runner {
-			return icfp.NewWithOptions(cfg, pipeline.TriggerAll, icfp.SBChained)
-		}},
+		{"in-order", spec.Machine{Model: spec.ModelInOrder}},
+		{"RA-L2", spec.Machine{Model: spec.ModelRunahead, Trigger: spec.TriggerL2,
+			Overrides: &spec.Overrides{BlockSecondaryD1: spec.Bool(true)}}},
+		{"RA-L2/D$-primary", spec.Machine{Model: spec.ModelRunahead, Trigger: spec.TriggerPrimaryD1,
+			Overrides: &spec.Overrides{BlockSecondaryD1: spec.Bool(true)}}},
+		{"RA-all", spec.Machine{Model: spec.ModelRunahead, Trigger: spec.TriggerAll,
+			Overrides: &spec.Overrides{BlockSecondaryD1: spec.Bool(false)}}},
+		{"iCFP-L2", spec.Machine{Model: spec.ModelICFP, Trigger: spec.TriggerL2}},
+		{"iCFP-all", spec.Machine{Model: spec.ModelICFP, Trigger: spec.TriggerAll}},
 	}
 }
 
-// SweepL2Latency runs one machine configuration over the given L2 hit
-// latencies for a benchmark and returns percent speedups over the
-// in-order baseline at the same latency.
-func SweepL2Latency(mk func(cfg pipeline.Config) Runner, cfg pipeline.Config, name string, n int, lats []int) []float64 {
-	return SweepL2LatencyCached(exp.NewCache(), "sweep-machine", mk, cfg, name, n, lats)
+// SweepL2Latency runs one machine spec over the given L2 hit latencies
+// for a benchmark and returns percent speedups over the in-order
+// baseline at the same latency.
+func SweepL2Latency(m spec.Machine, cfg pipeline.Config, name string, n int, lats []int) []float64 {
+	return SweepL2LatencyCached(exp.NewCache(), m, cfg, name, n, lats)
 }
 
 // SweepL2LatencyCached is SweepL2Latency against a shared cache: the
 // in-order baseline at each latency simulates once no matter how many
-// machines sweep against it. The label identifies mk in the cache —
-// callers sharing a cache must pass distinct labels for machines that
-// behave differently on the same configuration.
-func SweepL2LatencyCached(c *exp.Cache, label string, mk func(cfg pipeline.Config) Runner, cfg pipeline.Config, name string, n int, lats []int, opts ...exp.Option) []float64 {
+// machines sweep against it, and machines are cached by their canonical
+// specs — no labels required.
+func SweepL2LatencyCached(c *exp.Cache, m spec.Machine, cfg pipeline.Config, name string, n int, lats []int, opts ...exp.Option) []float64 {
 	jobs := make([]exp.Job, 0, 2*len(lats))
 	for k, lat := range lats {
 		cl := cfg
 		cl.Hier.L2HitLat = lat
-		wl := exp.SPECWorkload(name, cl.WarmupInsts+n)
+		wl := spec.SPECWorkload(name, cl.WarmupInsts+n)
 		jobs = append(jobs,
 			Job(fmt.Sprintf("base/%d", k), InOrder, cl, wl),
-			exp.Job{
-				Name:     fmt.Sprintf("test/%d", k),
-				Machine:  label,
-				Config:   cl,
-				Make:     func(cfg pipeline.Config) exp.Runner { return mk(cfg) },
-				Workload: wl,
-			})
+			JobFor(fmt.Sprintf("test/%d", k), m, cl, wl))
 	}
 	rs, err := exp.Run(jobs, append([]exp.Option{exp.WithCache(c)}, opts...)...)
 	if err != nil {
@@ -220,59 +248,48 @@ func SweepL2LatencyCached(c *exp.Cache, label string, mk func(cfg pipeline.Confi
 	return out
 }
 
+// FeatureBuild is one bar of the Figure 7 build from SLTP to full iCFP.
+type FeatureBuild struct {
+	Label   string
+	Machine spec.Machine
+}
+
 // FeatureBuildConfigs returns the Figure 7 "build" from SLTP to full
 // iCFP. The first entry is the SLTP machine itself; the rest are iCFP
 // configurations adding one feature at a time.
-func FeatureBuildConfigs() []struct {
-	Label string
-	Make  func(cfg pipeline.Config) Runner
-} {
-	return []struct {
-		Label string
-		Make  func(cfg pipeline.Config) Runner
-	}{
-		{"SRL memory, single blocking rallies (SLTP)", func(cfg pipeline.Config) Runner {
-			return sltp.New(cfg)
-		}},
-		{"+ address-hash chaining", func(cfg pipeline.Config) Runner {
-			cfg.NonBlockingRally = false
-			cfg.MultithreadRally = false
-			cfg.PoisonBits = 1
-			return icfp.NewWithOptions(cfg, pipeline.TriggerAll, icfp.SBChained)
-		}},
-		{"+ multiple non-blocking rallies", func(cfg pipeline.Config) Runner {
-			cfg.NonBlockingRally = true
-			cfg.MultithreadRally = false
-			cfg.PoisonBits = 1
-			return icfp.NewWithOptions(cfg, pipeline.TriggerAll, icfp.SBChained)
-		}},
-		{"+ 8-bit poison vectors", func(cfg pipeline.Config) Runner {
-			cfg.NonBlockingRally = true
-			cfg.MultithreadRally = false
-			cfg.PoisonBits = 8
-			return icfp.NewWithOptions(cfg, pipeline.TriggerAll, icfp.SBChained)
-		}},
-		{"+ multithreaded rallies (iCFP)", func(cfg pipeline.Config) Runner {
-			cfg.NonBlockingRally = true
-			cfg.MultithreadRally = true
-			cfg.PoisonBits = 8
-			return icfp.NewWithOptions(cfg, pipeline.TriggerAll, icfp.SBChained)
-		}},
+func FeatureBuildConfigs() []FeatureBuild {
+	icfpBuild := func(nonBlocking, multithread bool, poisonBits int) spec.Machine {
+		return spec.Machine{Model: spec.ModelICFP, Trigger: spec.TriggerAll,
+			Overrides: &spec.Overrides{
+				NonBlockingRally: spec.Bool(nonBlocking),
+				MultithreadRally: spec.Bool(multithread),
+				PoisonBits:       spec.Int(poisonBits),
+			}}
 	}
+	return []FeatureBuild{
+		{"SRL memory, single blocking rallies (SLTP)", spec.Machine{Model: spec.ModelSLTP}},
+		{"+ address-hash chaining", icfpBuild(false, false, 1)},
+		{"+ multiple non-blocking rallies", icfpBuild(true, false, 1)},
+		{"+ 8-bit poison vectors", icfpBuild(true, false, 8)},
+		{"+ multithreaded rallies (iCFP)", icfpBuild(true, true, 8)},
+	}
+}
+
+// StoreBufferDesign is one column of the Figure 8 comparison.
+type StoreBufferDesign struct {
+	Label   string
+	Machine spec.Machine
 }
 
 // StoreBufferConfigs returns the Figure 8 store-buffer design
 // comparison: indexed-limited, chained, and idealized fully-associative.
-func StoreBufferConfigs() []struct {
-	Label string
-	Mode  icfp.SBMode
-} {
-	return []struct {
-		Label string
-		Mode  icfp.SBMode
-	}{
-		{"indexed with limited forwarding", icfp.SBLimited},
-		{"chained (iCFP)", icfp.SBChained},
-		{"fully-associative (idealized)", icfp.SBIdeal},
+func StoreBufferConfigs() []StoreBufferDesign {
+	icfpSB := func(sb string) spec.Machine {
+		return spec.Machine{Model: spec.ModelICFP, Trigger: spec.TriggerAll, StoreBuffer: sb}
+	}
+	return []StoreBufferDesign{
+		{"indexed with limited forwarding", icfpSB(spec.SBLimited)},
+		{"chained (iCFP)", icfpSB(spec.SBChained)},
+		{"fully-associative (idealized)", icfpSB(spec.SBIdeal)},
 	}
 }

@@ -93,7 +93,7 @@ func TestFeatureBuildMonotoneOnMcf(t *testing.T) {
 		if i == 0 {
 			continue // SLTP baseline bar
 		}
-		r := b.Make(cfg).Run(workload.SPEC("mcf", cfg.WarmupInsts+150_000))
+		r := NewFromSpec(b.Machine, cfg).Run(workload.SPEC("mcf", cfg.WarmupInsts+150_000))
 		if i == 1 {
 			first = r.Cycles
 		}

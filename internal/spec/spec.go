@@ -1,0 +1,384 @@
+// Package spec is the declarative vocabulary of the evaluation: a small,
+// JSON-serializable way to name a machine, a workload, and a suite of
+// experiments. Everything the harness can simulate is expressible as a
+// spec value, and every spec value marshals losslessly — so experiments
+// are data, not code: they can be written by hand, emitted by
+// `cmd/experiments -describe`, shipped to distributed workers, and keyed
+// in persistent caches, all in one format.
+//
+// The canonical encoding (Canonical: compact JSON with sorted object
+// keys) is the identity of a machine or workload throughout the module:
+// it is the memoization key of internal/exp, the wire identity of
+// internal/dist batches, and the entry key of persisted cache snapshots.
+// Two specs with equal canonical encodings always construct identical
+// simulations; specs with different encodings are simply cached apart.
+//
+// Decoding is strict by design: unknown fields and out-of-range values
+// are rejected with actionable errors (UnmarshalSuite, Validate), so a
+// typo'd knob fails loudly instead of silently simulating the default
+// machine.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+
+	"icfp/internal/pipeline"
+	"icfp/internal/workload"
+)
+
+// Runner runs a workload; every machine a spec can name satisfies it.
+type Runner interface {
+	Run(w *workload.Workload) pipeline.Result
+}
+
+// The simulated micro-architectures a Machine can name.
+const (
+	ModelInOrder   = "in-order"
+	ModelRunahead  = "runahead"
+	ModelMultipass = "multipass"
+	ModelSLTP      = "sltp"
+	ModelICFP      = "icfp"
+	ModelOOO       = "ooo"
+)
+
+// Models lists the valid Machine.Model values.
+var Models = []string{ModelInOrder, ModelRunahead, ModelMultipass, ModelSLTP, ModelICFP, ModelOOO}
+
+// Advance-trigger policy names (pipeline.AdvanceTrigger).
+const (
+	TriggerL2        = "l2"         // advance under L2 misses only
+	TriggerPrimaryD1 = "primary-d1" // also under primary data-cache misses
+	TriggerAll       = "all"        // under every miss
+)
+
+// Triggers lists the valid Machine.Trigger values.
+var Triggers = []string{TriggerL2, TriggerPrimaryD1, TriggerAll}
+
+// Store-buffer design names (icfp.SBMode), iCFP only.
+const (
+	SBChained = "chained" // address-hash chained indexed buffer (the paper's design)
+	SBIdeal   = "ideal"   // idealized fully-associative buffer
+	SBLimited = "limited" // indexed buffer with limited forwarding
+)
+
+// StoreBuffers lists the valid Machine.StoreBuffer values.
+var StoreBuffers = []string{SBChained, SBIdeal, SBLimited}
+
+// Machine declares one simulated machine: a model, the model-level
+// policy knobs that are constructor arguments rather than configuration
+// fields (advance trigger, store-buffer design, CFP), and named
+// overrides of the Table 1 base configuration. The zero Overrides (nil)
+// means the paper's default machine of that model.
+type Machine struct {
+	// Model selects the micro-architecture (see Models).
+	Model string `json:"model"`
+	// Trigger overrides the model's paper advance-trigger policy.
+	// Valid for runahead, multipass, and icfp; empty means the model's
+	// own default (runahead l2, multipass primary-d1, icfp all).
+	Trigger string `json:"trigger,omitempty"`
+	// StoreBuffer selects the iCFP store-buffer design (icfp only;
+	// empty means chained).
+	StoreBuffer string `json:"store_buffer,omitempty"`
+	// CFP enables continual flow on the out-of-order model (ooo only).
+	CFP bool `json:"cfp,omitempty"`
+	// Overrides names the configuration fields that diverge from the
+	// Table 1 base (BaseConfig); nil means none.
+	Overrides *Overrides `json:"overrides,omitempty"`
+}
+
+// Workload declares one workload: exactly one of a SPEC2000-profile
+// benchmark (with its total dynamic instruction count, warmup included)
+// or a Figure 1 micro-scenario.
+type Workload struct {
+	// SPEC names a SPEC2000-profile benchmark (workload.AllSPECNames).
+	SPEC string `json:"spec,omitempty"`
+	// Scenario names a Figure 1 micro-scenario (workload.AllScenarios).
+	Scenario string `json:"scenario,omitempty"`
+	// N is the total dynamic instruction count of a SPEC workload,
+	// warmup included. Scenarios have fixed traces and must leave it 0.
+	N int `json:"n,omitempty"`
+}
+
+// Job is one named simulation: a machine run over a workload. Names
+// index result sets and must be unique within a suite; the (machine,
+// workload) pair — not the name — is the simulation's cache identity.
+type Job struct {
+	Name     string   `json:"name,omitempty"`
+	Machine  Machine  `json:"machine"`
+	Workload Workload `json:"workload"`
+}
+
+// Render kinds.
+const (
+	// RenderTable prints one row per job: cycles, instructions, IPC.
+	RenderTable = "table"
+	// RenderSpeedup groups jobs by the name prefix before the last "/"
+	// and prints each job's percent speedup over its group's baseline
+	// job (last name segment == Baseline), plus the geometric mean.
+	RenderSpeedup = "speedup"
+	// RenderSweep reads job names as "row/col" and prints a grid of
+	// percent speedups over the baseline row at the same column.
+	RenderSweep = "sweep"
+	// RenderBuiltin renders with a registry experiment's own table
+	// code; the suite's job names must match that experiment's.
+	RenderBuiltin = "builtin"
+)
+
+// Render declares how a suite's results become a table.
+type Render struct {
+	Kind string `json:"kind"`
+	// Baseline is the name segment of the per-group (speedup) or
+	// per-column (sweep) baseline job; default "base".
+	Baseline string `json:"baseline,omitempty"`
+	// Builtin names the registry experiment whose renderer to reuse
+	// (RenderBuiltin only).
+	Builtin string `json:"builtin,omitempty"`
+}
+
+// Suite is a named list of jobs plus how to render their results — the
+// unit a user authors, `-describe` emits, and `-spec` runs.
+type Suite struct {
+	Name string `json:"name"`
+	Desc string `json:"desc,omitempty"`
+	// N and Warm record the sample sizes the suite was built for
+	// (timed and warmup instructions per sample). The jobs themselves
+	// carry their full identity; these exist for renderers and tooling.
+	N      int     `json:"n,omitempty"`
+	Warm   int     `json:"warm,omitempty"`
+	Render *Render `json:"render,omitempty"`
+	Jobs   []Job   `json:"jobs"`
+}
+
+// SPECWorkload names a generated SPEC2000-profile benchmark with n total
+// dynamic instructions (warmup included).
+func SPECWorkload(name string, n int) Workload {
+	return Workload{SPEC: name, N: n}
+}
+
+// ScenarioWorkload names one of the Figure 1 micro-scenarios.
+func ScenarioWorkload(sc workload.Scenario) Workload {
+	return Workload{Scenario: string(sc)}
+}
+
+// Canonical returns the canonical encoding of v: compact JSON with
+// object keys sorted. It is deterministic across processes and Go
+// versions, which is what makes it usable as a cache key and wire
+// identity. All spec values are built from strings, bools, and small
+// integers, so the float64 round trip through the generic JSON tree is
+// exact.
+func Canonical(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("spec: canonical encoding of %T: %v", v, err))
+	}
+	var tree any
+	if err := json.Unmarshal(b, &tree); err != nil {
+		panic(fmt.Sprintf("spec: canonical re-parse of %T: %v", v, err))
+	}
+	out, err := json.Marshal(tree) // encoding/json sorts map keys
+	if err != nil {
+		panic(fmt.Sprintf("spec: canonical re-encoding of %T: %v", v, err))
+	}
+	return string(out)
+}
+
+// Canonical returns the machine's canonical encoding — its identity in
+// caches and on the wire. Spellings that construct provably identical
+// machines collapse to one encoding: an explicit paper-default policy
+// (icfp's "all" trigger and "chained" store buffer; runahead's "l2"
+// trigger, which only restates the base configuration) encodes the same
+// as leaving the field empty, so e.g. the Figure 8 chained column reuses
+// Figure 5's full-iCFP simulations instead of repeating them. Only
+// equivalences that hold for every override combination are collapsed —
+// multipass's default trigger also forces D$-blocking, so its explicit
+// spelling is not the same machine under a block_secondary_d1 override
+// and stays distinct.
+func (m Machine) Canonical() string {
+	switch m.Model {
+	case ModelICFP:
+		if m.Trigger == TriggerAll {
+			m.Trigger = ""
+		}
+		if m.StoreBuffer == SBChained {
+			m.StoreBuffer = ""
+		}
+	case ModelRunahead:
+		if m.Trigger == TriggerL2 {
+			m.Trigger = ""
+		}
+	}
+	return Canonical(m)
+}
+
+// Canonical returns the workload's canonical encoding.
+func (w Workload) Canonical() string { return Canonical(w) }
+
+// Validate checks the machine against the model vocabulary and the
+// override ranges, returning an actionable error for the first problem.
+func (m Machine) Validate() error {
+	if m.Model == "" {
+		return fmt.Errorf("spec: machine has no model (want one of %v)", Models)
+	}
+	if !slices.Contains(Models, m.Model) {
+		return fmt.Errorf("spec: unknown model %q (want one of %v)", m.Model, Models)
+	}
+	if m.Trigger != "" {
+		if !slices.Contains(Triggers, m.Trigger) {
+			return fmt.Errorf("spec: unknown trigger %q (want one of %v)", m.Trigger, Triggers)
+		}
+		switch m.Model {
+		case ModelRunahead, ModelMultipass, ModelICFP:
+		default:
+			return fmt.Errorf("spec: model %q has no advance trigger (trigger applies to %s, %s, %s)",
+				m.Model, ModelRunahead, ModelMultipass, ModelICFP)
+		}
+	}
+	if m.StoreBuffer != "" {
+		if !slices.Contains(StoreBuffers, m.StoreBuffer) {
+			return fmt.Errorf("spec: unknown store_buffer %q (want one of %v)", m.StoreBuffer, StoreBuffers)
+		}
+		if m.Model != ModelICFP {
+			return fmt.Errorf("spec: store_buffer applies only to model %q, not %q", ModelICFP, m.Model)
+		}
+	}
+	if m.CFP && m.Model != ModelOOO {
+		return fmt.Errorf("spec: cfp applies only to model %q, not %q", ModelOOO, m.Model)
+	}
+	if m.Overrides != nil {
+		if err := m.Overrides.Validate(); err != nil {
+			return err
+		}
+		if m.Overrides.ROBEntries != nil && m.Model != ModelOOO {
+			return fmt.Errorf("spec: rob_entries applies only to model %q, not %q", ModelOOO, m.Model)
+		}
+	}
+	return nil
+}
+
+// maxInsts bounds workload and warmup instruction counts at roughly the
+// paper's full scale: a spec arriving over the network must not be able
+// to pin a worker's cores for hours on one key.
+const maxInsts = 1 << 30
+
+// Validate checks the workload names a known benchmark or scenario with
+// a sane instruction count.
+func (w Workload) Validate() error {
+	switch {
+	case w.SPEC != "" && w.Scenario != "":
+		return fmt.Errorf("spec: workload names both a SPEC benchmark %q and a scenario %q; want exactly one", w.SPEC, w.Scenario)
+	case w.SPEC != "":
+		if !slices.Contains(workload.AllSPECNames, w.SPEC) {
+			return fmt.Errorf("spec: unknown SPEC benchmark %q (want one of %v)", w.SPEC, workload.AllSPECNames)
+		}
+		if w.N < 1 || w.N > maxInsts {
+			return fmt.Errorf("spec: SPEC workload %q has n=%d, want 1..%d (total dynamic instructions, warmup included)", w.SPEC, w.N, maxInsts)
+		}
+	case w.Scenario != "":
+		if !slices.Contains(workload.AllScenarios, workload.Scenario(w.Scenario)) {
+			return fmt.Errorf("spec: unknown scenario %q (want one of %v)", w.Scenario, workload.AllScenarios)
+		}
+		if w.N != 0 {
+			return fmt.Errorf("spec: scenario %q has fixed length; n=%d must be omitted", w.Scenario, w.N)
+		}
+	default:
+		return fmt.Errorf("spec: workload names neither a SPEC benchmark nor a scenario")
+	}
+	return nil
+}
+
+// New generates the declared workload. The spec must be valid.
+func (w Workload) New() *workload.Workload {
+	if w.Scenario != "" {
+		return workload.NewScenario(workload.Scenario(w.Scenario))
+	}
+	return workload.SPEC(w.SPEC, w.N)
+}
+
+// Validate checks the job's machine and workload, with the job's name as
+// context.
+func (j Job) Validate() error {
+	if err := j.Machine.Validate(); err != nil {
+		return fmt.Errorf("job %q: %w", j.Name, err)
+	}
+	if err := j.Workload.Validate(); err != nil {
+		return fmt.Errorf("job %q: %w", j.Name, err)
+	}
+	return nil
+}
+
+// renderKinds lists the valid Render.Kind values.
+var renderKinds = []string{RenderTable, RenderSpeedup, RenderSweep, RenderBuiltin}
+
+// Validate checks the render declaration.
+func (r Render) Validate() error {
+	if !slices.Contains(renderKinds, r.Kind) {
+		return fmt.Errorf("spec: unknown render kind %q (want one of %v)", r.Kind, renderKinds)
+	}
+	if r.Kind == RenderBuiltin && r.Builtin == "" {
+		return fmt.Errorf("spec: render kind %q needs a builtin experiment name", RenderBuiltin)
+	}
+	if r.Kind != RenderBuiltin && r.Builtin != "" {
+		return fmt.Errorf("spec: render kind %q does not take a builtin name (%q)", r.Kind, r.Builtin)
+	}
+	if r.Baseline != "" && r.Kind != RenderSpeedup && r.Kind != RenderSweep {
+		return fmt.Errorf("spec: render kind %q does not take a baseline (%q)", r.Kind, r.Baseline)
+	}
+	return nil
+}
+
+// Validate checks the whole suite: a name, valid sample sizes, a valid
+// render, and uniquely named valid jobs.
+func (s Suite) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("spec: suite has no name")
+	}
+	if s.N < 0 || s.N > maxInsts || s.Warm < 0 || s.Warm > maxInsts {
+		return fmt.Errorf("spec: suite %q has n=%d, warm=%d; want 0..%d each", s.Name, s.N, s.Warm, maxInsts)
+	}
+	if s.Render != nil {
+		if err := s.Render.Validate(); err != nil {
+			return fmt.Errorf("suite %q: %w", s.Name, err)
+		}
+	}
+	seen := make(map[string]bool, len(s.Jobs))
+	for i, j := range s.Jobs {
+		if j.Name == "" {
+			return fmt.Errorf("spec: suite %q job %d has no name", s.Name, i)
+		}
+		if seen[j.Name] {
+			return fmt.Errorf("spec: suite %q has two jobs named %q", s.Name, j.Name)
+		}
+		seen[j.Name] = true
+		if err := j.Validate(); err != nil {
+			return fmt.Errorf("suite %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Marshal renders the suite as indented JSON with a trailing newline.
+// The encoding is deterministic: Marshal ∘ UnmarshalSuite ∘ Marshal is
+// the identity on bytes.
+func (s Suite) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("spec: encoding suite %q: %w", s.Name, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// UnmarshalSuite parses and validates a suite. Decoding is strict:
+// unknown fields anywhere in the document (a typo'd "trigerr") and
+// trailing garbage are errors, and the parsed suite must validate.
+func UnmarshalSuite(data []byte) (Suite, error) {
+	var s Suite
+	if err := strictUnmarshal(data, &s); err != nil {
+		return Suite{}, fmt.Errorf("spec: decoding suite: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Suite{}, err
+	}
+	return s, nil
+}
