@@ -1,0 +1,140 @@
+// Command docgate is the CI gate for the documentation layer: it fails
+// when the docs rot. It enforces two invariants, with zero dependencies
+// beyond the standard library so it runs anywhere `go run` does:
+//
+//   - Markdown link integrity: every relative link in README.md and
+//     docs/*.md must point at a file or directory that exists in the
+//     repository (fragments are stripped; external schemes are skipped —
+//     this is an offline gate, not a crawler).
+//
+//   - Package documentation: every package under internal/, cmd/, and
+//     examples/ must carry a package-level doc comment (the
+//     revive/stylecheck package-comments rule, without the dependency),
+//     so `go doc` output stays self-explanatory.
+//
+// Run it from the repository root:
+//
+//	go run ./cmd/docgate
+//
+// It prints one line per violation and exits 1 if there were any.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// mdLink matches inline markdown links and images: [text](target). Bare
+// autolinks and reference-style links are rare enough here not to carry
+// their own grammar.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+func main() {
+	var problems []string
+	complain := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	checkLinks(collectMarkdown(complain), complain)
+	checkPackageComments(complain)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docgate:", p)
+		}
+		fmt.Fprintf(os.Stderr, "docgate: %d problems\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docgate: docs and package comments are clean")
+}
+
+// collectMarkdown gathers the gated markdown files: README.md and
+// everything under docs/.
+func collectMarkdown(complain func(string, ...any)) []string {
+	files := []string{"README.md"}
+	err := filepath.WalkDir("docs", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		complain("walking docs/: %v (the docs tree is part of the deliverable)", err)
+	}
+	return files
+}
+
+// checkLinks verifies every relative link target in the given markdown
+// files exists.
+func checkLinks(files []string, complain func(string, ...any)) {
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			complain("%s: %v", file, err)
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external: offline gate
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure fragment: same-file anchor
+			}
+			// Links resolve relative to the file that makes them.
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				complain("%s: broken link %q (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}
+
+// checkPackageComments walks the source trees and requires a package
+// doc comment on every package (on any one file, per godoc's rules;
+// test files and generated mains of examples count too — an example is
+// documentation).
+func checkPackageComments(complain func(string, ...any)) {
+	fset := token.NewFileSet()
+	for _, root := range []string{"internal", "cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			pkgs, perr := parser.ParseDir(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if perr != nil {
+				complain("%s: %v", path, perr)
+				return nil
+			}
+			for name, pkg := range pkgs {
+				if strings.HasSuffix(name, "_test") {
+					continue
+				}
+				documented := false
+				for _, f := range pkg.Files {
+					if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+						documented = true
+						break
+					}
+				}
+				if !documented {
+					complain("%s: package %s has no package doc comment", path, name)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			complain("walking %s: %v", root, err)
+		}
+	}
+}

@@ -1,28 +1,52 @@
 // Command expd runs the paper's evaluation across hosts over the
-// internal/dist protocol on TCP.
+// internal/dist protocol on TCP, with optional TLS and shared-token
+// authentication on every connection (docs/OPERATIONS.md is the fleet
+// runbook; docs/ARCHITECTURE.md describes the protocol).
 //
-// On each worker host, start a serving daemon:
+// It has three roles. A worker host can run a serving daemon that
+// coordinators dial:
 //
 //	expd serve -listen :9700
 //
-// On the coordinator, name the workers and the experiments:
+// or dial a long-lived coordinator itself and join its fleet (elastic
+// mode — workers may join or leave while a run is in flight):
+//
+//	expd join coord-host:9701
+//
+// The coordinator names the experiments and builds its fleet from
+// either or both directions:
 //
 //	expd -connect hostA:9700,hostB:9700 -all
-//	expd -connect hostA:9700 -run fig5,table2 -n 1000000 -warm 4000000
+//	expd -accept-workers :9701 -all -cache-file sim.json
+//	expd -connect hostA:9700 -accept-workers :9701 -run fig5,table2 -n 1000000 -warm 4000000
 //
 // The coordinator plans the deduplicated simulation jobs, shards them
-// across the connected workers with work-stealing batches, merges the
-// streamed results, and renders the report locally — byte-identical to
-// `experiments` run in a single process, because simulations are
-// deterministic pure functions of their specs. A worker host that dies
-// mid-run has its unfinished batch reassigned to the survivors. Batches
-// carry self-describing specs (internal/spec), so workers need no copy
-// of the coordinator's job table — heterogeneous builds interoperate as
-// long as they speak the same protocol version and simulate identically;
-// the handshake rejects mismatched protocol versions by name.
+// across the fleet with cost-aware work-stealing batches (per-key cost
+// estimates seeded from each spec and refined online from the wall
+// times workers report, so cheap keys batch large and expensive
+// stragglers ship alone), merges the streamed results, and renders the
+// report locally — byte-identical to `experiments` run in a single
+// process at any fleet shape, because simulations are deterministic
+// pure functions of their specs. A worker that dies mid-run has its
+// unfinished batch reassigned to the survivors; a worker that leaves
+// with `expd join`'s SIGINT/SIGTERM goodbye keeps everything it already
+// streamed and hands back only the remainder. Batches carry
+// self-describing specs (internal/spec), so workers need no copy of the
+// coordinator's job table — heterogeneous builds interoperate as long
+// as they speak the same protocol version and simulate identically; the
+// handshake rejects mismatched protocol versions by name.
+//
+// Transport security: -tls-cert/-tls-key arm an accepting endpoint
+// (serve's listener, the coordinator's -accept-workers listener),
+// -tls-ca (plus optional -tls-server-name) makes a dialing endpoint
+// (the coordinator's -connect, join's outbound connection) verify the
+// peer, and -token arms both sides of a shared-secret preamble that is
+// checked before any protocol frame is processed. Leave all of them
+// unset only on loopback or a trusted network.
 //
 // -cache-file works as in cmd/experiments: preloaded results are not
-// re-dispatched, and interrupts or failures save a partial snapshot of
+// re-dispatched (and their recorded wall times pre-seed the cost
+// model), and interrupts or failures save a partial snapshot of
 // everything the workers completed.
 package main
 
@@ -32,8 +56,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"icfp/cmd/internal/cliutil"
@@ -43,9 +69,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		serveMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "join":
+			joinMain(os.Args[2:])
+			return
+		}
 	}
 	coordMain(os.Args[1:])
 }
@@ -54,15 +86,22 @@ func main() {
 // serve the protocol on each, concurrently, until killed.
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("expd serve", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: expd serve -listen :port [-tls-cert c.pem -tls-key k.pem] [-token secret]")
+		fmt.Fprintln(os.Stderr, "Worker daemon: accepts coordinators (expd -connect) and simulates their batches.")
+		fs.PrintDefaults()
+	}
 	listen := fs.String("listen", ":9700", "TCP address to accept coordinators on")
+	sec := cliutil.SecurityFlags(fs)
 	fs.Parse(args)
 
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := sec.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "expd serve:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "expd serve: listening on %s (%d CPUs)\n", ln.Addr(), runtime.NumCPU())
+	fmt.Fprintf(os.Stderr, "expd serve: listening on %s (%d CPUs, tls: %v, token auth: %v)\n",
+		ln.Addr(), runtime.NumCPU(), sec.CertFile != "", sec.Token != "")
 	failures := 0
 	for {
 		conn, err := ln.Accept()
@@ -88,8 +127,15 @@ func serveMain(args []string) {
 		go func(c net.Conn) {
 			defer c.Close()
 			peer := c.RemoteAddr()
+			// The token preamble is verified before a single protocol
+			// frame is read; an unauthenticated peer never reaches Serve.
+			sc, err := sec.Secure(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "expd serve: coordinator %s: %v\n", peer, err)
+				return
+			}
 			fmt.Fprintf(os.Stderr, "expd serve: coordinator %s connected\n", peer)
-			if err := dist.Serve(c); err != nil {
+			if err := dist.Serve(sc); err != nil {
 				fmt.Fprintf(os.Stderr, "expd serve: coordinator %s: %v\n", peer, err)
 				return
 			}
@@ -98,32 +144,133 @@ func serveMain(args []string) {
 	}
 }
 
-// coordMain is the coordinator: dial the worker hosts, distribute the
-// run, render locally.
+// joinMain is the elastic worker: dial a long-lived coordinator
+// (expd -accept-workers), register, and simulate its batches until the
+// run ends or this process is told to leave (SIGINT/SIGTERM → goodbye:
+// results already streamed are kept, the batch remainder is requeued).
+func joinMain(args []string) {
+	fs := flag.NewFlagSet("expd join", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: expd join coordinator:port [-name label] [-retry 2s] [-tls-ca ca.pem] [-token secret]")
+		fmt.Fprintln(os.Stderr, "Elastic worker: dials the coordinator's -accept-workers listener and joins its fleet,")
+		fmt.Fprintln(os.Stderr, "mid-run included. SIGINT/SIGTERM sends a goodbye and exits; finished results are kept.")
+		fs.PrintDefaults()
+	}
+	name := fs.String("name", "", "worker display name in coordinator logs (default host:pid)")
+	retry := fs.Duration("retry", 2*time.Second, "redial interval while the coordinator is unreachable (0 = try once)")
+	sec := cliutil.SecurityFlags(fs)
+
+	// Accept both `expd join host:port -flags` and `expd join -flags host:port`.
+	var addr string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		addr, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if addr == "" && fs.NArg() > 0 {
+		addr = fs.Arg(0)
+	}
+	if addr == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+
+	leave := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "expd join: %v: sending goodbye and draining\n", s)
+		close(leave)
+		// A second signal forces an immediate exit.
+		<-sigc
+		os.Exit(130)
+	}()
+
+	for {
+		conn, err := sec.Dial(addr)
+		if err != nil {
+			select {
+			case <-leave:
+				return
+			default:
+			}
+			if *retry <= 0 {
+				fmt.Fprintln(os.Stderr, "expd join:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "expd join: %v; retrying in %v\n", err, *retry)
+			select {
+			case <-time.After(*retry):
+				continue
+			case <-leave:
+				return
+			}
+		}
+		err = dist.Register(conn, *name)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "expd join: registered with %s as %q\n", addr, *name)
+			err = dist.Serve(conn, dist.LeaveOn(leave))
+		}
+		conn.Close()
+		select {
+		case <-leave:
+			fmt.Fprintln(os.Stderr, "expd join: left the fleet")
+			return
+		default:
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "expd join:", err)
+			os.Exit(1)
+		}
+		// A clean end means the coordinator finished its run and closed
+		// us; with a retry interval, rejoin for the next run.
+		if *retry <= 0 {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "expd join: run complete; redialing in %v\n", *retry)
+		select {
+		case <-time.After(*retry):
+		case <-leave:
+			return
+		}
+	}
+}
+
+// coordMain is the coordinator: build the fleet (dial -connect workers,
+// accept -accept-workers joiners), distribute the run, render locally.
 func coordMain(args []string) {
 	fs := flag.NewFlagSet("expd", flag.ExitOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: expd serve -listen :port        (worker host)")
-		fmt.Fprintln(os.Stderr, "       expd -connect host:port,... [flags]  (coordinator)")
+		fmt.Fprintln(os.Stderr, "usage: expd serve -listen :port                                (worker daemon)")
+		fmt.Fprintln(os.Stderr, "       expd join coordinator:port                              (elastic worker)")
+		fmt.Fprintln(os.Stderr, "       expd [-connect host:port,...] [-accept-workers :port] [flags]  (coordinator)")
+		fmt.Fprintln(os.Stderr, "The coordinator needs at least one of -connect and -accept-workers.")
 		fs.PrintDefaults()
 	}
 	var (
-		connect   = fs.String("connect", "", "comma-separated worker addresses (required)")
+		connect   = fs.String("connect", "", "comma-separated worker addresses to dial (expd serve daemons)")
+		accept    = fs.String("accept-workers", "", "TCP address to accept elastic workers on (expd join); they may join mid-run")
 		run       = fs.String("run", "", "comma-separated experiment names (default: every experiment)")
 		all       = fs.Bool("all", false, "run every experiment (same as leaving -run empty)")
 		n         = fs.Int("n", 400_000, "timed instructions per sample")
 		warm      = fs.Int("warm", 150_000, "warmup instructions per sample")
 		parallel  = fs.Int("parallel", 0, "per-worker pool size (0 = each worker's GOMAXPROCS)")
+		batch     = fs.Int("batch", 0, "fixed jobs per dispatched batch (0 = cost-aware sizing from per-key estimates)")
 		cacheFile = fs.String("cache-file", "", "load/save the memoization cache from/to this JSON file")
 		timeout   = fs.Duration("worker-timeout", 0, "declare a silent worker dead and reassign its batch after this long (must exceed one simulation's duration; 0 = wait forever)")
 	)
+	sec := cliutil.SecurityFlags(fs)
 	fs.Parse(args)
 
 	fatal := func(err error) {
 		fmt.Fprintln(os.Stderr, "expd:", err)
 		os.Exit(1)
 	}
-	if *connect == "" {
+	if *connect == "" && *accept == "" {
 		fs.Usage()
 		os.Exit(2)
 	}
@@ -151,13 +298,15 @@ func coordMain(args []string) {
 		fatal(err)
 	}
 
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+
 	var workers []dist.Worker
 	for _, addr := range strings.Split(*connect, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
-		w, err := dist.DialTCP(addr)
+		w, err := dist.DialTCP(addr, *sec)
 		if err != nil {
 			dist.CloseAll(workers)
 			fatal(err)
@@ -165,10 +314,27 @@ func coordMain(args []string) {
 		workers = append(workers, w)
 	}
 
+	var join chan dist.Worker
+	if *accept != "" {
+		ln, err := sec.Listen(*accept)
+		if err != nil {
+			dist.CloseAll(workers)
+			fatal(err)
+		}
+		logf("expd: accepting elastic workers on %s (tls: %v, token auth: %v)", ln.Addr(), sec.CertFile != "", sec.Token != "")
+		join = make(chan dist.Worker)
+		runDone := make(chan struct{})
+		go acceptWorkers(ln, *sec, join, runDone, logf)
+		// Once the run ends nothing reads the join channel again: stop
+		// accepting and turn away candidates already mid-handshake, so a
+		// late joiner gets a closed connection instead of a silent hang.
+		defer close(runDone)
+		defer ln.Close()
+	}
+
 	p := registry.Params{Cfg: sim.DefaultConfig(), N: *n}
 	p.Cfg.WarmupInsts = *warm
-	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
-	opts := dist.Options{Logf: logf, FrameTimeout: *timeout}
+	opts := dist.Options{Logf: logf, FrameTimeout: *timeout, BatchSize: *batch, Join: join}
 	if _, err := registry.ReportDistributed(os.Stdout, names, p, workers, *parallel, cache, opts); err != nil {
 		if serr := saveCache(); serr != nil {
 			fmt.Fprintln(os.Stderr, "expd: saving cache:", serr)
@@ -178,5 +344,38 @@ func coordMain(args []string) {
 	// The complete snapshot: failing to persist it is a failed run.
 	if err := saveCache(); err != nil {
 		fatal(fmt.Errorf("saving cache: %w", err))
+	}
+}
+
+// acceptWorkers feeds registering dialers into the dispatcher's join
+// channel until the listener closes (when the run ends). Each candidate
+// is authenticated, then its register frame validated, off the accept
+// loop so one slow dialer cannot block the next; a worker whose
+// handshake finishes after the run ended is closed instead of parked on
+// the never-again-read join channel.
+func acceptWorkers(ln net.Listener, sec dist.Security, join chan<- dist.Worker, done <-chan struct{}, logf func(string, ...any)) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			peer := c.RemoteAddr().String()
+			sc, err := sec.Secure(c)
+			if err != nil {
+				logf("expd: rejecting %s: %v", peer, err)
+				return
+			}
+			w, err := dist.AcceptWorker(sc, peer)
+			if err != nil {
+				logf("expd: rejecting %s: %v", peer, err)
+				return
+			}
+			select {
+			case join <- w:
+			case <-done:
+				w.RW.Close()
+			}
+		}(conn)
 	}
 }

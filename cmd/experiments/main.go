@@ -43,10 +43,15 @@
 // cache as they finish, and the report is rendered locally from the warm
 // cache — so output is byte-identical to a single-process run at any
 // worker count, and a crashed worker's batch is reassigned to the
-// survivors. Batches carry self-describing specs, so workers need no
-// matching job table. The hidden -worker-stdio flag is the worker side
-// of that protocol; cmd/expd speaks the same protocol over TCP for
-// multi-host runs.
+// survivors. Batches are sized at dispatch time by a per-key cost model
+// (seeded from each spec's workload length and model class, refined
+// online from the wall times workers report), so cheap keys batch large
+// and expensive stragglers ship alone; they carry self-describing specs,
+// so workers need no matching job table. The hidden -worker-stdio flag
+// is the worker side of that protocol; cmd/expd speaks the same protocol
+// over TCP — with optional TLS and token auth, elastic worker join/leave
+// included — for multi-host runs (see docs/ARCHITECTURE.md and
+// docs/OPERATIONS.md).
 //
 // -cache-file FILE persists the memoization cache across invocations:
 // results are loaded before the run and the merged cache is saved after

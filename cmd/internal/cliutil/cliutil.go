@@ -1,17 +1,36 @@
-// Package cliutil holds the cache-persistence and signal plumbing shared
-// by the experiment CLIs (cmd/experiments, cmd/expd), so the
-// interrupt-snapshot semantics live in exactly one place.
+// Package cliutil holds the cache-persistence, signal, and
+// transport-security plumbing shared by the experiment CLIs
+// (cmd/experiments, cmd/expd), so the interrupt-snapshot semantics and
+// the TLS/token flag vocabulary each live in exactly one place.
 package cliutil
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"icfp/internal/dist"
 	"icfp/internal/exp"
 )
+
+// SecurityFlags registers the transport-security flags every TCP
+// endpoint of the fleet shares — -tls-cert/-tls-key (accepting side),
+// -tls-ca/-tls-server-name (dialing side), -token (both) — and returns
+// the Security they populate. The zero state (no flags set) is
+// plaintext for loopback and tests; docs/OPERATIONS.md is the runbook
+// for everything else.
+func SecurityFlags(fs *flag.FlagSet) *dist.Security {
+	sec := &dist.Security{}
+	fs.StringVar(&sec.CertFile, "tls-cert", "", "PEM certificate presented to dialing peers (with -tls-key, enables TLS on the listener)")
+	fs.StringVar(&sec.KeyFile, "tls-key", "", "PEM private key for -tls-cert")
+	fs.StringVar(&sec.CAFile, "tls-ca", "", "PEM bundle to verify the dialed peer against (enables TLS on outbound connections)")
+	fs.StringVar(&sec.ServerName, "tls-server-name", "", "hostname to verify against the peer certificate (default: the dialed host)")
+	fs.StringVar(&sec.Token, "token", "", "shared fleet secret; dialers prove it before any protocol frame is processed")
+	return sec
+}
 
 // PersistentCache builds the run's memoization cache, preloading the
 // optional snapshot at path, and installs a SIGINT/SIGTERM handler that

@@ -14,14 +14,14 @@ import (
 
 // Dispatch defaults.
 const (
-	// DefaultBatchSize balances dispatch overhead against stealable
-	// granularity: small enough that a slow worker strands little work,
-	// large enough that the protocol is not one round trip per key.
-	DefaultBatchSize = 4
-	// DefaultMaxAttempts caps how many times one batch may be dispatched
+	// DefaultMaxAttempts caps how many times one job may be dispatched
 	// before the run fails: transient worker crashes are survivable, a
-	// batch that kills every worker that touches it is not.
+	// job that kills every worker that touches it is not. Clean goodbyes
+	// do not count against it.
 	DefaultMaxAttempts = 3
+	// maxBatchJobs bounds a cost-sized batch: even a queue of thousands
+	// of near-free keys stays stealable in bounded pieces.
+	maxBatchJobs = 64
 )
 
 // Options configure a coordinator run.
@@ -29,11 +29,15 @@ type Options struct {
 	// Parallel is each worker's internal pool size (values below 1 mean
 	// the worker's GOMAXPROCS).
 	Parallel int
-	// BatchSize is the number of jobs per dispatched batch (default
-	// DefaultBatchSize).
+	// BatchSize fixes the number of jobs per dispatched batch. Zero (the
+	// default) enables cost-aware sizing: batches are assembled at
+	// dispatch time from per-key cost estimates — statically seeded from
+	// each spec's workload length and model class, refined online from
+	// the wall times workers report — so cheap keys ride in large
+	// batches and known-expensive stragglers ship alone.
 	BatchSize int
-	// MaxAttempts caps dispatch attempts per batch (default
-	// DefaultMaxAttempts).
+	// MaxAttempts caps dispatch attempts per job (default
+	// DefaultMaxAttempts). Clean goodbyes do not count.
 	MaxAttempts int
 	// FrameTimeout bounds the silence between a worker's frames while a
 	// dispatch is in flight. A worker that stays connected but stops
@@ -45,8 +49,17 @@ type Options struct {
 	// subprocess workers die with their pipes, which EOF on their own.
 	// Zero disables the timeout.
 	FrameTimeout time.Duration
+	// Join delivers workers that join the fleet mid-run (elastic mode:
+	// cmd/expd -accept-workers feeds registered dialers through here). A
+	// joined worker is handshaken and enters the work-stealing loop
+	// immediately. With Join set, a run whose last worker dies waits for
+	// the next join instead of failing — the operator decides when to
+	// give up (an interrupt still checkpoints the cache). Closing the
+	// channel restores fail-when-all-workers-die semantics.
+	Join <-chan Worker
 	// Logf, when set, receives dispatch diagnostics: worker hand-offs,
-	// crash reassignments, retirements. Results themselves are silent.
+	// joins, goodbyes, crash reassignments, retirements. Results
+	// themselves are silent.
 	Logf func(format string, args ...any)
 }
 
@@ -71,33 +84,71 @@ func (o *Options) logf(format string, args ...any) {
 	}
 }
 
-// batchState is one unit of dispatch. Jobs shrink as results stream in,
-// so a batch reassigned after a worker crash carries only its unfinished
-// remainder.
-type batchState struct {
-	id       int
-	jobs     []spec.Job
+// pjob is one plan job moving through the dispatcher: its spec, its
+// cache key, and how many dispatches have failed on it.
+type pjob struct {
+	sj       spec.Job
+	key      exp.Key
 	attempts int
+}
+
+// dispatcher is the coordinator's shared state: the ready queue, the
+// in-flight count, fleet membership, and the cost model. One mutex
+// guards all of it; worker goroutines block on cond while the queue is
+// empty but work is still in flight (a crash or goodbye may requeue).
+type dispatcher struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	ready    []*pjob // jobs awaiting dispatch
+	inflight int     // jobs handed to a worker, neither merged nor requeued
+	batches  int     // dispatched batches whose runBatch has not returned
+	batchSeq int
+
+	stopped   bool // run over (success or failure): workers must exit
+	completed bool
+	failure   error
+	done      chan struct{}
+	doneOnce  sync.Once
+
+	active     int  // workers currently admitted and not retired
+	joinable   bool // an open Join channel may still deliver workers
+	workerErrs []string
+
+	transports []io.Closer // every admitted transport, closed when the run ends
+	model      *costModel
+	cache      *exp.Cache
+	opts       *Options
+	wg         sync.WaitGroup
 }
 
 // Run shards the plan's self-describing jobs across the workers and
 // merges every completed result into cache. Jobs whose key the cache
 // already has (a preloaded -cache-file) are not dispatched at all.
 // Dispatch is work-stealing — idle workers pull the next batch, so shard
-// sizes adapt to worker speed — and crash-tolerant: when a worker's
-// transport fails mid-batch, the batch's unfinished remainder is requeued
-// for the survivors, up to MaxAttempts dispatches per batch. Worker-side
-// errors (invalid specs, simulation failures) abort the run with the
-// worker's context attached. Run closes every worker transport before
-// returning; for subprocess transports that also reaps the process.
+// sizes adapt to worker speed — and, by default, cost-aware (see
+// Options.BatchSize). The fleet is elastic: workers arriving on
+// Options.Join enter the loop mid-run, a worker that sends goodbye
+// leaves cleanly (streamed results kept, unfinished remainder requeued,
+// no attempt counted), and a worker whose transport fails mid-batch has
+// the batch's unfinished remainder requeued for the survivors, up to
+// MaxAttempts dispatches per job. Worker-side errors (invalid specs,
+// simulation failures) abort the run with the worker's context attached.
+// Run closes every worker transport before returning; for subprocess
+// transports that also reaps the process.
 func Run(plan []spec.Job, workers []Worker, cache *exp.Cache, opts Options) error {
-	if opts.BatchSize <= 0 {
-		opts.BatchSize = DefaultBatchSize
-	}
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = DefaultMaxAttempts
 	}
-	defer CloseAll(workers)
+
+	d := &dispatcher{
+		done:     make(chan struct{}),
+		joinable: opts.Join != nil,
+		model:    newCostModel(),
+		cache:    cache,
+		opts:     &opts,
+	}
+	d.cond = sync.NewCond(&d.mu)
 
 	var missing []spec.Job
 	for _, sj := range plan {
@@ -106,134 +157,319 @@ func Run(plan []spec.Job, workers []Worker, cache *exp.Cache, opts Options) erro
 		}
 	}
 	if len(missing) == 0 {
+		CloseAll(workers)
 		return nil
 	}
-	if len(workers) == 0 {
+	if len(workers) == 0 && opts.Join == nil {
 		return fmt.Errorf("dist: %d jobs to simulate but no workers", len(missing))
 	}
-
-	var batches []*batchState
-	for i := 0; i < len(missing); i += opts.BatchSize {
-		end := min(i+opts.BatchSize, len(missing))
-		batches = append(batches, &batchState{id: len(batches) + 1, jobs: missing[i:end]})
+	d.model.seedFromCache(cache, plan)
+	for _, sj := range missing {
+		d.ready = append(d.ready, &pjob{sj: sj, key: exp.KeyOf(sj)})
 	}
-	opts.logf("dist: %d jobs in %d batches across %d workers", len(missing), len(batches), len(workers))
+	opts.logf("dist: %d jobs queued across %d workers (elastic: %v)", len(missing), len(workers), opts.Join != nil)
 
-	// Each batch is enqueued at most MaxAttempts times, so the buffer
-	// bound makes every send non-blocking.
-	queue := make(chan *batchState, len(batches)*opts.MaxAttempts)
-	for _, b := range batches {
-		queue <- b
+	for _, w := range workers {
+		d.admit(w)
 	}
-
-	var (
-		mu        sync.Mutex
-		pending   = len(batches)
-		completed bool // every batch merged: late worker errors no longer matter
-		failure   error
-		once      sync.Once
-	)
-	done := make(chan struct{})
-	fail := func(err error) {
-		mu.Lock()
-		// A fatal error from a straggling worker (say, a slow handshake
-		// reporting skew) after the survivors already finished every
-		// batch must not turn a complete run into a failure.
-		if failure == nil && !completed {
-			failure = err
-		}
-		mu.Unlock()
-		once.Do(func() { close(done) })
-	}
-	completeBatch := func() {
-		mu.Lock()
-		pending--
-		rem := pending
-		if rem == 0 {
-			completed = true
-		}
-		mu.Unlock()
-		if rem == 0 {
-			once.Do(func() { close(done) })
-		}
+	if opts.Join != nil {
+		d.wg.Add(1)
+		go d.watchJoins(opts.Join)
 	}
 
-	var wg sync.WaitGroup
-	workerErrs := make([]error, len(workers))
-	for wi, w := range workers {
-		wg.Add(1)
-		go func(wi int, w Worker) {
-			defer wg.Done()
-			if err := initWorker(w, &opts); err != nil {
-				var fatal *fatalError
-				if errors.As(err, &fatal) {
-					fail(fmt.Errorf("dist: worker %s: %w", w.Name, err))
-				} else {
-					opts.logf("dist: worker %s failed during handshake: %v", w.Name, err)
-				}
-				workerErrs[wi] = err
-				return
-			}
-			for {
-				select {
-				case <-done:
-					return
-				case b := <-queue:
-					rest, err := runBatch(w, b, cache, &opts)
-					if err == nil {
-						completeBatch()
-						continue
-					}
-					var fatal *fatalError
-					if errors.As(err, &fatal) {
-						fail(fmt.Errorf("dist: worker %s: %w", w.Name, err))
-						return
-					}
-					// Transport-level failure: the worker is gone. Requeue
-					// whatever the batch still owes and retire this worker.
-					workerErrs[wi] = err
-					if len(rest) == 0 {
-						opts.logf("dist: worker %s died after finishing batch %d: %v", w.Name, b.id, err)
-						completeBatch()
-						return
-					}
-					b.jobs = rest
-					b.attempts++
-					if b.attempts >= opts.MaxAttempts {
-						fail(fmt.Errorf("dist: batch %d failed on its %dth dispatch (%d jobs left), last worker %s: %w",
-							b.id, b.attempts, len(rest), w.Name, err))
-						return
-					}
-					opts.logf("dist: worker %s died mid-batch %d; requeueing %d jobs (attempt %d/%d): %v",
-						w.Name, b.id, len(rest), b.attempts+1, opts.MaxAttempts, err)
-					queue <- b
-					return
-				}
-			}
-		}(wi, w)
-	}
-
-	// If every worker retires while batches remain, nothing will ever
-	// close done — fail with the per-worker context instead of hanging.
-	go func() {
-		wg.Wait()
-		mu.Lock()
-		rem := pending
-		mu.Unlock()
-		if rem > 0 {
-			fail(fmt.Errorf("dist: all %d workers failed with %d batches outstanding: %s",
-				len(workers), rem, joinErrs(workerErrs)))
-		}
-	}()
-
-	<-done
+	<-d.done
 	// Unblock any worker goroutine still parked in a read, then wait so
 	// no goroutine outlives the run.
-	CloseAll(workers)
-	wg.Wait()
-	mu.Lock()
-	defer mu.Unlock()
-	return failure
+	d.closeTransports()
+	d.wg.Wait()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failure
+}
+
+// admit adds one worker to the fleet and starts its dispatch loop.
+func (d *dispatcher) admit(w Worker) {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		w.RW.Close()
+		return
+	}
+	d.active++
+	d.transports = append(d.transports, w.RW)
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.runWorker(w)
+}
+
+// watchJoins feeds mid-run arrivals into the fleet until the run ends or
+// the channel closes.
+func (d *dispatcher) watchJoins(join <-chan Worker) {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.done:
+			return
+		case w, ok := <-join:
+			if !ok {
+				d.mu.Lock()
+				d.joinable = false
+				starved := d.active == 0 && d.remainingLocked() > 0
+				d.mu.Unlock()
+				if starved {
+					d.fail(fmt.Errorf("dist: join channel closed with no workers and %d jobs outstanding: %s",
+						d.remaining(), d.joinErrs()))
+				}
+				return
+			}
+			d.opts.logf("dist: worker %s joined the fleet", w.Name)
+			d.admit(w)
+		}
+	}
+}
+
+// remainingLocked reports the undone job count; the caller holds mu.
+// remaining is the self-locking variant.
+func (d *dispatcher) remainingLocked() int {
+	return len(d.ready) + d.inflight
+}
+
+func (d *dispatcher) remaining() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.remainingLocked()
+}
+
+// fail records the run's failure and wakes everyone. A fatal error from
+// a straggling worker (say, a slow handshake reporting skew) after the
+// survivors already finished every batch must not turn a complete run
+// into a failure.
+func (d *dispatcher) fail(err error) {
+	d.mu.Lock()
+	if d.failure == nil && !d.completed {
+		d.failure = err
+	}
+	d.stopped = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.doneOnce.Do(func() { close(d.done) })
+}
+
+// finish marks the run complete and wakes everyone.
+func (d *dispatcher) finish() {
+	d.mu.Lock()
+	d.completed = true
+	d.stopped = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.doneOnce.Do(func() { close(d.done) })
+}
+
+// closeTransports closes every admitted worker transport (idempotent).
+func (d *dispatcher) closeTransports() {
+	d.mu.Lock()
+	ts := append([]io.Closer(nil), d.transports...)
+	d.mu.Unlock()
+	for _, t := range ts {
+		t.Close()
+	}
+}
+
+// next blocks until there is a batch to dispatch, returning nil when the
+// run is over. The returned jobs are moved from ready to in-flight.
+func (d *dispatcher) next() []*pjob {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.stopped {
+			return nil
+		}
+		if len(d.ready) > 0 {
+			batch := d.takeBatchLocked()
+			d.inflight += len(batch)
+			d.batches++
+			return batch
+		}
+		if d.inflight == 0 && d.batches == 0 {
+			// Nothing queued, nothing in flight: the run is complete.
+			// finish() needs the lock we hold, so release around it.
+			d.mu.Unlock()
+			d.finish()
+			d.mu.Lock()
+			return nil
+		}
+		d.cond.Wait()
+	}
+}
+
+// endBatch accounts a dispatched batch concluding (batch_done read, or
+// its error path entered) and completes the run when it was the last
+// loose end. Completion deliberately waits for every batch to conclude —
+// not merely for every job to merge — so the trailing cost-report and
+// batch_done frames are consumed before Run tears the transports down
+// and a clean run stays log-silent on both sides.
+func (d *dispatcher) endBatch() {
+	d.mu.Lock()
+	d.batches--
+	done := d.inflight == 0 && len(d.ready) == 0 && d.batches == 0 && !d.stopped
+	d.mu.Unlock()
+	if done {
+		d.finish()
+	}
+}
+
+// takeBatchLocked forms the next batch from the head of the ready queue.
+// With a fixed Options.BatchSize it takes exactly that many jobs; in
+// cost-aware mode the cost model sizes it (costModel.sizeBatch). The
+// floor keeps a worker's pool saturated by its own batch — the
+// coordinator cannot see a GOMAXPROCS-width pool, so it assumes a
+// generously wide host; stealing evens out the rest.
+func (d *dispatcher) takeBatchLocked() []*pjob {
+	n := len(d.ready)
+	if d.opts.BatchSize > 0 {
+		n = min(n, d.opts.BatchSize)
+	} else {
+		floor := d.opts.Parallel
+		if floor < 1 {
+			floor = 16
+		}
+		n = d.model.sizeBatch(d.ready, d.active, floor, maxBatchJobs)
+	}
+	batch := d.ready[:n]
+	d.ready = d.ready[n:]
+	return batch
+}
+
+// requeue returns a batch's unfinished jobs to the ready queue. When
+// counted (crash paths), each job's attempt count rises and hitting
+// MaxAttempts fails the run; goodbyes requeue uncounted.
+func (d *dispatcher) requeue(owed []*pjob, counted bool, worker string, cause error) {
+	if len(owed) == 0 {
+		return
+	}
+	if counted {
+		for _, pj := range owed {
+			pj.attempts++
+			if pj.attempts >= d.opts.MaxAttempts {
+				d.fail(fmt.Errorf("dist: job (%s | %s) failed on its %dth dispatch, last worker %s: %w",
+					pj.key.Machine, pj.key.Workload, pj.attempts, worker, cause))
+				return
+			}
+		}
+	}
+	d.mu.Lock()
+	d.inflight -= len(owed)
+	d.ready = append(d.ready, owed...)
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// merged accounts one in-flight job landing in the cache. Completion is
+// detected when its batch concludes (endBatch), not here.
+func (d *dispatcher) merged() {
+	d.mu.Lock()
+	d.inflight--
+	d.mu.Unlock()
+}
+
+// retire removes a worker from the fleet. Its transport is closed — that
+// is also the leave signal a goodbye'd Serve loop waits for — and if it
+// was the last worker with work still outstanding and no join can
+// replace it, the run fails with every worker's exit context.
+func (d *dispatcher) retire(w Worker, cause string) {
+	w.RW.Close()
+	d.mu.Lock()
+	d.active--
+	if cause != "" {
+		d.workerErrs = append(d.workerErrs, fmt.Sprintf("%s: %s", w.Name, cause))
+	}
+	starved := d.active == 0 && d.remainingLocked() > 0 && !d.joinable && !d.stopped
+	d.mu.Unlock()
+	if starved {
+		d.fail(fmt.Errorf("dist: all workers failed with %d jobs outstanding: %s",
+			d.remaining(), d.joinErrs()))
+	}
+}
+
+// runOver reports whether the run has already ended (success or
+// failure) — transport errors after that point are teardown, not news.
+func (d *dispatcher) runOver() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stopped
+}
+
+// joinErrs summarizes the recorded worker exits for diagnostics.
+func (d *dispatcher) joinErrs() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.workerErrs) == 0 {
+		return "no worker errors recorded"
+	}
+	return strings.Join(d.workerErrs, "; ")
+}
+
+// runWorker is one worker's dispatch loop: handshake, then pull batches
+// until the run ends or the worker leaves (goodbye) or dies (transport
+// failure). Fatal worker-reported errors abort the whole run.
+func (d *dispatcher) runWorker(w Worker) {
+	defer d.wg.Done()
+	if err := initWorker(w, d.opts); err != nil {
+		var fatal *fatalError
+		if errors.As(err, &fatal) {
+			d.fail(fmt.Errorf("dist: worker %s: %w", w.Name, err))
+			d.retire(w, "")
+			return
+		}
+		d.opts.logf("dist: worker %s failed during handshake: %v", w.Name, err)
+		d.retire(w, fmt.Sprintf("handshake: %v", err))
+		return
+	}
+	for {
+		batch := d.next()
+		if batch == nil {
+			d.retire(w, "")
+			return
+		}
+		owed, err := d.runBatch(w, batch)
+		// The batch has concluded one way or another; owed jobs are still
+		// accounted in-flight until requeue moves them back, so this
+		// cannot complete a run that still owes work.
+		d.endBatch()
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, errGoodbye):
+			d.opts.logf("dist: worker %s said goodbye; requeueing %d unfinished jobs", w.Name, len(owed))
+			d.requeue(owed, false, w.Name, err)
+			d.retire(w, "")
+			return
+		default:
+			var fatal *fatalError
+			if errors.As(err, &fatal) {
+				d.fail(fmt.Errorf("dist: worker %s: %w", w.Name, err))
+				d.retire(w, "")
+				return
+			}
+			if d.runOver() {
+				// The run completed on this batch's last streamed result
+				// and Run closed the transports before the trailing
+				// batch_done arrived — teardown, not a worker death.
+				d.retire(w, "")
+				return
+			}
+			// Transport-level failure: the worker is gone. Requeue
+			// whatever the batch still owes and retire this worker.
+			if len(owed) == 0 {
+				d.opts.logf("dist: worker %s died after finishing its batch: %v", w.Name, err)
+			} else {
+				d.opts.logf("dist: worker %s died mid-batch; requeueing %d jobs: %v", w.Name, len(owed), err)
+			}
+			d.requeue(owed, true, w.Name, err)
+			d.retire(w, err.Error())
+			return
+		}
+	}
 }
 
 // fatalError marks a worker-reported protocol or simulation error:
@@ -241,6 +477,9 @@ func Run(plan []spec.Job, workers []Worker, cache *exp.Cache, opts Options) erro
 type fatalError struct{ msg string }
 
 func (e *fatalError) Error() string { return e.msg }
+
+// errGoodbye marks a clean worker departure mid-batch.
+var errGoodbye = errors.New("worker left the fleet")
 
 // initWorker performs the handshake: protocol version plus the worker's
 // pool size. There is no job-table cross-check — batches are
@@ -263,68 +502,74 @@ func initWorker(w Worker, opts *Options) error {
 	}
 }
 
-// runBatch dispatches one batch and merges its streamed results until
-// batch_done. On a transport failure it returns the jobs still owed, in
+// runBatch dispatches one batch, merging its streamed results into the
+// cache and its cost reports into the model, until batch_done. On a
+// transport failure or goodbye it returns the jobs still owed, in
 // dispatch order, for requeueing; worker-reported errors come back as
 // fatalError.
-func runBatch(w Worker, b *batchState, cache *exp.Cache, opts *Options) (rest []spec.Job, err error) {
-	remaining := make(map[exp.Key]bool, len(b.jobs))
-	for _, sj := range b.jobs {
-		remaining[exp.KeyOf(sj)] = true
+func (d *dispatcher) runBatch(w Worker, batch []*pjob) (owed []*pjob, err error) {
+	d.mu.Lock()
+	d.batchSeq++
+	id := d.batchSeq
+	d.mu.Unlock()
+
+	jobs := make([]spec.Job, len(batch))
+	remaining := make(map[exp.Key]*pjob, len(batch))
+	for i, pj := range batch {
+		jobs[i] = pj.sj
+		remaining[pj.key] = pj
 	}
-	owed := func() []spec.Job {
-		var out []spec.Job
-		for _, sj := range b.jobs {
-			if remaining[exp.KeyOf(sj)] {
-				out = append(out, sj)
+	still := func() []*pjob {
+		var out []*pjob
+		for _, pj := range batch {
+			if _, ok := remaining[pj.key]; ok {
+				out = append(out, pj)
 			}
 		}
 		return out
 	}
-	if err := WriteMessage(w.RW, &Message{Type: TypeBatch, BatchID: b.id, Jobs: b.jobs}); err != nil {
-		return owed(), err
+	if err := WriteMessage(w.RW, &Message{Type: TypeBatch, BatchID: id, Jobs: jobs}); err != nil {
+		return still(), err
 	}
 	for {
-		m, err := readFrame(w.RW, opts)
+		m, err := readFrame(w.RW, d.opts)
 		if err != nil {
-			return owed(), err
+			return still(), err
 		}
 		switch m.Type {
 		case TypeResult:
 			if m.Result == nil {
-				return owed(), &fatalError{"result frame without a payload"}
+				return still(), &fatalError{"result frame without a payload"}
 			}
-			cache.AddResults([]exp.CachedResult{*m.Result})
-			delete(remaining, exp.Key{Machine: m.Result.Machine, Workload: m.Result.Workload})
+			d.cache.AddResults([]exp.CachedResult{*m.Result})
+			k := exp.Key{Machine: m.Result.Machine, Workload: m.Result.Workload}
+			if m.Result.ElapsedNS > 0 {
+				d.model.observe(k, float64(m.Result.ElapsedNS))
+			}
+			if _, ok := remaining[k]; ok {
+				delete(remaining, k)
+				d.merged()
+			}
+		case TypeCostReport:
+			for _, kc := range m.Costs {
+				d.model.observe(exp.Key{Machine: kc.Machine, Workload: kc.Workload}, float64(kc.ElapsedNS))
+			}
+		case TypeGoodbye:
+			return still(), errGoodbye
 		case TypeBatchDone:
-			if m.BatchID != b.id {
-				return owed(), &fatalError{fmt.Sprintf("batch_done for batch %d while %d was in flight", m.BatchID, b.id)}
+			if m.BatchID != id {
+				return still(), &fatalError{fmt.Sprintf("batch_done for batch %d while %d was in flight", m.BatchID, id)}
 			}
-			if rest := owed(); len(rest) > 0 {
+			if rest := still(); len(rest) > 0 {
 				// A worker that claims completion without delivering is
 				// broken, but the work itself may succeed elsewhere.
-				return rest, fmt.Errorf("batch %d reported done with %d results missing", b.id, len(rest))
+				return rest, fmt.Errorf("batch %d reported done with %d results missing", id, len(rest))
 			}
 			return nil, nil
 		case TypeError:
-			return owed(), &fatalError{m.Err}
+			return still(), &fatalError{m.Err}
 		default:
-			return owed(), &fatalError{fmt.Sprintf("unexpected %q frame during batch %d", m.Type, b.id)}
+			return still(), &fatalError{fmt.Sprintf("unexpected %q frame during batch %d", m.Type, id)}
 		}
 	}
-}
-
-// joinErrs summarizes the non-nil worker errors for the all-workers-dead
-// diagnostic.
-func joinErrs(errs []error) string {
-	var parts []string
-	for i, err := range errs {
-		if err != nil {
-			parts = append(parts, fmt.Sprintf("worker %d: %v", i, err))
-		}
-	}
-	if len(parts) == 0 {
-		return "no worker errors recorded"
-	}
-	return strings.Join(parts, "; ")
 }

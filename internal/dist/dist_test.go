@@ -75,11 +75,14 @@ func startWorker(t *testing.T, name string, opts ...dist.ServeOption) (dist.Work
 func TestProtocolRoundTrip(t *testing.T) {
 	job := testJobs(1)[0]
 	msgs := []*dist.Message{
+		{Type: dist.TypeRegister, Proto: dist.ProtoVersion, Name: "hostB:4242"},
 		{Type: dist.TypeInit, Proto: dist.ProtoVersion, Parallel: 2},
 		{Type: dist.TypeReady},
 		{Type: dist.TypeBatch, BatchID: 1, Jobs: []spec.Job{job.Spec()}},
-		{Type: dist.TypeResult, Result: &exp.CachedResult{Machine: job.Key().Machine, Workload: job.Key().Workload, R: pipeline.Result{Cycles: 42}}},
+		{Type: dist.TypeResult, Result: &exp.CachedResult{Machine: job.Key().Machine, Workload: job.Key().Workload, R: pipeline.Result{Cycles: 42}, ElapsedNS: 1234}},
+		{Type: dist.TypeCostReport, Costs: []dist.KeyCost{{Machine: job.Key().Machine, Workload: job.Key().Workload, ElapsedNS: 1234}}},
 		{Type: dist.TypeBatchDone, BatchID: 1},
+		{Type: dist.TypeGoodbye},
 		{Type: dist.TypeError, Err: "boom"},
 	}
 	var buf bytes.Buffer
@@ -500,6 +503,14 @@ func TestWorkerAnswersRedispatchFromCache(t *testing.T) {
 			if m.Type == dist.TypeBatchDone {
 				break
 			}
+			if m.Type == dist.TypeCostReport {
+				// Only fresh simulations report costs; a batch answered
+				// entirely from the worker's cache stays silent.
+				if batch == 2 {
+					t.Errorf("cache-served batch sent a cost report: %+v", m.Costs)
+				}
+				continue
+			}
 			if m.Type != dist.TypeResult {
 				t.Fatalf("unexpected %q frame", m.Type)
 			}
@@ -513,4 +524,248 @@ func TestWorkerAnswersRedispatchFromCache(t *testing.T) {
 	if got := runs.Load(); got != int64(len(plan)) {
 		t.Errorf("worker simulated %d times across a re-dispatch, want %d (second batch from cache)", got, len(plan))
 	}
+}
+
+// realResult builds the CachedResult a scripted worker must stream for
+// the plan entry — real simulation output, so correctness checks against
+// the local reference still hold.
+func realResult(want map[exp.Key]pipeline.Result, k exp.Key) *exp.CachedResult {
+	res := want[k]
+	return &exp.CachedResult{Machine: k.Machine, Workload: k.Workload, R: res, ElapsedNS: 1000}
+}
+
+// TestGoodbyeMidBatchReassignsRemainder pins the elastic drain
+// guarantee: a worker that says goodbye mid-batch keeps everything it
+// already streamed, hands the unfinished remainder back without it
+// counting as a failed attempt (MaxAttempts is 1 here — a counted
+// requeue would abort the run), and the replacement worker — which joins
+// the fleet mid-run through Options.Join — receives and finishes that
+// remainder.
+func TestGoodbyeMidBatchReassignsRemainder(t *testing.T) {
+	jobs := testJobs(8)
+	want := localResults(t, jobs)
+	plan, err := exp.Plan(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The leaver: a scripted worker that takes the whole plan as one
+	// batch, delivers exactly one real result, then says goodbye.
+	coordEnd, workerEnd := dist.Pipe()
+	saidGoodbye := make(chan struct{})
+	go func() {
+		m, err := dist.ReadMessage(workerEnd)
+		if err != nil || m.Type != dist.TypeInit {
+			return
+		}
+		if err := dist.WriteMessage(workerEnd, &dist.Message{Type: dist.TypeReady}); err != nil {
+			return
+		}
+		if m, err = dist.ReadMessage(workerEnd); err != nil || m.Type != dist.TypeBatch {
+			return
+		}
+		first := exp.KeyOf(m.Jobs[0])
+		if err := dist.WriteMessage(workerEnd, &dist.Message{Type: dist.TypeResult, Result: realResult(want, first)}); err != nil {
+			return
+		}
+		if err := dist.WriteMessage(workerEnd, &dist.Message{Type: dist.TypeGoodbye}); err != nil {
+			return
+		}
+		close(saidGoodbye)
+		dist.ReadMessage(workerEnd) // wait for the coordinator to close us
+	}()
+	leaver := dist.Worker{Name: "leaver", RW: coordEnd}
+
+	// The joiner arrives through the join channel only after the goodbye
+	// is on the wire: its work can only be the requeued remainder.
+	var joinerRuns atomic.Int64
+	join := make(chan dist.Worker)
+	go func() {
+		<-saidGoodbye
+		w, _ := startWorker(t, "joiner", dist.OnSimulate(func(exp.Key) { joinerRuns.Add(1) }))
+		join <- w
+	}()
+
+	cache := exp.NewCache()
+	err = dist.Run(plan, []dist.Worker{leaver}, cache, dist.Options{
+		BatchSize:   len(plan),
+		MaxAttempts: 1,
+		Join:        join,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("run with a goodbye mid-batch must succeed, got: %v", err)
+	}
+	for i, sj := range plan {
+		k := exp.KeyOf(sj)
+		res, ok := cache.Lookup(k)
+		if !ok {
+			t.Fatalf("plan entry %d (%+v) missing after goodbye reassignment", i, k)
+		}
+		if res != want[k] {
+			t.Errorf("plan entry %d: result diverged after goodbye reassignment", i)
+		}
+	}
+	if got := joinerRuns.Load(); got != int64(len(plan))-1 {
+		t.Errorf("joiner simulated %d jobs, want %d (the goodbye'd batch's remainder)", got, len(plan)-1)
+	}
+}
+
+// TestJoinIntoRunningDispatchReceivesWork pins the registration path
+// end to end: a run may start with an empty fleet when Options.Join is
+// set, and a worker that registers (the expd join handshake) and is fed
+// through the channel mid-run receives the queued work and completes the
+// run.
+func TestJoinIntoRunningDispatchReceivesWork(t *testing.T) {
+	jobs := testJobs(5)
+	want := localResults(t, jobs)
+	plan, err := exp.Plan(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	join := make(chan dist.Worker)
+	var runs atomic.Int64
+	go func() {
+		coordEnd, workerEnd := dist.Pipe()
+		// The worker side of an elastic join: dial (a pipe here),
+		// register, then serve. Its own goroutine, because the register
+		// write on a synchronous pipe completes only when AcceptWorker
+		// reads it.
+		go func() {
+			if err := dist.Register(workerEnd, "elastic-1"); err != nil {
+				t.Error(err)
+				return
+			}
+			dist.Serve(workerEnd, dist.OnSimulate(func(exp.Key) { runs.Add(1) }))
+		}()
+		w, err := dist.AcceptWorker(coordEnd, "fallback")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Name != "elastic-1" {
+			t.Errorf("accepted worker name = %q, want the registered name", w.Name)
+		}
+		join <- w
+	}()
+
+	cache := exp.NewCache()
+	if err := dist.Run(plan, nil, cache, dist.Options{Join: join, Logf: t.Logf}); err != nil {
+		t.Fatalf("elastic run starting with an empty fleet: %v", err)
+	}
+	for i, sj := range plan {
+		k := exp.KeyOf(sj)
+		res, ok := cache.Lookup(k)
+		if !ok {
+			t.Fatalf("plan entry %d missing", i)
+		}
+		if res != want[k] {
+			t.Errorf("plan entry %d diverged", i)
+		}
+	}
+	if got := runs.Load(); got != int64(len(plan)) {
+		t.Errorf("joined worker simulated %d jobs, want all %d", got, len(plan))
+	}
+}
+
+// TestAcceptWorkerRejectsSkewAndGarbage pins the register handshake: a
+// joining worker with a mismatched protocol version is turned away with
+// an error frame naming both versions, and a non-register first frame is
+// rejected outright — before either reaches the dispatch loop.
+func TestAcceptWorkerRejectsSkewAndGarbage(t *testing.T) {
+	// The pipes are synchronous, so AcceptWorker runs in a goroutine
+	// while this side plays the misbehaving joiner and reads the reply.
+	accept := func(rw io.ReadWriteCloser) <-chan error {
+		errc := make(chan error, 1)
+		go func() {
+			_, err := dist.AcceptWorker(rw, "fallback")
+			errc <- err
+		}()
+		return errc
+	}
+
+	coordEnd, workerEnd := dist.Pipe()
+	errc := accept(coordEnd)
+	if err := dist.WriteMessage(workerEnd, &dist.Message{Type: dist.TypeRegister, Proto: 2, Name: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	if m, rerr := dist.ReadMessage(workerEnd); rerr != nil || m.Type != dist.TypeError ||
+		!strings.Contains(m.Err, "v2") || !strings.Contains(m.Err, fmt.Sprintf("v%d", dist.ProtoVersion)) {
+		t.Errorf("skewed joiner got (%+v, %v), want an error frame naming both versions", m, rerr)
+	}
+	if err := <-errc; err == nil || !strings.Contains(err.Error(), "v2") || !strings.Contains(err.Error(), fmt.Sprintf("v%d", dist.ProtoVersion)) {
+		t.Errorf("v2 register accepted or badly reported: %v", err)
+	}
+
+	c2, w2 := dist.Pipe()
+	errc = accept(c2)
+	if err := dist.WriteMessage(w2, &dist.Message{Type: dist.TypeReady}); err != nil {
+		t.Fatal(err)
+	}
+	if m, rerr := dist.ReadMessage(w2); rerr != nil || m.Type != dist.TypeError {
+		t.Errorf("garbage joiner got (%+v, %v), want an error frame", m, rerr)
+	}
+	if err := <-errc; err == nil || !strings.Contains(err.Error(), "register") {
+		t.Errorf("non-register first frame accepted: %v", err)
+	}
+}
+
+// TestAuthRejectedBeforeAnyFrame pins the token guarantee of the
+// satellite checklist: a peer with a wrong or missing token is rejected
+// by the preamble check itself — VerifyAuth fails before ReadMessage
+// ever runs, so no protocol frame from an unauthenticated peer is
+// processed, and the peer never sees a ready reply.
+func TestAuthRejectedBeforeAnyFrame(t *testing.T) {
+	serve := func(workerEnd io.ReadWriteCloser) <-chan error {
+		errc := make(chan error, 1)
+		go func() {
+			if err := dist.VerifyAuth(workerEnd, "fleet-secret"); err != nil {
+				workerEnd.Close()
+				errc <- err
+				return
+			}
+			errc <- dist.Serve(workerEnd)
+		}()
+		return errc
+	}
+
+	// Missing token: the dialer starts straight in with a protocol
+	// frame, which can never parse as a preamble. The frame is padded
+	// past the preamble length so the synchronous pipe delivers enough
+	// bytes for the check to run at all.
+	coordEnd, workerEnd := dist.Pipe()
+	errc := serve(workerEnd)
+	go dist.WriteMessage(coordEnd, &dist.Message{Type: dist.TypeInit, Proto: dist.ProtoVersion, Name: strings.Repeat("x", 64)})
+	if err := <-errc; err == nil || !strings.Contains(err.Error(), "token") {
+		t.Errorf("frame-as-preamble error = %v, want a token rejection", err)
+	}
+	if _, err := dist.ReadMessage(coordEnd); err == nil {
+		t.Error("unauthenticated peer received a protocol reply")
+	}
+
+	// Wrong token: same shape, constant-time compare fails.
+	c2, w2 := dist.Pipe()
+	errc = serve(w2)
+	if err := dist.WriteAuth(c2, "wrong-secret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err == nil || !strings.Contains(err.Error(), "token") {
+		t.Errorf("wrong-token error = %v, want a token rejection", err)
+	}
+
+	// Correct token: the handshake proceeds.
+	c3, w3 := dist.Pipe()
+	errc = serve(w3)
+	if err := dist.WriteAuth(c3, "fleet-secret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.WriteMessage(c3, &dist.Message{Type: dist.TypeInit, Proto: dist.ProtoVersion, Parallel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := dist.ReadMessage(c3); err != nil || m.Type != dist.TypeReady {
+		t.Fatalf("authenticated handshake reply = (%+v, %v), want ready", m, err)
+	}
+	c3.Close()
+	<-errc
 }

@@ -12,12 +12,26 @@
 // Coordinator and worker speak a length-delimited JSON protocol over an
 // abstract transport: net.Pipe in tests, the stdin/stdout of a
 // self-exec'd subprocess (cmd/experiments -workers), or a TCP connection
-// (cmd/expd) for multi-host runs. Since protocol v2 every batch carries
+// (cmd/expd) for multi-host runs — optionally wrapped in TLS with a
+// shared-token preamble (Security) when the fleet spans more than a
+// trusted loopback. Since protocol v2 every batch carries
 // self-describing spec.Jobs — a worker needs no prior copy of the job
 // table, no registry, and no handshake cross-check beyond the protocol
 // version, so heterogeneous fleets (different binaries, elastically
 // joining workers) interoperate as long as they speak the same spec
 // vocabulary.
+//
+// Protocol v3 makes fleets elastic and dispatch cost-aware. Workers may
+// dial a long-lived coordinator and announce themselves with a register
+// frame (Register/AcceptWorker), join a run already in flight
+// (Options.Join), and leave it cleanly with a goodbye frame — everything
+// they streamed back before leaving is kept, and only their unfinished
+// remainder is redispatched. Batches are sized at dispatch time by a
+// per-key cost model: a static estimate derived from each spec (workload
+// length × model class) refined online by the observed wall times that
+// workers stream back in cost-report frames, so cheap keys ride in large
+// batches while known-expensive stragglers ship alone. The full frame
+// catalog lives in docs/ARCHITECTURE.md.
 package dist
 
 import (
@@ -32,11 +46,12 @@ import (
 
 // ProtoVersion identifies the wire protocol. Version 2 replaced the v1
 // job-table handshake (an opaque registry spec plus a table-size
-// cross-check) with self-describing spec.Job batches. Coordinator and
-// workers must match exactly: results are only portable between
-// compatible simulators, so version skew is a handshake error — reported
-// with both versions named — not something to paper over.
-const ProtoVersion = 2
+// cross-check) with self-describing spec.Job batches; version 3 added
+// the elastic-fleet frames (register, goodbye) and per-key cost reports.
+// Coordinator and workers must match exactly: results are only portable
+// between compatible simulators, so version skew is a handshake error —
+// reported with both versions named — not something to paper over.
+const ProtoVersion = 3
 
 // maxFrame bounds one protocol frame. The largest real frames are batch
 // messages (a few spec jobs) and single results — far below this; the
@@ -46,6 +61,12 @@ const maxFrame = 64 << 20
 
 // Message types, in handshake-then-dispatch order.
 const (
+	// TypeRegister is worker → coordinator, and only on connections the
+	// worker dialed (elastic join): the worker announces its protocol
+	// version and display name before the normal init/ready handshake.
+	// Coordinator-dialed workers skip it — the dialer already knows who
+	// it connected to.
+	TypeRegister = "register"
 	// TypeInit is coordinator → worker: the protocol version plus the
 	// worker-pool parallelism to simulate with.
 	TypeInit = "init"
@@ -57,24 +78,44 @@ const (
 	// TypeResult is worker → coordinator: one completed simulation,
 	// streamed as soon as it finishes (not held until the batch ends).
 	TypeResult = "result"
+	// TypeCostReport is worker → coordinator: the observed wall times of
+	// the batch's freshly simulated keys, sent just before batch_done.
+	// Purely advisory — it feeds the coordinator's dispatch-time cost
+	// model and never affects results.
+	TypeCostReport = "cost_report"
 	// TypeBatchDone is worker → coordinator: every job of the identified
 	// batch has been simulated and its result sent.
 	TypeBatchDone = "batch_done"
+	// TypeGoodbye is worker → coordinator: the worker is leaving the
+	// fleet (operator drain, host reclaim). Results it already streamed
+	// are kept; the unfinished remainder of any in-flight batch is
+	// redispatched to the survivors without counting as a failure.
+	TypeGoodbye = "goodbye"
 	// TypeError, in either direction, reports a fatal condition with
 	// context; the receiver aborts the run.
 	TypeError = "error"
 )
+
+// KeyCost is one cost-report entry: the canonical key of a simulation
+// this worker actually ran in the reported batch, and how long it took.
+type KeyCost struct {
+	Machine   string `json:"machine"`
+	Workload  string `json:"workload"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
 
 // Message is one protocol frame. Type selects which of the remaining
 // fields are meaningful.
 type Message struct {
 	Type string `json:"type"`
 
-	// Init.
+	// Init and Register.
 	Proto int `json:"proto,omitempty"`
 	// Parallel is the worker's pool size; values below 1 mean the
 	// worker's GOMAXPROCS.
 	Parallel int `json:"parallel,omitempty"`
+	// Name is the registering worker's display name (register only).
+	Name string `json:"name,omitempty"`
 
 	// Batch and BatchDone. Batch IDs start at 1 so a zero ID always
 	// means "absent". Jobs are self-describing: each carries the full
@@ -84,6 +125,9 @@ type Message struct {
 
 	// Result.
 	Result *exp.CachedResult `json:"result,omitempty"`
+
+	// CostReport.
+	Costs []KeyCost `json:"costs,omitempty"`
 
 	// Error.
 	Err string `json:"err,omitempty"`

@@ -36,10 +36,12 @@ func Pipe() (coord, worker io.ReadWriteCloser) {
 	return net.Pipe()
 }
 
-// DialTCP connects to a worker serving at addr (cmd/expd serve) and
+// DialTCP connects to a worker serving at addr (cmd/expd serve), under
+// the given transport security (TLS when sec.CAFile is set, token
+// preamble when sec.Token is set; the zero Security is plaintext), and
 // names it after the address.
-func DialTCP(addr string) (Worker, error) {
-	conn, err := net.Dial("tcp", addr)
+func DialTCP(addr string, sec Security) (Worker, error) {
+	conn, err := sec.Dial(addr)
 	if err != nil {
 		return Worker{}, fmt.Errorf("dist: connecting to worker %s: %w", addr, err)
 	}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"icfp/internal/exp"
 )
@@ -18,12 +20,105 @@ type ServeOption func(*serveOptions)
 
 type serveOptions struct {
 	onRun func(exp.Key)
+	leave <-chan struct{}
 }
 
 // OnSimulate installs a hook invoked once per actual simulation this
 // worker performs (never for its cache hits) — metrics and tests.
 func OnSimulate(f func(exp.Key)) ServeOption {
 	return func(o *serveOptions) { o.onRun = f }
+}
+
+// LeaveOn makes the worker leave the fleet when ch is closed: a goodbye
+// frame is sent (interleaving safely with any in-flight result stream),
+// the batch's remaining simulations are abandoned (each pool worker at
+// most finishes the one it is mid-flight on), further outbound frames
+// are suppressed, and Serve returns once the coordinator — which
+// requeues the batch's unfinished remainder and keeps everything already
+// streamed — closes the connection. Close the channel; the leave signal
+// has two independent waiters (the goodbye sender and the simulation
+// pool's cancel), and only a close reaches both. This is the drain path
+// behind `expd join`'s SIGINT/SIGTERM handling.
+func LeaveOn(ch <-chan struct{}) ServeOption {
+	return func(o *serveOptions) { o.leave = ch }
+}
+
+// Register announces a dialing worker to an accepting coordinator
+// (cmd/expd join → -accept-workers): one register frame carrying the
+// protocol version and the worker's display name, sent before the
+// normal init/ready handshake that the coordinator initiates. The
+// matching accept side is AcceptWorker.
+func Register(rw io.Writer, name string) error {
+	return WriteMessage(rw, &Message{Type: TypeRegister, Proto: ProtoVersion, Name: name})
+}
+
+// AcceptWorker completes the coordinator side of an elastic join: it
+// reads the dialer's register frame, rejects protocol-version skew with
+// an error frame naming both versions, and returns the worker handle to
+// feed into Options.Join. Transport security (Security.Secure) must
+// already have run: by the time a register frame is parsed the peer has
+// proven token possession. fallbackName names the worker when the
+// register frame carries no name (typically the remote address).
+//
+// The register read is bounded by a deadline on transports that support
+// one, so a connected-but-silent peer (port scanner, health check)
+// cannot pin an accept goroutine and its connection forever.
+func AcceptWorker(rw io.ReadWriteCloser, fallbackName string) (Worker, error) {
+	if rd, ok := rw.(readDeadliner); ok {
+		rd.SetReadDeadline(time.Now().Add(authTimeout))
+		defer rd.SetReadDeadline(time.Time{})
+	}
+	m, err := ReadMessage(rw)
+	if err != nil {
+		rw.Close()
+		return Worker{}, fmt.Errorf("dist: reading register frame: %w", err)
+	}
+	if m.Type != TypeRegister {
+		WriteMessage(rw, &Message{Type: TypeError, Err: fmt.Sprintf("expected a %q frame, got %q", TypeRegister, m.Type)})
+		rw.Close()
+		return Worker{}, fmt.Errorf("dist: expected a %q frame, got %q", TypeRegister, m.Type)
+	}
+	if m.Proto != ProtoVersion {
+		err := fmt.Sprintf("protocol version mismatch: joining worker speaks v%d, this coordinator speaks v%d", m.Proto, ProtoVersion)
+		WriteMessage(rw, &Message{Type: TypeError, Err: err})
+		rw.Close()
+		return Worker{}, errors.New("dist: " + err)
+	}
+	name := m.Name
+	if name == "" {
+		name = fallbackName
+	}
+	return Worker{Name: name, RW: rw}, nil
+}
+
+// workerConn serializes a worker's outbound frames: results stream from
+// the simulation pool's completion hook while a leave signal may inject
+// a goodbye from another goroutine, and a frame must never interleave
+// with another mid-write. After goodbye, every other outbound frame is
+// suppressed — the coordinator has already written this worker off.
+type workerConn struct {
+	rw   io.ReadWriter
+	mu   sync.Mutex
+	left bool
+}
+
+func (c *workerConn) send(m *Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left {
+		return nil
+	}
+	return WriteMessage(c.rw, m)
+}
+
+func (c *workerConn) goodbye() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left {
+		return nil
+	}
+	c.left = true
+	return WriteMessage(c.rw, &Message{Type: TypeGoodbye})
 }
 
 // Serve runs the worker side of the protocol on rw until the coordinator
@@ -34,12 +129,26 @@ func OnSimulate(f func(exp.Key)) ServeOption {
 // invalid ones as fatal errors. The worker keeps its own cache and arena
 // for the lifetime of the connection, so a job re-dispatched after a
 // coordinator-side retry is answered from cache rather than
-// re-simulated, and completed results are streamed back the moment each
-// simulation finishes.
+// re-simulated; completed results are streamed back the moment each
+// simulation finishes, each carrying its wall time, and every batch ends
+// with a cost report of the freshly simulated keys — the feedstock of
+// the coordinator's dispatch-time batch sizing.
 func Serve(rw io.ReadWriter, opts ...ServeOption) error {
 	var so serveOptions
 	for _, opt := range opts {
 		opt(&so)
+	}
+	conn := &workerConn{rw: rw}
+	if so.leave != nil {
+		leaveDone := make(chan struct{})
+		defer close(leaveDone)
+		go func() {
+			select {
+			case <-so.leave:
+				conn.goodbye() // best effort: the coordinator may already be gone
+			case <-leaveDone:
+			}
+		}()
 	}
 	m, err := ReadMessage(rw)
 	if err == io.EOF || errors.Is(err, io.ErrClosedPipe) {
@@ -49,16 +158,16 @@ func Serve(rw io.ReadWriter, opts ...ServeOption) error {
 		return fmt.Errorf("dist: worker handshake: %w", err)
 	}
 	if m.Type != TypeInit {
-		return sendError(rw, fmt.Sprintf("handshake: got %q frame, want %q", m.Type, TypeInit))
+		return sendError(conn, fmt.Sprintf("handshake: got %q frame, want %q", m.Type, TypeInit))
 	}
 	if m.Proto != ProtoVersion {
-		return sendError(rw, fmt.Sprintf("protocol version mismatch: coordinator speaks v%d, this worker speaks v%d", m.Proto, ProtoVersion))
+		return sendError(conn, fmt.Sprintf("protocol version mismatch: coordinator speaks v%d, this worker speaks v%d", m.Proto, ProtoVersion))
 	}
 	if m.Parallel > maxWorkerParallel {
-		return sendError(rw, fmt.Sprintf("requested parallelism %d exceeds the worker cap %d", m.Parallel, maxWorkerParallel))
+		return sendError(conn, fmt.Sprintf("requested parallelism %d exceeds the worker cap %d", m.Parallel, maxWorkerParallel))
 	}
 	parallel := m.Parallel
-	if err := WriteMessage(rw, &Message{Type: TypeReady}); err != nil {
+	if err := conn.send(&Message{Type: TypeReady}); err != nil {
 		return err
 	}
 
@@ -67,34 +176,45 @@ func Serve(rw io.ReadWriter, opts ...ServeOption) error {
 	for {
 		m, err := ReadMessage(rw)
 		if err == io.EOF || errors.Is(err, io.ErrClosedPipe) {
-			return nil // coordinator closed the connection: run complete
+			return nil // coordinator closed the connection: run complete, or this worker's goodbye was honored
 		}
 		if err != nil {
+			if conn.hasLeft() {
+				// A post-goodbye transport teardown is the expected end
+				// of a drained connection, not a failure.
+				return nil
+			}
 			return err
 		}
 		switch m.Type {
 		case TypeBatch:
-			if err := serveBatch(rw, m, cache, arena, parallel, &so); err != nil {
+			if err := serveBatch(conn, m, cache, arena, parallel, &so); err != nil {
 				return err
 			}
 		case TypeError:
 			return fmt.Errorf("dist: coordinator error: %s", m.Err)
 		default:
-			return sendError(rw, fmt.Sprintf("unexpected %q frame between batches", m.Type))
+			return sendError(conn, fmt.Sprintf("unexpected %q frame between batches", m.Type))
 		}
 	}
+}
+
+func (c *workerConn) hasLeft() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.left
 }
 
 // serveBatch simulates one self-describing batch and streams its
 // results. Results are sent from the pool's completion hook, so the
 // coordinator can merge (and checkpoint) them while the rest of the
 // batch is still running.
-func serveBatch(rw io.ReadWriter, m *Message, cache *exp.Cache, arena *exp.Arena, parallel int, so *serveOptions) error {
+func serveBatch(conn *workerConn, m *Message, cache *exp.Cache, arena *exp.Arena, parallel int, so *serveOptions) error {
 	batch := make([]exp.Job, 0, len(m.Jobs))
 	seen := make(map[exp.Key]bool, len(m.Jobs))
 	for _, sj := range m.Jobs {
 		if err := sj.Validate(); err != nil {
-			return sendError(rw, fmt.Sprintf("batch %d: invalid job spec: %v", m.BatchID, err))
+			return sendError(conn, fmt.Sprintf("batch %d: invalid job spec: %v", m.BatchID, err))
 		}
 		k := exp.KeyOf(sj)
 		if seen[k] {
@@ -107,6 +227,7 @@ func serveBatch(rw io.ReadWriter, m *Message, cache *exp.Cache, arena *exp.Arena
 	}
 
 	var sendErr error
+	var costs []KeyCost
 	sent := make(map[exp.Key]bool, len(batch))
 	send := func(k exp.Key) {
 		if sendErr != nil {
@@ -117,22 +238,35 @@ func serveBatch(rw io.ReadWriter, m *Message, cache *exp.Cache, arena *exp.Arena
 			return // cannot happen: the hook fires after the result is published
 		}
 		sent[k] = true
-		sendErr = WriteMessage(rw, &Message{Type: TypeResult, Result: &exp.CachedResult{
-			Machine: k.Machine, Workload: k.Workload, R: res,
+		elapsed, _ := cache.Elapsed(k)
+		sendErr = conn.send(&Message{Type: TypeResult, Result: &exp.CachedResult{
+			Machine: k.Machine, Workload: k.Workload, R: res, ElapsedNS: int64(elapsed),
 		}})
 	}
-	hook := send
-	if so.onRun != nil {
-		hook = func(k exp.Key) {
+	hook := func(k exp.Key) {
+		if so.onRun != nil {
 			so.onRun(k)
-			send(k)
 		}
+		if elapsed, ok := cache.Elapsed(k); ok && elapsed > 0 {
+			costs = append(costs, KeyCost{Machine: k.Machine, Workload: k.Workload, ElapsedNS: int64(elapsed)})
+		}
+		send(k)
 	}
-	_, err := exp.Run(batch,
+	runOpts := []exp.Option{
 		exp.WithCache(cache), exp.WithArena(arena), exp.Parallelism(parallel),
-		exp.OnRun(hook))
+		exp.OnRun(hook),
+	}
+	if so.leave != nil {
+		runOpts = append(runOpts, exp.Cancel(so.leave))
+	}
+	_, err := exp.Run(batch, runOpts...)
+	if errors.Is(err, exp.ErrCanceled) {
+		// Leaving the fleet: the goodbye is already on the wire and the
+		// coordinator has requeued whatever this batch still owed.
+		return nil
+	}
 	if err != nil {
-		return sendError(rw, fmt.Sprintf("batch %d: %v", m.BatchID, err))
+		return sendError(conn, fmt.Sprintf("batch %d: %v", m.BatchID, err))
 	}
 	if sendErr != nil {
 		return sendErr
@@ -147,12 +281,17 @@ func serveBatch(rw io.ReadWriter, m *Message, cache *exp.Cache, arena *exp.Arena
 	if sendErr != nil {
 		return sendErr
 	}
-	return WriteMessage(rw, &Message{Type: TypeBatchDone, BatchID: m.BatchID})
+	if len(costs) > 0 {
+		if err := conn.send(&Message{Type: TypeCostReport, Costs: costs}); err != nil {
+			return err
+		}
+	}
+	return conn.send(&Message{Type: TypeBatchDone, BatchID: m.BatchID})
 }
 
 // sendError reports a fatal worker-side condition to the coordinator and
 // returns it as this side's error too.
-func sendError(rw io.ReadWriter, msg string) error {
-	WriteMessage(rw, &Message{Type: TypeError, Err: msg}) // best effort: the transport may already be down
+func sendError(conn *workerConn, msg string) error {
+	conn.send(&Message{Type: TypeError, Err: msg}) // best effort: the transport may already be down
 	return errors.New("dist: worker: " + msg)
 }

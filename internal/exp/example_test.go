@@ -1,0 +1,51 @@
+package exp_test
+
+import (
+	"fmt"
+
+	"icfp/internal/exp"
+	"icfp/internal/spec"
+)
+
+// ExampleCache shows the memoization contract: jobs with equal canonical
+// (machine, workload) specs simulate once no matter how often they are
+// named, the cache spans Run calls when shared through WithCache, and
+// Lookup retrieves a completed result by its key.
+func ExampleCache() {
+	warm := &spec.Overrides{Warmup: spec.Int(0)} // scenarios pre-warm explicitly
+	jobs := []exp.Job{
+		{
+			Name:     "baseline",
+			Machine:  spec.Machine{Model: spec.ModelInOrder, Overrides: warm},
+			Workload: spec.Workload{Scenario: "a-lone-l2"},
+		},
+		{
+			// A different name for the same simulation: shares the key,
+			// so it costs nothing extra.
+			Name:     "baseline-again",
+			Machine:  spec.Machine{Model: spec.ModelInOrder, Overrides: warm},
+			Workload: spec.Workload{Scenario: "a-lone-l2"},
+		},
+	}
+
+	cache := exp.NewCache()
+	if _, err := exp.Run(jobs, exp.WithCache(cache)); err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Println("simulations after first run:", cache.Simulations())
+
+	// A second run over the same cache is answered entirely from memo.
+	if _, err := exp.Run(jobs, exp.WithCache(cache)); err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Println("simulations after second run:", cache.Simulations())
+
+	_, ok := cache.Lookup(jobs[0].Key())
+	fmt.Println("result cached:", ok)
+	// Output:
+	// simulations after first run: 1
+	// simulations after second run: 1
+	// result cached: true
+}

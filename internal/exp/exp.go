@@ -20,9 +20,12 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"icfp/internal/pipeline"
 	"icfp/internal/spec"
@@ -80,8 +83,9 @@ type Cache struct {
 }
 
 type entry struct {
-	done chan struct{}
-	res  pipeline.Result
+	done    chan struct{}
+	res     pipeline.Result
+	elapsed time.Duration // wall time of the simulation (0 for preloaded results)
 }
 
 // NewCache returns an empty cache.
@@ -102,12 +106,14 @@ func (c *Cache) claim(k Key) (*entry, bool) {
 	return e, true
 }
 
-// finish publishes the result of a claimed entry.
-func (c *Cache) finish(k Key, e *entry, res pipeline.Result) {
+// finish publishes the result of a claimed entry, recording how long the
+// simulation took (the raw material of dispatch-time cost models).
+func (c *Cache) finish(k Key, e *entry, res pipeline.Result, elapsed time.Duration) {
 	c.mu.Lock()
 	c.runs[k]++
 	c.mu.Unlock()
 	e.res = res
+	e.elapsed = elapsed
 	close(e.done)
 }
 
@@ -149,12 +155,32 @@ func (c *Cache) Lookup(k Key) (pipeline.Result, bool) {
 	}
 }
 
+// Elapsed returns the wall time the completed simulation for k took, if
+// the cache has one. Results merged via AddResults report the elapsed
+// time their snapshot recorded (zero when the snapshot predates timing
+// capture); in-flight entries read as absent, like Lookup.
+func (c *Cache) Elapsed(k Key) (time.Duration, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	c.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	select {
+	case <-e.done:
+		return e.elapsed, true
+	default:
+		return 0, false
+	}
+}
+
 // options collects Run configuration.
 type options struct {
 	parallelism int
 	cache       *Cache
 	arena       *Arena
 	onRun       func(Key)
+	cancel      <-chan struct{}
 }
 
 // Option configures Run.
@@ -188,6 +214,23 @@ func WithArena(a *Arena) Option {
 // worker but never concurrently.
 func OnRun(f func(Key)) Option {
 	return func(o *options) { o.onRun = f }
+}
+
+// ErrCanceled reports that a Run was abandoned through a Cancel channel
+// before every job completed.
+var ErrCanceled = errors.New("exp: run canceled")
+
+// Cancel makes the run abandonable: once ch fires — close it to cancel;
+// a closed channel is the only signal every waiter observes — workers
+// stop starting new simulations (each at most finishes the one it is
+// mid-flight on; claimed cache entries are always completed, never torn)
+// and Run returns ErrCanceled instead of results. A single value send
+// also cancels (the first receipt is latched for the whole pool), but
+// close is the intended idiom. Completed simulations stay in the shared
+// cache. This is the drain path of distributed workers leaving an
+// elastic fleet (internal/dist).
+func Cancel(ch <-chan struct{}) Option {
+	return func(o *options) { o.cancel = ch }
 }
 
 // validate fails fast on malformed job sets (duplicate names, invalid
@@ -262,6 +305,10 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 	}
 
 	var hookMu sync.Mutex
+	// canceled latches the first cancel receipt, so even a single value
+	// sent on the channel (rather than the idiomatic close) stops every
+	// pool worker and is still visible to the final check below.
+	var canceled atomic.Bool
 	work := make(chan int)
 	results := make([]Result, len(jobs))
 	// Jobs whose key is claimed by a still-running simulation are parked
@@ -279,6 +326,17 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				if o.cancel != nil {
+					if canceled.Load() {
+						continue // drain the queue without simulating
+					}
+					select {
+					case <-o.cancel:
+						canceled.Store(true)
+						continue
+					default:
+					}
+				}
 				j := jobs[i]
 				k := j.Key()
 				e, claimed := o.cache.claim(k)
@@ -289,8 +347,9 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 						// failure here is a bug, not an input error.
 						panic(fmt.Sprintf("exp: job %q: %v", j.Name, err))
 					}
+					start := time.Now()
 					res := r.Run(o.arena.Get(j.Workload))
-					o.cache.finish(k, e, res)
+					o.cache.finish(k, e, res, time.Since(start))
 					if o.onRun != nil {
 						hookMu.Lock()
 						o.onRun(k)
@@ -315,6 +374,19 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 	}
 	close(work)
 	wg.Wait()
+	if o.cancel != nil {
+		if canceled.Load() {
+			// Claimed entries were all finished (claim-then-simulate is
+			// never abandoned mid-key), so the cache is consistent; only
+			// this run's result set is incomplete.
+			return nil, ErrCanceled
+		}
+		select {
+		case <-o.cancel:
+			return nil, ErrCanceled
+		default:
+		}
+	}
 	for _, d := range deferred {
 		<-d.e.done
 		j := jobs[d.idx]

@@ -2,6 +2,7 @@ package exp_test
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -157,5 +158,33 @@ func TestJobNamesIndexResults(t *testing.T) {
 		if !reflect.DeepEqual(rs.Results[i].Workload, j.Workload) {
 			t.Fatalf("result %d workload %+v, want %+v", i, rs.Results[i].Workload, j.Workload)
 		}
+	}
+}
+
+// TestRunCancel pins the drain contract behind elastic worker leaves: a
+// canceled run stops simulating, returns ErrCanceled, and leaves the
+// shared cache consistent (no torn entries) for whatever did complete.
+func TestRunCancel(t *testing.T) {
+	jobs := scenarioJobs()[:4]
+	cache := exp.NewCache()
+
+	// Canceled before it starts: nothing simulates.
+	canceled := make(chan struct{})
+	close(canceled)
+	_, err := exp.Run(jobs, exp.WithCache(cache), exp.Cancel(canceled))
+	if !errors.Is(err, exp.ErrCanceled) {
+		t.Fatalf("pre-canceled run error = %v, want ErrCanceled", err)
+	}
+	if got := cache.Simulations(); got != 0 {
+		t.Errorf("pre-canceled run simulated %d jobs, want 0", got)
+	}
+
+	// An open cancel channel changes nothing.
+	open := make(chan struct{})
+	if _, err := exp.Run(jobs, exp.WithCache(cache), exp.Cancel(open)); err != nil {
+		t.Fatalf("run with an open cancel channel: %v", err)
+	}
+	if got := cache.Simulations(); got != len(jobs) {
+		t.Errorf("run simulated %d jobs, want %d", got, len(jobs))
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"icfp/internal/pipeline"
 )
@@ -36,10 +37,18 @@ func (e *SnapshotVersionError) Error() string {
 // the full memoization key (canonical machine and workload specs) plus
 // its result. Simulations are deterministic pure functions of the key,
 // which is what makes reloading them in a later process sound.
+//
+// ElapsedNS records the simulation's wall time. Unlike the result it is
+// not deterministic — it describes the machine that ran the simulation,
+// not the simulation — and exists only to seed dispatch-time cost models
+// (internal/dist): zero means "unmeasured" and is always safe. The field
+// is additive and optional, so schema v2 readers old and new interchange
+// freely (see the versioning rules in docs/ARCHITECTURE.md).
 type CachedResult struct {
-	Machine  string          `json:"machine"`
-	Workload string          `json:"workload"`
-	R        pipeline.Result `json:"result"`
+	Machine   string          `json:"machine"`
+	Workload  string          `json:"workload"`
+	R         pipeline.Result `json:"result"`
+	ElapsedNS int64           `json:"elapsed_ns,omitempty"`
 }
 
 // cacheFile is the on-disk layout of a persisted cache.
@@ -58,7 +67,7 @@ func (c *Cache) Snapshot() []CachedResult {
 	for k, e := range c.entries {
 		select {
 		case <-e.done:
-			out = append(out, CachedResult{Machine: k.Machine, Workload: k.Workload, R: e.res})
+			out = append(out, CachedResult{Machine: k.Machine, Workload: k.Workload, R: e.res, ElapsedNS: int64(e.elapsed)})
 		default:
 		}
 	}
@@ -83,7 +92,7 @@ func (c *Cache) AddResults(rs []CachedResult) {
 		if _, ok := c.entries[k]; ok {
 			continue
 		}
-		e := &entry{done: make(chan struct{}), res: r.R}
+		e := &entry{done: make(chan struct{}), res: r.R, elapsed: time.Duration(r.ElapsedNS)}
 		close(e.done)
 		c.entries[k] = e
 	}

@@ -16,20 +16,11 @@ import (
 // ones.
 func runPlanDistributed(plan []spec.Job, workers []dist.Worker, workerParallel int, cache *exp.Cache, opts dist.Options) error {
 	opts.Parallel = workerParallel
-	if opts.BatchSize <= 0 {
-		// A worker simulates one batch at a time with a pool capped at
-		// the batch size, so batches must be at least as large as the
-		// worker's pool to keep its cores busy; 2× leaves headroom for
-		// uneven key costs while keeping steals reasonably fine-grained.
-		// workerParallel <= 0 means "each worker's GOMAXPROCS", a width
-		// the coordinator cannot see — assume a generously wide host so
-		// big machines aren't starved; work stealing evens out the rest.
-		width := workerParallel
-		if width < 1 {
-			width = 16
-		}
-		opts.BatchSize = max(dist.DefaultBatchSize, 2*width)
-	}
+	// opts.BatchSize stays zero unless a caller pinned it: zero selects
+	// the dispatcher's cost-aware sizing, which floors each batch at the
+	// worker's pool width (so its cores stay busy) and otherwise sizes
+	// by per-key cost estimates — cheap keys batch large, expensive keys
+	// ship alone.
 	return dist.Run(plan, workers, cache, opts)
 }
 

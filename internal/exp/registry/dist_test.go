@@ -2,9 +2,22 @@ package registry_test
 
 import (
 	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
 	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"icfp/internal/dist"
 	"icfp/internal/exp"
@@ -112,5 +125,140 @@ func TestDistributedReportUnknownExperiment(t *testing.T) {
 	_, err := registry.ReportDistributed(&out, []string{"nope"}, tinyParams(), nil, 1, nil, dist.Options{})
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("err = %v, want unknown-experiment", err)
+	}
+}
+
+// genFleetCert writes a throwaway self-signed certificate and key for
+// the elastic-fleet golden test's TLS transports.
+func genFleetCert(t *testing.T) (certFile, keyFile string) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "expd-test"},
+		DNSNames:              []string{"localhost"},
+		IPAddresses:           []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	certFile = filepath.Join(dir, "cert.pem")
+	keyFile = filepath.Join(dir, "key.pem")
+	if err := os.WriteFile(certFile, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyFile, pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return certFile, keyFile
+}
+
+// TestElasticTLSFleetMatchesGolden is the acceptance pin for elastic,
+// authenticated fleets: the full -all report, rendered from results
+// simulated by workers that dial a TLS+token coordinator listener over
+// real TCP — one joining only after dispatch has started, another
+// leaving mid-run with a goodbye — is byte-identical to the committed
+// single-process golden.
+func TestElasticTLSFleetMatchesGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("..", "..", "..", "cmd", "experiments", "testdata", "golden_all_tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	certFile, keyFile := genFleetCert(t)
+	acceptSec := dist.Security{CertFile: certFile, KeyFile: keyFile, Token: "fleet-secret"}
+	dialSec := dist.Security{CAFile: certFile, Token: "fleet-secret"}
+
+	// The coordinator's -accept-workers listener, exactly as cmd/expd
+	// wires it: authenticate, read the register frame, feed the fleet.
+	ln, err := acceptSec.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	join := make(chan dist.Worker)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				sc, err := acceptSec.Secure(c)
+				if err != nil {
+					t.Errorf("accept: %v", err)
+					return
+				}
+				w, err := dist.AcceptWorker(sc, c.RemoteAddr().String())
+				if err != nil {
+					t.Errorf("accept: %v", err)
+					return
+				}
+				join <- w
+			}(conn)
+		}
+	}()
+
+	// Worker wA dials in first; after its fourth simulation it leaves
+	// the fleet mid-run via the goodbye path. Its first simulation gates
+	// worker wB's dial, so wB provably joins after dispatch started and
+	// finishes the run (including wA's handed-back remainder).
+	leaveA := make(chan struct{})
+	dialB := make(chan struct{})
+	startWorker := func(name string, opts ...dist.ServeOption) {
+		conn, err := dialSec.Dial(ln.Addr().String())
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			return
+		}
+		defer conn.Close()
+		if err := dist.Register(conn, name); err != nil {
+			t.Errorf("%s: %v", name, err)
+			return
+		}
+		if err := dist.Serve(conn, opts...); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	var aRuns atomic.Int64
+	var closeOnce, leaveOnce sync.Once
+	go startWorker("wA", dist.LeaveOn(leaveA), dist.OnSimulate(func(exp.Key) {
+		switch aRuns.Add(1) {
+		case 1:
+			closeOnce.Do(func() { close(dialB) })
+		case 4:
+			leaveOnce.Do(func() { close(leaveA) })
+		}
+	}))
+	go func() {
+		<-dialB
+		startWorker("wB")
+	}()
+
+	var out bytes.Buffer
+	cache := exp.NewCache()
+	opts := dist.Options{Join: join, Logf: t.Logf}
+	if _, err := registry.ReportDistributed(&out, registry.Names(), tinyParams(), nil, 1, cache, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Errorf("elastic TLS fleet output differs from the committed golden (%d vs %d bytes)", out.Len(), len(golden))
+	}
+	if cache.Simulations() != 0 {
+		t.Errorf("coordinator simulated %d times; all simulation must happen on the fleet", cache.Simulations())
 	}
 }

@@ -1,0 +1,64 @@
+package spec_test
+
+import (
+	"fmt"
+
+	"icfp/internal/spec"
+)
+
+// ExampleSuite shows the whole authoring loop: build a suite as plain
+// data, marshal it to the JSON that `cmd/experiments -spec` runs, and
+// round-trip it back. The same document can equally be written by hand —
+// experiments are data, not code.
+func ExampleSuite() {
+	s := spec.Suite{
+		Name:   "icfp-vs-inorder",
+		Desc:   "iCFP speedup on a pointer-chasing benchmark",
+		N:      40_000,
+		Warm:   10_000,
+		Render: &spec.Render{Kind: spec.RenderSpeedup, Baseline: "base"},
+		Jobs: []spec.Job{
+			{
+				Name:     "mcf/base",
+				Machine:  spec.Machine{Model: spec.ModelInOrder, Overrides: &spec.Overrides{Warmup: spec.Int(10_000)}},
+				Workload: spec.SPECWorkload("mcf", 50_000),
+			},
+			{
+				Name:     "mcf/icfp",
+				Machine:  spec.Machine{Model: spec.ModelICFP, Overrides: &spec.Overrides{Warmup: spec.Int(10_000)}},
+				Workload: spec.SPECWorkload("mcf", 50_000),
+			},
+		},
+	}
+
+	data, err := s.Marshal()
+	if err != nil {
+		fmt.Println("marshal:", err)
+		return
+	}
+	back, err := spec.UnmarshalSuite(data)
+	if err != nil {
+		fmt.Println("unmarshal:", err)
+		return
+	}
+	fmt.Printf("suite %q: %d jobs, render %s over baseline %q\n",
+		back.Name, len(back.Jobs), back.Render.Kind, back.Render.Baseline)
+	// Output:
+	// suite "icfp-vs-inorder": 2 jobs, render speedup over baseline "base"
+}
+
+// ExampleMachine_Canonical pins the identity story: the canonical
+// encoding is the machine's name everywhere (memoization keys, cache
+// files, the dist wire), and spellings that construct provably identical
+// machines collapse to one encoding — an explicit paper-default policy
+// is the same machine as leaving the field empty.
+func ExampleMachine_Canonical() {
+	defaulted := spec.Machine{Model: spec.ModelICFP}
+	explicit := spec.Machine{Model: spec.ModelICFP, Trigger: spec.TriggerAll, StoreBuffer: spec.SBChained}
+
+	fmt.Println(defaulted.Canonical())
+	fmt.Println(defaulted.Canonical() == explicit.Canonical())
+	// Output:
+	// {"model":"icfp"}
+	// true
+}

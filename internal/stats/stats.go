@@ -1,6 +1,13 @@
 // Package stats provides the measurement utilities behind Table 2 and the
 // §3.2 store-buffer hop claims: memory-level-parallelism trackers computed
 // from miss intervals, and small integer histograms.
+//
+// The MLP tracker follows the paper's measurement convention: overlapping
+// miss intervals are merged and the parallelism of a window is the total
+// miss latency divided by the covered wall time, so a value of 1.0 means
+// fully serialized misses. Histograms are plain counting bins used for
+// hop counts and chain lengths; both types are cheap enough to stay
+// enabled in every simulation.
 package stats
 
 import (
