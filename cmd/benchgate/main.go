@@ -1,10 +1,12 @@
 // Command benchgate is the performance-regression gate: it runs the
 // BenchmarkSimRate suite, parses the per-model measurements (simulated
-// Minst/s and B/op), writes them as a perf-trajectory JSON file, and
-// fails when sim rates regressed more than -max-regress relative to the
-// committed baseline (BENCH_PR2.json).
+// Minst/s, B/op and allocs/op), writes them as a perf-trajectory JSON
+// file, and fails when sim rates or allocation counts regressed more
+// than -max-regress relative to the committed baseline (BENCH_PR6.json;
+// older baselines like BENCH_PR2.json share the format and still load
+// via -baseline).
 //
-//	go run ./cmd/benchgate                 # gate against BENCH_PR2.json
+//	go run ./cmd/benchgate                 # gate against BENCH_PR6.json
 //	go run ./cmd/benchgate -update         # rewrite the baseline in place
 //	go run ./cmd/benchgate -out art.json   # also export the run as an artifact
 //
@@ -19,6 +21,9 @@
 //     since absolute rates on different hardware are incomparable. This
 //     catches uniform slowdowns (e.g. a pessimized shared hierarchy)
 //     that normalization hides.
+//
+// allocs/op is deterministic and hardware-independent, so it is gated
+// directly per model with the same -max-regress threshold.
 //
 // Every baseline model must appear in the run; a model the benchmark no
 // longer reports fails the gate rather than silently going ungated.
@@ -62,11 +67,12 @@ type Trajectory struct {
 }
 
 var (
-	flagBaseline = flag.String("baseline", "BENCH_PR2.json", "committed baseline trajectory file")
+	flagBaseline = flag.String("baseline", "BENCH_PR6.json", "committed baseline trajectory file")
 	flagOut      = flag.String("out", "", "also write this run's trajectory to FILE (CI artifact)")
 	flagUpdate   = flag.Bool("update", false, "rewrite the baseline file from this run instead of gating")
-	flagMaxReg   = flag.Float64("max-regress", 0.20, "maximum tolerated fractional sim-rate regression")
+	flagMaxReg   = flag.Float64("max-regress", 0.20, "maximum tolerated fractional sim-rate or allocs/op regression")
 	flagBench    = flag.String("bench", "^BenchmarkSimRate$", "benchmark pattern to run")
+	flagTime     = flag.String("benchtime", "", "forwarded to go test -benchtime (baseline refreshes want 3s+)")
 )
 
 // benchLine matches one "go test -bench -benchmem" result row with the
@@ -79,7 +85,11 @@ var benchLine = regexp.MustCompile(
 func run() error {
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *flagBench, "-benchmem", ".")
+	args := []string{"test", "-run", "^$", "-bench", *flagBench, "-benchmem"}
+	if *flagTime != "" {
+		args = append(args, "-benchtime", *flagTime)
+	}
+	cmd := exec.Command("go", append(args, ".")...)
 	var out bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = os.Stderr
@@ -208,10 +218,25 @@ func run() error {
 		fmt.Printf("benchgate: absolute gate skipped (run cpu %q, baseline cpu %q); relative gate applied\n", cpu, base.CPU)
 	}
 
-	if failed {
-		return fmt.Errorf("sim-rate regression beyond %.0f%%; if intentional, refresh the baseline with -update", *flagMaxReg*100)
+	// Allocation gate: allocs/op does not depend on the runner's speed,
+	// so every model is gated directly against its baseline count.
+	for _, m := range ms {
+		b, ok := baseline[m.Model]
+		if !ok {
+			continue
+		}
+		limit := float64(b.AllocsOp) * (1 + *flagMaxReg)
+		if float64(m.AllocsOp) > limit {
+			failed = true
+			fmt.Printf("benchgate: FAIL %-10s %d allocs/op > %.0f (baseline %d, +%.0f%% allowed)\n",
+				m.Model, m.AllocsOp, limit, b.AllocsOp, *flagMaxReg*100)
+		}
 	}
-	fmt.Println("benchgate: ok (no sim-rate regression beyond the threshold)")
+
+	if failed {
+		return fmt.Errorf("sim-rate or allocs/op regression beyond %.0f%%; if intentional, refresh the baseline with -update", *flagMaxReg*100)
+	}
+	fmt.Println("benchgate: ok (no sim-rate or allocs/op regression beyond the threshold)")
 	return nil
 }
 

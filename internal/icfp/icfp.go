@@ -56,6 +56,13 @@ func NewWithOptions(cfg pipeline.Config, trig pipeline.AdvanceTrigger, sb SBMode
 // scheduling deadlock rather than a slow workload.
 const watchdogCycles = int64(1) << 36
 
+// strictCycles (test-only) forces the cycle loop to step one cycle at a
+// time instead of skipping ahead to the next known event. Simulated
+// behaviour must be byte-identical either way — the equivalence tests in
+// strict_test.go pin that — so the flag exists purely to exercise the
+// skip-ahead logic against the trivially correct strict loop.
+var strictCycles = false
+
 type mode int
 
 const (
@@ -102,6 +109,17 @@ type run struct {
 	bitNext    int
 	bitPending [8]int
 	pending    []pendingMiss
+	// pendingMin is the earliest return cycle in pending (meaningful only
+	// while pending is non-empty). It lets fireReturns and nextEvent skip
+	// the pending walk on the vast majority of cycles, where no return is
+	// due.
+	pendingMin int64
+	// recheckPass is set by every event that could newly satisfy the
+	// "some active slice entry waits on a returned bit" pass-start
+	// condition (a miss return, a slice append or re-poison, a pass end).
+	// fireReturns only re-evaluates waitingFreeBits while it is set, so
+	// the check is O(changed) instead of per-cycle.
+	recheckPass bool
 
 	// Last poisoned writer of each register (slice entry id), valid while
 	// board.Poison[reg] != 0.
@@ -125,6 +143,12 @@ type run struct {
 	st        staged
 	lastIssue int64
 	stallSSN  uint64 // SBLimited: waiting for this store to drain
+	// stEarliest caches tailEarliest() for the staged instruction; valid
+	// while stEarliestOK. Every write that can move the staged
+	// instruction's issue cycle (scoreboard writebacks, mode transitions,
+	// checkpoint restores) invalidates it via dirtyTail.
+	stEarliest   int64
+	stEarliestOK bool
 
 	cycle    int64
 	finish   int64
@@ -198,25 +222,37 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 }
 
 // loop is the cycle-driven core: each iteration is one cycle (with
-// skip-ahead when nothing can possibly happen).
+// skip-ahead when nothing can possibly happen). Each subsystem call is
+// guarded by the cheapest possible "could it do anything this cycle?"
+// check inline: the loop body runs a couple hundred thousand times per
+// simulated workload, so even a no-op function call per subsystem per
+// cycle is measurable against the in-order baseline.
 func (r *run) loop() {
-	for r.i < r.tr.Len() || !r.slice.Empty() || len(r.pending) > 0 {
+	n := r.tr.Len()
+	for r.i < n || !r.slice.Empty() || len(r.pending) > 0 {
 		if r.cycle > watchdogCycles {
 			panic("icfp: simulation exceeded the watchdog cycle bound (deadlock?)")
 		}
-		r.fireReturns()
+		if (len(r.pending) > 0 && r.pendingMin <= r.cycle) || r.recheckPass {
+			r.fireReturns()
+		}
 		for len(r.ext) > 0 && r.ext[0].Cycle <= r.cycle {
 			r.externalStore(r.ext[0].Addr)
 			r.ext = r.ext[1:]
 		}
-		prog := r.drainStores()
-		if r.rallyStep() {
+		prog := false
+		if r.csb.ssnComplete < r.csb.ssnTail && r.drainStores() {
+			prog = true
+		}
+		if r.passActive && r.rallyStep() {
 			prog = true
 		}
 		if r.tailStep() {
 			prog = true
 		}
-		r.maybeExitAdvance()
+		if r.mode == modeAdvance {
+			r.maybeExitAdvance()
+		}
 		if prog {
 			r.cycle++
 			continue
@@ -228,44 +264,48 @@ func (r *run) loop() {
 	}
 }
 
-// nextEvent finds the earliest cycle at which anything can change.
+// nextEvent finds the earliest cycle at which anything can change, per
+// the pipeline.Horizon contract: every subsystem that can make progress
+// contributes its next known event cycle.
 func (r *run) nextEvent() int64 {
-	next := r.cycle + 1_000_000 // far horizon
-	for _, p := range r.pending {
-		if p.cycle > r.cycle && p.cycle < next {
-			next = p.cycle
-		}
+	if strictCycles {
+		return r.cycle + 1
+	}
+	var h pipeline.Horizon
+	h.Reset(r.cycle)
+	if len(r.pending) > 0 {
+		h.Observe(r.pendingMin)
+	}
+	if r.recheckPass && !r.passActive && !r.slice.Empty() {
+		// A pass-start re-check is queued (an event this iteration, after
+		// fireReturns already ran, may have satisfied the pass condition):
+		// fireReturns must evaluate it next cycle.
+		h.ObserveNext()
 	}
 	if r.passActive {
 		// An active pass processes or skips entries every cycle once its
 		// ready point passes; never skip beyond that.
-		c := r.rallyReadyAt
-		if c <= r.cycle {
-			c = r.cycle + 1
-		}
-		if c < next {
-			next = c
+		if r.rallyReadyAt > r.cycle {
+			h.Observe(r.rallyReadyAt)
+		} else {
+			h.ObserveNext()
 		}
 	}
 	if r.st.valid {
-		e := r.tailEarliest()
-		if e > r.cycle && e < next {
-			next = e
-		}
+		h.Observe(r.cachedTailEarliest())
 	}
-	if r.csb.Live() > 0 {
-		// Drains retry next cycle (cheap; bounded by buffer size).
-		if c := r.cycle + 1; c < next {
-			next = c
-		}
+	if r.csb.CanDrain(r.drainLimit()) {
+		// A drainable head store retries next cycle. A blocked head
+		// (poisoned value, or younger than the outstanding checkpoint)
+		// cannot unblock without a rally writeback, a miss return, or a
+		// mode transition — all of which are covered by the horizons
+		// above — so it contributes no event of its own.
+		h.ObserveNext()
 	}
-	if len(r.ext) > 0 && r.ext[0].Cycle > r.cycle && r.ext[0].Cycle < next {
-		next = r.ext[0].Cycle
+	if len(r.ext) > 0 {
+		h.Observe(r.ext[0].Cycle)
 	}
-	if next <= r.cycle {
-		next = r.cycle + 1
-	}
-	return next
+	return h.Next()
 }
 
 // ---- poison bits and miss returns ----
@@ -276,6 +316,9 @@ func (r *run) allocBit(ret int64) uint8 {
 	b := uint8(r.bitNext % r.nBits)
 	r.bitNext++
 	r.bitPending[b]++
+	if len(r.pending) == 0 || ret < r.pendingMin {
+		r.pendingMin = ret
+	}
 	r.pending = append(r.pending, pendingMiss{cycle: ret, bit: b})
 	return 1 << b
 }
@@ -283,27 +326,41 @@ func (r *run) allocBit(ret int64) uint8 {
 // fireReturns retires pending misses whose data has arrived and starts or
 // extends rally passes.
 func (r *run) fireReturns() {
-	live := r.pending[:0]
-	for _, p := range r.pending {
-		if p.cycle <= r.cycle {
-			r.bitPending[p.bit]--
-			r.passBits |= 1 << p.bit
-			if r.passActive {
-				r.retsDuring = true
+	if len(r.pending) > 0 && r.pendingMin <= r.cycle {
+		live := r.pending[:0]
+		newMin := int64(1)<<62 - 1
+		for _, p := range r.pending {
+			if p.cycle <= r.cycle {
+				r.bitPending[p.bit]--
+				r.passBits |= 1 << p.bit
+				if r.passActive {
+					r.retsDuring = true
+				}
+				r.recheckPass = true
+			} else {
+				live = append(live, p)
+				if p.cycle < newMin {
+					newMin = p.cycle
+				}
 			}
-		} else {
-			live = append(live, p)
 		}
+		r.pending = live
+		r.pendingMin = newMin
 	}
-	r.pending = live
-	if !r.passActive && !r.slice.Empty() {
+	if r.recheckPass && !r.passActive {
 		// A pass must run whenever any active entry waits on a bit whose
 		// miss has returned — including entries that were (re)poisoned
 		// with an already-returned bit after the last pass ended (e.g. a
-		// tail load forwarding from a still-poisoned store).
-		if wb := r.waitingFreeBits(); wb != 0 {
+		// tail load forwarding from a still-poisoned store). When the
+		// check fails, clear the flag so the loop's guard goes quiet: any
+		// event that could change the answer sets it again.
+		if r.slice.Empty() {
+			r.recheckPass = false
+		} else if wb := r.waitingFreeBits(); wb != 0 {
 			r.passBits = wb
 			r.startPass()
+		} else {
+			r.recheckPass = false
 		}
 	}
 }
@@ -334,6 +391,10 @@ func (r *run) endPass() {
 	if r.slice.Empty() {
 		r.sig.Clear()
 	}
+	// Entries the pass left active may already wait on free bits (e.g.
+	// re-poisoned from a store whose miss returned mid-pass): have
+	// fireReturns re-evaluate the pass-start condition once.
+	r.recheckPass = true
 }
 
 // waitingFreeBits returns the union of poison bits that (a) have no
@@ -353,15 +414,19 @@ func (r *run) waitingFreeBits() uint8 {
 
 // ---- store drains ----
 
-// drainStores writes at most one committed store per cycle to the cache.
-// While a checkpoint is outstanding, stores younger than it must stay
-// buffered (they are the squash-recovery state).
-func (r *run) drainStores() bool {
-	limit := r.csb.Tail()
+// drainLimit is the oldest SSN allowed to leave the store buffer: while a
+// checkpoint is outstanding, stores younger than it must stay buffered
+// (they are the squash-recovery state).
+func (r *run) drainLimit() uint64 {
 	if r.mode == modeAdvance {
-		limit = r.ckptSSN
+		return r.ckptSSN
 	}
-	addr, ok := r.csb.DrainNext(limit)
+	return r.csb.Tail()
+}
+
+// drainStores writes at most one committed store per cycle to the cache.
+func (r *run) drainStores() bool {
+	addr, ok := r.csb.DrainNext(r.drainLimit())
 	if !ok {
 		return false
 	}
@@ -386,12 +451,12 @@ func (r *run) rallyStep() bool {
 			r.endPass()
 			return progress
 		}
-		e := r.slice.Get(r.cursor)
-		if e == nil || !e.active {
+		active, poison, present := r.slice.State(r.cursor)
+		if !present || !active {
 			r.cursor++
 			continue // reclaimed or executed: free skip
 		}
-		if e.poison&r.passBits == 0 {
+		if poison&r.passBits == 0 {
 			if r.cfg.NonBlockingRally {
 				// Not un-poisoned by this pass: banked skip. Skips consume
 				// this cycle's skip bandwidth, so they count as progress
@@ -403,7 +468,7 @@ func (r *run) rallyStep() bool {
 			}
 			// Blocking rallies cannot skip: fall through and wait.
 		}
-		if done := r.execSliceEntry(e); done {
+		if done := r.execSliceEntry(r.cursor); done {
 			progress = true
 		}
 		return progress
@@ -411,16 +476,17 @@ func (r *run) rallyStep() bool {
 	return progress
 }
 
-// execSliceEntry attempts to execute one slice entry at the current
-// cycle. It returns true if rally bandwidth was consumed.
-func (r *run) execSliceEntry(e *sliceEntry) bool {
-	in := r.tr.At(e.idx)
+// execSliceEntry attempts to execute the slice entry with the given id
+// at the current cycle. It returns true if rally bandwidth was consumed.
+func (r *run) execSliceEntry(id uint64) bool {
+	m := r.slice.Meta(id)
+	in := r.tr.At(m.idx)
 
 	// Gather register inputs: all slice-internal producers must have
 	// executed; otherwise re-poison with their current wait bits.
 	ready := r.cycle
 	var waitBits uint8
-	for _, s := range e.srcs {
+	for _, s := range m.srcs {
 		if s.kind != srcSlice {
 			continue
 		}
@@ -428,8 +494,8 @@ func (r *run) execSliceEntry(e *sliceEntry) bool {
 			if done > ready {
 				ready = done
 			}
-		} else if p := r.slice.Get(s.prod); p != nil {
-			waitBits |= p.poison
+		} else if _, pp, present := r.slice.State(s.prod); present {
+			waitBits |= pp
 		}
 	}
 	if waitBits != 0 {
@@ -438,7 +504,7 @@ func (r *run) execSliceEntry(e *sliceEntry) bool {
 			r.rallyReadyAt = r.earliestReturn()
 			return false
 		}
-		r.slice.SetPoison(e, waitBits)
+		r.slice.SetPoison(id, waitBits)
 		r.cursor++
 		r.res.RallyInsts++
 		return true
@@ -455,11 +521,11 @@ func (r *run) execSliceEntry(e *sliceEntry) bool {
 	done := r.cycle + 1
 	switch in.Op {
 	case isa.OpLoad:
-		fwd := r.csb.Forward(e.ssn, in.Addr)
+		fwd := r.csb.Forward(m.ssn, in.Addr)
 		switch {
 		case fwd.Found && fwd.Poison != 0:
 			// Memory dependence on a still-poisoned store.
-			r.slice.SetPoison(e, fwd.Poison)
+			r.slice.SetPoison(id, fwd.Poison)
 			r.cursor++
 			return true
 		case fwd.Found:
@@ -470,7 +536,7 @@ func (r *run) execSliceEntry(e *sliceEntry) bool {
 			if acc.Done > r.cycle+int64(r.cfg.DCachePipe)+2 {
 				if r.cfg.NonBlockingRally {
 					// Still (or newly) missing: re-poison and move on.
-					r.slice.SetPoison(e, r.allocBit(acc.Done))
+					r.slice.SetPoison(id, r.allocBit(acc.Done))
 					r.cursor++
 					return true
 				}
@@ -483,12 +549,12 @@ func (r *run) execSliceEntry(e *sliceEntry) bool {
 			}
 		}
 	case isa.OpStore:
-		r.csb.UpdateValue(e.storeSSN, in.Val)
+		r.csb.UpdateValue(m.storeSSN, in.Val)
 	case isa.OpBranch, isa.OpJump, isa.OpCall, isa.OpRet:
 		r.front.Train(in)
 		r.pendingBranches--
-		if !e.predOK {
-			r.squash(e.idx, e.ssn)
+		if !m.predOK {
+			r.squash(m.idx, m.ssn)
 			return true
 		}
 	default:
@@ -500,12 +566,13 @@ func (r *run) execSliceEntry(e *sliceEntry) bool {
 	if in.HasDst() {
 		r.scratch.Ready[in.Dst] = done
 		r.scratch.Poison[in.Dst] = 0
-		if r.board.Seq[in.Dst] == e.seq {
+		if r.board.Seq[in.Dst] == m.seq {
 			r.board.Ready[in.Dst] = done
 			r.board.Poison[in.Dst] = 0
+			r.dirtyTail() // the staged tail may source this register
 		}
 	}
-	r.slice.Deactivate(e.id, done)
+	r.slice.Deactivate(id, done)
 	r.cursor++
 	if done > r.finish {
 		r.finish = done
@@ -516,13 +583,10 @@ func (r *run) execSliceEntry(e *sliceEntry) bool {
 // earliestReturn gives the soonest pending miss return (for blocking
 // rallies and skip-ahead).
 func (r *run) earliestReturn() int64 {
-	next := r.cycle + 1_000_000
-	for _, p := range r.pending {
-		if p.cycle < next {
-			next = p.cycle
-		}
+	if len(r.pending) == 0 {
+		return r.cycle + pipeline.HorizonFar
 	}
-	return next
+	return r.pendingMin
 }
 
 // ---- tail ----
@@ -536,29 +600,43 @@ func (r *run) stage() bool {
 		return false
 	}
 	in := r.tr.At(r.i)
-	r.st = staged{
-		idx:   r.i,
-		in:    in,
-		avail: r.front.Avail(in),
-		valid: true,
-	}
+	r.st.idx = r.i
+	r.st.in = in
+	r.st.avail = r.front.Avail(in)
 	r.st.predTaken = r.front.Predict(in)
+	r.st.valid = true
 	r.i++
+	r.dirtyTail()
 	return true
+}
+
+// dirtyTail invalidates the cached earliest-issue cycle of the staged
+// tail instruction. Every state change that can move that cycle — a
+// scoreboard writeback, a mode transition, a checkpoint restore, a
+// restage — must call it; reads go through cachedTailEarliest.
+func (r *run) dirtyTail() { r.stEarliestOK = false }
+
+// cachedTailEarliest returns tailEarliest(), recomputed only when
+// dirtyTail invalidated it. The tail re-checks its issue cycle every
+// simulated cycle while stalled; the inputs only change on the events
+// above, so the cache makes the per-cycle check O(1).
+func (r *run) cachedTailEarliest() int64 {
+	if !r.stEarliestOK {
+		r.stEarliest = r.tailEarliest()
+		r.stEarliestOK = true
+	}
+	return r.stEarliest
 }
 
 // tailEarliest computes the staged instruction's earliest issue cycle.
 func (r *run) tailEarliest() int64 {
-	e := r.st.avail
+	var g pipeline.Gate
+	g.Reset(r.st.avail)
 	if r.mode == modeNormal || r.board.SrcPoison(r.st.in) == 0 {
-		if v := r.board.SrcReady(r.st.in); v > e {
-			e = v
-		}
+		g.Require(r.board.SrcReady(r.st.in))
 	}
-	if e < r.lastIssue {
-		e = r.lastIssue
-	}
-	return e
+	g.Require(r.lastIssue)
+	return g.At()
 }
 
 // tailStep issues tail instructions into this cycle's remaining slots.
@@ -573,12 +651,15 @@ func (r *run) tailStep() bool {
 	if r.mode == modeAdvance && r.pendingBranches >= maxPendingBranches {
 		return false // confidence throttle: wait for rallies to resolve
 	}
+	if r.st.valid && r.stEarliestOK && r.stEarliest > r.cycle {
+		return false // staged and stalled: the common no-op cycle, no calls
+	}
 	progress := false
 	for {
 		if !r.stage() {
 			return progress
 		}
-		if r.tailEarliest() > r.cycle {
+		if r.cachedTailEarliest() > r.cycle {
 			return progress
 		}
 		if r.stallSSN != 0 {
@@ -740,6 +821,9 @@ func (r *run) poisonLoad(idx int, inherited uint8, ret int64) loadOutcome {
 		r.stallAdvance(idx, &r.res.SliceOverflows)
 		return loadStall
 	}
+	// The new entry may wait on an already-returned bit (poison inherited
+	// from a store whose miss came back): re-check the pass condition.
+	r.recheckPass = true
 	r.board.WriteDst(in, r.cycle+1, vec, e.seq)
 	if in.HasDst() {
 		r.lastWriter[in.Dst] = id
@@ -762,8 +846,20 @@ func (r *run) undoLoadPoison(inherited, vec uint8) {
 		}
 	}
 	if n := len(r.pending); n > 0 {
+		dropped := r.pending[n-1]
 		r.pending = r.pending[:n-1]
+		if dropped.cycle == r.pendingMin {
+			r.pendingMin = 1<<62 - 1
+			for _, p := range r.pending {
+				if p.cycle < r.pendingMin {
+					r.pendingMin = p.cycle
+				}
+			}
+		}
 	}
+	// The undone allocation may have freed a bit that slice entries wait
+	// on; let fireReturns re-check.
+	r.recheckPass = true
 }
 
 // sliceOut diverts a poisoned (miss-dependent) non-load-miss instruction
@@ -804,6 +900,8 @@ func (r *run) sliceOut() bool {
 		r.stallAdvance(r.st.idx, &r.res.SliceOverflows)
 		return false
 	}
+	// As in poisonLoad: the entry's poison bits may already be free.
+	r.recheckPass = true
 	r.board.WriteDst(in, r.cycle+1, e.poison, e.seq)
 	if in.HasDst() {
 		r.lastWriter[in.Dst] = id
@@ -857,6 +955,7 @@ func (r *run) enterAdvance(idx int) {
 		r.board.Seq[k] = 0
 	}
 	r.scratch = pipeline.Scoreboard{}
+	r.dirtyTail() // tailEarliest gates on the mode
 }
 
 // maybeExitAdvance returns to normal mode once the slice buffer is empty,
@@ -868,6 +967,7 @@ func (r *run) maybeExitAdvance() {
 	if r.slice.Empty() && len(r.pending) == 0 && !r.board.AnyPoisoned() {
 		r.mode = modeNormal
 		r.sig.Clear()
+		r.dirtyTail() // tailEarliest gates on the mode
 	}
 }
 
@@ -909,6 +1009,7 @@ func (r *run) squash(branchIdx int, branchSSN uint64) {
 	r.res.BranchMispredicts++
 	r.i = branchIdx
 	r.st.valid = false
+	r.dirtyTail()
 	r.lastIssue = restoreAt
 	r.mode = modeNormal
 	r.stallSSN = 0

@@ -64,8 +64,8 @@ func TestSliceSetPoison(t *testing.T) {
 	if got := s.ActivePoison(); got != 0b01 {
 		t.Fatalf("ActivePoison = %#b, want 0b01", got)
 	}
-	s.SetPoison(s.Get(a), 0b10)
-	if s.Get(a).poison != 0b10 {
+	s.SetPoison(a, 0b10)
+	if _, p, ok := s.State(a); !ok || p != 0b10 {
 		t.Fatal("SetPoison must replace the vector")
 	}
 	if got := s.ActivePoison(); got != 0b10 {

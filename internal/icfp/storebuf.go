@@ -44,21 +44,27 @@ func (m SBMode) String() string {
 	return "?"
 }
 
-type csbEntry struct {
-	addr   uint64
-	val    uint64
-	poison uint8
-	link   uint64 // SSN of the next-youngest same-hash store (0 = none)
-	ssn    uint64
-	idx    int // trace index of the store (squash recovery)
-}
-
 // ChainedStoreBuffer implements the §3.2 store buffer. SSNs start at 1 so
 // that 0 can serve as a null link.
+//
+// Entry storage is struct-of-arrays, split by access pattern: a
+// forwarding lookup walks the hash chain reading only addr/ssn/link
+// (the hot arrays), while val/poison/idx (the cold arrays) are touched
+// only on an actual hit, drain, or squash. The hot walk therefore pulls
+// three tightly packed arrays through the cache instead of one sparse
+// 48-byte record per hop.
 type ChainedStoreBuffer struct {
-	mode    SBMode
-	entries []csbEntry
-	chain   []uint64 // chain table: hash -> youngest SSN
+	mode SBMode
+	// Hot per-slot arrays (chain walks): indexed by SSN mod capacity.
+	addr []uint64
+	ssn  []uint64
+	link []uint64 // SSN of the next-youngest same-hash store (0 = none)
+	// Cold per-slot arrays (hit/drain/squash only).
+	val    []uint64
+	poison []uint8
+	idx    []int // trace index of the store (squash recovery)
+
+	chain []uint64 // chain table: hash -> youngest SSN
 
 	ssnTail     uint64 // SSN of the youngest inserted store
 	ssnComplete uint64 // SSN of the youngest store written to the cache
@@ -73,10 +79,15 @@ type ChainedStoreBuffer struct {
 // table size, and design mode.
 func NewChainedStoreBuffer(entries, chainEntries int, mode SBMode) *ChainedStoreBuffer {
 	return &ChainedStoreBuffer{
-		mode:    mode,
-		entries: make([]csbEntry, entries),
-		chain:   make([]uint64, chainEntries),
-		Hops:    stats.NewHistogram(32),
+		mode:   mode,
+		addr:   make([]uint64, entries),
+		ssn:    make([]uint64, entries),
+		link:   make([]uint64, entries),
+		val:    make([]uint64, entries),
+		poison: make([]uint8, entries),
+		idx:    make([]int, entries),
+		chain:  make([]uint64, chainEntries),
+		Hops:   stats.NewHistogram(32),
 	}
 }
 
@@ -84,13 +95,14 @@ func (b *ChainedStoreBuffer) hash(addr uint64) int {
 	return int((addr >> 3) % uint64(len(b.chain)))
 }
 
-func (b *ChainedStoreBuffer) slot(ssn uint64) *csbEntry {
-	return &b.entries[ssn%uint64(len(b.entries))]
+// slot maps an SSN to its ring position in the per-slot arrays.
+func (b *ChainedStoreBuffer) slot(ssn uint64) int {
+	return int(ssn % uint64(len(b.ssn)))
 }
 
 // Full reports whether no entry is free.
 func (b *ChainedStoreBuffer) Full() bool {
-	return b.ssnTail-b.ssnComplete >= uint64(len(b.entries))
+	return b.ssnTail-b.ssnComplete >= uint64(len(b.ssn))
 }
 
 // Live returns the number of not-yet-drained stores.
@@ -111,7 +123,13 @@ func (b *ChainedStoreBuffer) Insert(addr, val uint64, poison uint8, idx int) (ss
 	b.ssnTail++
 	ssn = b.ssnTail
 	h := b.hash(addr)
-	*b.slot(ssn) = csbEntry{addr: addr, val: val, poison: poison, link: b.chain[h], ssn: ssn, idx: idx}
+	p := b.slot(ssn)
+	b.addr[p] = addr
+	b.ssn[p] = ssn
+	b.link[p] = b.chain[h]
+	b.val[p] = val
+	b.poison[p] = poison
+	b.idx[p] = idx
 	b.chain[h] = ssn
 	return ssn, true
 }
@@ -122,9 +140,9 @@ func (b *ChainedStoreBuffer) Insert(addr, val uint64, poison uint8, idx int) (ss
 // otherwise never receive its value and would block drains forever.
 func (b *ChainedStoreBuffer) OldestPoisoned(limit uint64) (ssn uint64, idx int, ok bool) {
 	for s := b.ssnComplete + 1; s <= b.ssnTail && s <= limit; s++ {
-		e := b.slot(s)
-		if e.ssn == s && e.poison != 0 {
-			return s, e.idx, true
+		p := b.slot(s)
+		if b.ssn[p] == s && b.poison[p] != 0 {
+			return s, b.idx[p], true
 		}
 	}
 	return 0, 0, false
@@ -133,10 +151,10 @@ func (b *ChainedStoreBuffer) OldestPoisoned(limit uint64) (ssn uint64, idx int, 
 // UpdateValue fills a previously poisoned store's value (rally execution
 // of a miss-dependent store) and clears its poison, unblocking drains.
 func (b *ChainedStoreBuffer) UpdateValue(ssn uint64, val uint64) {
-	e := b.slot(ssn)
-	if e.ssn == ssn {
-		e.val = val
-		e.poison = 0
+	p := b.slot(ssn)
+	if b.ssn[p] == ssn {
+		b.val[p] = val
+		b.poison[p] = 0
 	}
 }
 
@@ -168,17 +186,17 @@ func (b *ChainedStoreBuffer) forwardChained(loadSSN uint64, addr uint64) Forward
 	ssn := b.chain[b.hash(addr)]
 	visits := 0
 	for ssn > b.ssnComplete {
-		e := b.slot(ssn)
-		if e.ssn != ssn {
+		p := b.slot(ssn)
+		if b.ssn[p] != ssn {
 			break // overwritten slot: the chain is stale past here
 		}
 		visits++
-		if e.addr == addr && ssn <= loadSSN {
+		if b.addr[p] == addr && ssn <= loadSSN {
 			b.Forwards++
 			b.Hops.Add(visits - 1)
-			return ForwardResult{Found: true, Val: e.val, Poison: e.poison, Hops: visits - 1}
+			return ForwardResult{Found: true, Val: b.val[p], Poison: b.poison[p], Hops: visits - 1}
 		}
-		ssn = e.link
+		ssn = b.link[p]
 	}
 	if visits > 0 {
 		b.Hops.Add(visits - 1)
@@ -191,19 +209,18 @@ func (b *ChainedStoreBuffer) forwardChained(loadSSN uint64, addr uint64) Forward
 func (b *ChainedStoreBuffer) forwardIdeal(loadSSN uint64, addr uint64) ForwardResult {
 	b.Hops.Add(0)
 	best := uint64(0)
-	var hit *csbEntry
-	for i := range b.entries {
-		e := &b.entries[i]
-		if e.ssn > b.ssnComplete && e.ssn <= loadSSN && e.addr == addr && e.ssn > best {
-			best = e.ssn
-			hit = e
+	hit := -1
+	for p := range b.ssn {
+		if b.ssn[p] > b.ssnComplete && b.ssn[p] <= loadSSN && b.addr[p] == addr && b.ssn[p] > best {
+			best = b.ssn[p]
+			hit = p
 		}
 	}
-	if hit == nil {
+	if hit < 0 {
 		return ForwardResult{}
 	}
 	b.Forwards++
-	return ForwardResult{Found: true, Val: hit.val, Poison: hit.poison}
+	return ForwardResult{Found: true, Val: b.val[hit], Poison: b.poison[hit]}
 }
 
 func (b *ChainedStoreBuffer) forwardLimited(loadSSN uint64, addr uint64) ForwardResult {
@@ -212,17 +229,33 @@ func (b *ChainedStoreBuffer) forwardLimited(loadSSN uint64, addr uint64) Forward
 	if ssn <= b.ssnComplete {
 		return ForwardResult{} // chain empty: value comes from the cache
 	}
-	e := b.slot(ssn)
-	if e.ssn != ssn {
+	p := b.slot(ssn)
+	if b.ssn[p] != ssn {
 		return ForwardResult{}
 	}
-	if e.addr == addr && ssn <= loadSSN {
+	if b.addr[p] == addr && ssn <= loadSSN {
 		b.Forwards++
-		return ForwardResult{Found: true, Val: e.val, Poison: e.poison}
+		return ForwardResult{Found: true, Val: b.val[p], Poison: b.poison[p]}
 	}
 	// Hash collision (or a younger same-hash store): no chain to follow —
 	// the pipeline stalls until the head store drains.
 	return ForwardResult{StallSSN: ssn}
+}
+
+// CanDrain reports whether DrainNext(limit) would succeed: the oldest
+// live store exists, is poison-free, and has SSN <= limit. It lets the
+// cycle loop's skip-ahead ask "can the store buffer make progress next
+// cycle?" without mutating anything.
+func (b *ChainedStoreBuffer) CanDrain(limit uint64) bool {
+	if b.ssnComplete >= b.ssnTail {
+		return false
+	}
+	next := b.ssnComplete + 1
+	if next > limit {
+		return false
+	}
+	p := b.slot(next)
+	return b.ssn[p] == next && b.poison[p] == 0
 }
 
 // DrainNext drains the oldest store to the cache if it is drainable: it
@@ -238,12 +271,12 @@ func (b *ChainedStoreBuffer) DrainNext(limit uint64) (addr uint64, ok bool) {
 	if next > limit {
 		return 0, false
 	}
-	e := b.slot(next)
-	if e.ssn != next || e.poison != 0 {
+	p := b.slot(next)
+	if b.ssn[p] != next || b.poison[p] != 0 {
 		return 0, false
 	}
 	b.ssnComplete = next
-	return e.addr, true
+	return b.addr[p], true
 }
 
 // SquashTo rolls the buffer back so that ssnTail = ssn, dropping all
@@ -252,9 +285,10 @@ func (b *ChainedStoreBuffer) DrainNext(limit uint64) (addr uint64, ok bool) {
 // the rebuild cost is irrelevant.
 func (b *ChainedStoreBuffer) SquashTo(ssn uint64) {
 	for s := ssn + 1; s <= b.ssnTail; s++ {
-		e := b.slot(s)
-		if e.ssn == s {
-			*e = csbEntry{}
+		p := b.slot(s)
+		if b.ssn[p] == s {
+			b.addr[p], b.ssn[p], b.link[p] = 0, 0, 0
+			b.val[p], b.poison[p], b.idx[p] = 0, 0, 0
 		}
 	}
 	b.ssnTail = ssn
@@ -262,12 +296,12 @@ func (b *ChainedStoreBuffer) SquashTo(ssn uint64) {
 		b.chain[i] = 0
 	}
 	for s := b.ssnComplete + 1; s <= b.ssnTail; s++ {
-		e := b.slot(s)
-		if e.ssn != s {
+		p := b.slot(s)
+		if b.ssn[p] != s {
 			continue
 		}
-		h := b.hash(e.addr)
-		e.link = b.chain[h]
+		h := b.hash(b.addr[p])
+		b.link[p] = b.chain[h]
 		b.chain[h] = s
 	}
 }

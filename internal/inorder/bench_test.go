@@ -1,0 +1,31 @@
+package inorder
+
+// Allocation audit for the baseline core: the per-instruction path must
+// not grow any slice or map as the trace lengthens. The two workload
+// sizes would diverge in allocs/op if any per-instruction append crept
+// in; run with
+//
+//	go test -run '^$' -bench BenchmarkRunAllocs -benchmem ./internal/inorder/
+
+import (
+	"fmt"
+	"testing"
+
+	"icfp/internal/pipeline"
+	"icfp/internal/workload"
+)
+
+func BenchmarkRunAllocs(b *testing.B) {
+	for _, n := range []int{4000, 16000} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			cfg := pipeline.DefaultConfig()
+			cfg.WarmupInsts = 1000
+			w := workload.SPEC("equake", n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				New(cfg).Run(w)
+			}
+		})
+	}
+}

@@ -1,0 +1,32 @@
+package ooo
+
+// Allocation audit for the out-of-order reference core, mirroring the
+// in-order one: allocs/op must not scale with trace length (no
+// per-instruction slice or map growth). The ports scheduler is the one
+// structure that could silently grow; its fixed sliding ring keeps it
+// allocation-free regardless of run length, which this benchmark pins
+// by comparing two trace sizes. Run with
+//
+//	go test -run '^$' -bench BenchmarkRunAllocs -benchmem ./internal/ooo/
+
+import (
+	"fmt"
+	"testing"
+
+	"icfp/internal/workload"
+)
+
+func BenchmarkRunAllocs(b *testing.B) {
+	for _, n := range []int{4000, 16000} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.WarmupInsts = 1000
+			w := workload.SPEC("equake", n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				New(cfg).Run(w)
+			}
+		})
+	}
+}

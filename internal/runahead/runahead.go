@@ -24,9 +24,18 @@ import (
 
 // Machine is a Runahead (or, with the result buffer enabled, Multipass)
 // pipeline.
+//
+// A Machine may be reused for any number of sequential Run calls — the
+// allocation-heavy run scratch (the runahead cache and the Multipass
+// result-buffer marks) is retained across calls — but it must not be
+// shared between goroutines: concurrent Run calls race on that scratch.
 type Machine struct {
 	cfg       pipeline.Config
 	multipass bool
+
+	// Run scratch, reused across Run calls.
+	rc      *pipeline.RunaheadCache
+	resMark []bool
 }
 
 // New returns a Runahead machine. Unless the caller chose otherwise, the
@@ -43,6 +52,14 @@ func NewMultipass(cfg pipeline.Config) *Machine {
 	return &Machine{cfg: cfg, multipass: true}
 }
 
+// strictCycles (test-only) forces slot allocation to step one cycle at a
+// time (SlotAlloc.TakeStrict) instead of jumping straight to the next
+// fitting cycle. Simulated behaviour must be identical either way — the
+// equivalence tests in strict_test.go pin that — so the flag exists
+// purely to exercise the skip-ahead against the trivially correct strict
+// walk.
+var strictCycles = false
+
 // run bundles per-run state.
 type run struct {
 	cfg   *pipeline.Config
@@ -55,9 +72,15 @@ type run struct {
 	board pipeline.Scoreboard
 	rc    *pipeline.RunaheadCache
 
-	// Multipass result buffer: trace indices whose results were computed
-	// during an advance pass and remain valid.
-	results map[int]struct{}
+	// Multipass result buffer: resMark[j] is set while trace index j holds
+	// a result computed during an advance pass that remains valid, and
+	// resLive counts set marks (bounded by cfg.ResultBufEntries). A mark
+	// array replaces the obvious map: every marked index lies ahead of the
+	// normal-mode cursor and is consumed exactly once when the cursor
+	// passes it, so the array is self-cleaning by the end of a run and the
+	// pass loop allocates nothing.
+	resMark []bool
+	resLive int
 
 	lastIssue  int64
 	finish     int64
@@ -78,9 +101,17 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 	r.front = pipeline.NewFrontend(&cfg, r.hier, pred)
 	r.slots = pipeline.NewSlotAlloc(&cfg)
 	r.sb = pipeline.NewStoreBuffer(cfg.StoreBufEntries, r.hier)
-	r.rc = pipeline.NewRunaheadCache(cfg.RunaheadCache)
+	if m.rc == nil {
+		m.rc = pipeline.NewRunaheadCache(cfg.RunaheadCache)
+	}
+	m.rc.Clear()
+	m.rc.Evictions = 0
+	r.rc = m.rc
 	if m.multipass {
-		r.results = make(map[int]struct{})
+		if len(m.resMark) < r.tr.Len() {
+			m.resMark = make([]bool, r.tr.Len())
+		}
+		r.resMark = m.resMark
 	}
 
 	warm := cfg.WarmupInsts
@@ -99,6 +130,13 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 
 	for i := warm; i < r.tr.Len(); i++ {
 		r.step(i)
+	}
+	if r.mp && r.resLive != 0 {
+		// The normal-mode cursor passes every marked index, so the mark
+		// array is clean here; clear defensively anyway so a future logic
+		// change cannot leak stale results into the next Run on this
+		// Machine.
+		clear(r.resMark)
 	}
 
 	insts := int64(r.tr.Len() - warm)
@@ -130,32 +168,38 @@ func (r *run) triggered(level mem.Level) bool {
 	return false
 }
 
+// take allocates an issue slot, via the strict cycle walk when the
+// equivalence tests ask for it.
+func (r *run) take(earliest int64, op isa.Op) int64 {
+	if strictCycles {
+		return r.slots.TakeStrict(earliest, op)
+	}
+	return r.slots.Take(earliest, op)
+}
+
 // step processes one normal-mode instruction; on a triggering miss it
 // executes the whole advance episode inline before returning.
 func (r *run) step(i int) {
 	in := r.tr.At(i)
-	earliest := r.front.Avail(in)
-	if v := r.board.SrcReady(in); v > earliest {
-		earliest = v
-	}
-	if earliest < r.lastIssue {
-		earliest = r.lastIssue
-	}
+	var g pipeline.Gate
+	g.Reset(r.front.Avail(in))
+	g.Require(r.board.SrcReady(in))
+	g.Require(r.lastIssue)
+	earliest := g.At()
 	predTaken := r.front.Predict(in)
 	if in.Op == isa.OpStore {
 		earliest = r.sb.FullUntil(earliest)
 	}
-	t := r.slots.Take(earliest, in.Op)
+	t := r.take(earliest, in.Op)
 	r.lastIssue = t
 
 	resHit := false
-	if r.mp {
-		if _, ok := r.results[i]; ok {
-			// Multipass: this instruction's result was computed during an
-			// advance pass; reuse it to break the dependence.
-			delete(r.results, i)
-			resHit = true
-		}
+	if r.mp && r.resMark[i] {
+		// Multipass: this instruction's result was computed during an
+		// advance pass; reuse it to break the dependence.
+		r.resMark[i] = false
+		r.resLive--
+		resHit = true
 	}
 
 	var done int64
@@ -222,20 +266,18 @@ func (r *run) advance(i int, detect, ret int64) {
 	diverged := false
 	for j < r.tr.Len() && !diverged {
 		adv := r.tr.At(j)
-		earliest := r.front.Avail(adv)
+		var g pipeline.Gate
+		g.Reset(r.front.Avail(adv))
 		poison := r.board.SrcPoison(adv)
 		if poison == 0 {
-			if v := r.board.SrcReady(adv); v > earliest {
-				earliest = v
-			}
+			g.Require(r.board.SrcReady(adv))
 		}
-		if earliest < last {
-			earliest = last
-		}
+		g.Require(last)
+		earliest := g.At()
 		if r.slots.Peek(earliest, adv.Op) >= ret {
 			break // the triggering miss is back; stop advancing
 		}
-		t := r.slots.Take(earliest, adv.Op)
+		t := r.take(earliest, adv.Op)
 		last = t
 		r.res.AdvanceInsts++
 
@@ -284,8 +326,9 @@ func (r *run) advance(i int, detect, ret int64) {
 			}
 		}
 		r.board.WriteDst(adv, done, poison, uint64(j))
-		if r.mp && poison == 0 && len(r.results) < r.cfg.ResultBufEntries {
-			r.results[j] = struct{}{}
+		if r.mp && poison == 0 && r.resLive < r.cfg.ResultBufEntries && !r.resMark[j] {
+			r.resMark[j] = true
+			r.resLive++
 		}
 		j++
 	}

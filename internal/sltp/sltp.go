@@ -24,8 +24,17 @@ import (
 )
 
 // Machine is an SLTP pipeline.
+//
+// A Machine may be reused for sequential Run calls — episode scratch (the
+// slice, SRL, and advance-store forwarding table) is retained across
+// calls — but concurrent Run calls on one Machine race on that scratch.
 type Machine struct {
 	cfg pipeline.Config
+
+	// Run scratch, reused across Run calls.
+	slice []sliceEntry
+	srl   []srlEntry
+	spec  map[uint64]specVal
 }
 
 // New returns an SLTP machine. Its paper configuration advances under L2
@@ -72,6 +81,12 @@ type specVal struct {
 	prod   int
 }
 
+// strictCycles (test-only) forces slot allocation to step one cycle at a
+// time (SlotAlloc.TakeStrict) instead of jumping straight to the next
+// fitting cycle. Simulated behaviour must be identical either way — the
+// equivalence tests in strict_test.go pin that.
+var strictCycles = false
+
 type run struct {
 	cfg   *pipeline.Config
 	tr    *isa.Trace
@@ -99,7 +114,18 @@ type run struct {
 // Run simulates the workload to completion.
 func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 	cfg := m.cfg
-	r := &run{cfg: &cfg, tr: w.Trace}
+	if m.slice == nil {
+		m.slice = make([]sliceEntry, 0, cfg.SliceEntries)
+		m.srl = make([]srlEntry, 0, cfg.SRLEntries)
+		m.spec = make(map[uint64]specVal, cfg.SRLEntries)
+	}
+	r := &run{cfg: &cfg, tr: w.Trace, slice: m.slice[:0], srl: m.srl[:0], spec: m.spec}
+	clear(r.spec)
+	defer func() {
+		// Episode scratch may have grown (the SRL is unbounded by design);
+		// hand the larger backing back to the Machine for the next Run.
+		m.slice, m.srl = r.slice[:0], r.srl[:0]
+	}()
 	r.hier = mem.New(cfg.Hier)
 	if w.Prewarm != nil {
 		w.Prewarm(r.hier)
@@ -145,22 +171,29 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 	return res
 }
 
+// take allocates an issue slot, via the strict cycle walk when the
+// equivalence tests ask for it.
+func (r *run) take(earliest int64, op isa.Op) int64 {
+	if strictCycles {
+		return r.slots.TakeStrict(earliest, op)
+	}
+	return r.slots.Take(earliest, op)
+}
+
 // step processes the instruction at i in normal mode and returns the next
 // index (which rewinds on a squash).
 func (r *run) step(i int) int {
 	in := r.tr.At(i)
-	earliest := r.front.Avail(in)
-	if v := r.board.SrcReady(in); v > earliest {
-		earliest = v
-	}
-	if earliest < r.lastIssue {
-		earliest = r.lastIssue
-	}
+	var g pipeline.Gate
+	g.Reset(r.front.Avail(in))
+	g.Require(r.board.SrcReady(in))
+	g.Require(r.lastIssue)
+	earliest := g.At()
 	predTaken := r.front.Predict(in)
 	if in.Op == isa.OpStore {
 		earliest = r.sb.FullUntil(earliest)
 	}
-	t := r.slots.Take(earliest, in.Op)
+	t := r.take(earliest, in.Op)
 	r.lastIssue = t
 
 	var done int64
@@ -251,7 +284,7 @@ func (r *run) advance(i int, t, ret int64) int {
 	r.seqCtr = 0
 	r.slice = r.slice[:0]
 	r.srl = r.srl[:0]
-	r.spec = make(map[uint64]specVal)
+	clear(r.spec)
 	for k := range r.lastWriter {
 		r.lastWriter[k] = -1
 	}
@@ -265,20 +298,18 @@ func (r *run) advance(i int, t, ret int64) int {
 	halted := false
 	for j < r.tr.Len() && !halted {
 		adv := r.tr.At(j)
-		earliest := r.front.Avail(adv)
+		var g pipeline.Gate
+		g.Reset(r.front.Avail(adv))
 		poisoned := r.board.SrcPoison(adv) != 0
 		if !poisoned {
-			if v := r.board.SrcReady(adv); v > earliest {
-				earliest = v
-			}
+			g.Require(r.board.SrcReady(adv))
 		}
-		if earliest < last {
-			earliest = last
-		}
+		g.Require(last)
+		earliest := g.At()
 		if r.slots.Peek(earliest, adv.Op) >= ret {
 			break // the triggering miss is back: rally
 		}
-		tt := r.slots.Take(earliest, adv.Op)
+		tt := r.take(earliest, adv.Op)
 		last = tt
 		predTaken := r.front.Predict(adv)
 

@@ -7,8 +7,9 @@
 //	go test -run '^$' -bench BenchmarkSimRate -benchmem
 //
 // cmd/benchgate runs this suite, exports the measurements as a
-// perf-trajectory JSON (BENCH_PR2.json holds the committed baseline), and
-// gates CI on sim-rate regressions. See README.md "Performance".
+// perf-trajectory JSON (BENCH_PR6.json holds the committed baseline), and
+// gates CI on sim-rate and allocs/op regressions. See README.md
+// "Performance".
 package repro
 
 import (
