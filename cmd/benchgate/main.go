@@ -25,6 +25,15 @@
 // allocs/op is deterministic and hardware-independent, so it is gated
 // directly per model with the same -max-regress threshold.
 //
+// The run also includes BenchmarkSampledRate, whose "errpct" metric is
+// each model's CPI error under interval sampling versus the full run of
+// the same trace. Simulation and window placement are deterministic, so
+// the error is a stable per-model number: it lands in the trajectory's
+// "sampled" section as sampled_error and is gated like a perf number —
+// an accuracy regression beyond -max-regress (plus a small absolute
+// floor for near-zero baselines) fails CI. Baselines without a sampled
+// section (pre-sampling trajectories) skip this gate.
+//
 // Every baseline model must appear in the run; a model the benchmark no
 // longer reports fails the gate rather than silently going ungated.
 // Refresh the baseline with -update after intentional perf changes or a
@@ -54,16 +63,26 @@ type Measurement struct {
 	Iterations int64   `json:"iterations"`
 }
 
+// SampledMeasurement is one model's sampled-mode result: the effective
+// covered-trace rate (informational) and the deterministic CPI error of
+// the sampled estimate versus the full run, in percent (gated).
+type SampledMeasurement struct {
+	Model        string  `json:"model"`
+	MinstPerS    float64 `json:"minst_per_s"`
+	SampledError float64 `json:"sampled_error"`
+}
+
 // Trajectory is the on-disk layout of the perf-trajectory file. History
 // carries headline wall-clock numbers of past optimization PRs so the
 // trend survives baseline refreshes; Benchmarks is the gated baseline;
 // CPU records the hardware the rates were measured on (absolute rates
 // are only compared between identical CPU strings).
 type Trajectory struct {
-	Note       string            `json:"note,omitempty"`
-	History    map[string]string `json:"history,omitempty"`
-	CPU        string            `json:"cpu,omitempty"`
-	Benchmarks []Measurement     `json:"benchmarks"`
+	Note       string               `json:"note,omitempty"`
+	History    map[string]string    `json:"history,omitempty"`
+	CPU        string               `json:"cpu,omitempty"`
+	Benchmarks []Measurement        `json:"benchmarks"`
+	Sampled    []SampledMeasurement `json:"sampled,omitempty"`
 }
 
 var (
@@ -71,7 +90,7 @@ var (
 	flagOut      = flag.String("out", "", "also write this run's trajectory to FILE (CI artifact)")
 	flagUpdate   = flag.Bool("update", false, "rewrite the baseline file from this run instead of gating")
 	flagMaxReg   = flag.Float64("max-regress", 0.20, "maximum tolerated fractional sim-rate or allocs/op regression")
-	flagBench    = flag.String("bench", "^BenchmarkSimRate$", "benchmark pattern to run")
+	flagBench    = flag.String("bench", "^(BenchmarkSimRate|BenchmarkSampledRate)$", "benchmark pattern to run")
 	flagTime     = flag.String("benchtime", "", "forwarded to go test -benchtime (baseline refreshes want 3s+)")
 )
 
@@ -81,6 +100,13 @@ var (
 //	BenchmarkSimRate/in-order-4  147  7601456 ns/op  19.74 Minst/s  570992 B/op  114 allocs/op
 var benchLine = regexp.MustCompile(
 	`^BenchmarkSimRate/(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op\s+([\d.]+) Minst/s\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+// sampledLine matches one BenchmarkSampledRate row, which carries the
+// additional deterministic "errpct" accuracy metric, e.g.:
+//
+//	BenchmarkSampledRate/iCFP-4  36  33426680 ns/op  91.25 Minst/s  1.113 errpct  4460280 B/op  1259 allocs/op
+var sampledLine = regexp.MustCompile(
+	`^BenchmarkSampledRate/(\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op\s+([\d.eE+-]+) Minst/s\s+([\d.eE+-]+) errpct`)
 
 func run() error {
 	flag.Parse()
@@ -99,11 +125,18 @@ func run() error {
 	}
 
 	var ms []Measurement
+	var sms []SampledMeasurement
 	var cpu string
 	sc := bufio.NewScanner(&out)
 	for sc.Scan() {
 		if c, ok := strings.CutPrefix(sc.Text(), "cpu: "); ok {
 			cpu = strings.TrimSpace(c)
+			continue
+		}
+		if s := sampledLine.FindStringSubmatch(sc.Text()); s != nil {
+			rate, _ := strconv.ParseFloat(s[2], 64)
+			errPct, _ := strconv.ParseFloat(s[3], 64)
+			sms = append(sms, SampledMeasurement{Model: s[1], MinstPerS: rate, SampledError: errPct})
 			continue
 		}
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -127,6 +160,10 @@ func run() error {
 		fmt.Printf("benchgate: %-10s %8.2f Minst/s  %10d B/op  %7d allocs/op\n",
 			m.Model, m.MinstPerS, m.BPerOp, m.AllocsOp)
 	}
+	for _, s := range sms {
+		fmt.Printf("benchgate: %-10s %8.2f Minst/s  sampled CPI error %.3f%%\n",
+			s.Model+" (s)", s.MinstPerS, s.SampledError)
+	}
 
 	base, err := readTrajectory(*flagBaseline)
 	if os.IsNotExist(err) && !*flagUpdate {
@@ -136,7 +173,7 @@ func run() error {
 		return err
 	}
 
-	cur := Trajectory{CPU: cpu, Benchmarks: ms}
+	cur := Trajectory{CPU: cpu, Benchmarks: ms, Sampled: sms}
 	if base != nil {
 		cur.Note, cur.History = base.Note, base.History
 	}
@@ -233,10 +270,35 @@ func run() error {
 		}
 	}
 
-	if failed {
-		return fmt.Errorf("sim-rate or allocs/op regression beyond %.0f%%; if intentional, refresh the baseline with -update", *flagMaxReg*100)
+	// Sampled-accuracy gate: the CPI error of the sampled path is
+	// deterministic (seeded placement, deterministic simulation), so a
+	// grown error is a real accuracy regression, not noise. The small
+	// absolute floor keeps a near-zero baseline from failing on harmless
+	// last-digit movement. Baselines predating sampling carry no entries
+	// and skip the gate.
+	curSampled := make(map[string]SampledMeasurement, len(sms))
+	for _, s := range sms {
+		curSampled[s.Model] = s
 	}
-	fmt.Println("benchgate: ok (no sim-rate or allocs/op regression beyond the threshold)")
+	for _, b := range base.Sampled {
+		s, ok := curSampled[b.Model]
+		if !ok {
+			failed = true
+			fmt.Printf("benchgate: FAIL %-10s sampled baseline present but missing from the run\n", b.Model)
+			continue
+		}
+		limit := b.SampledError*(1+*flagMaxReg) + 0.05
+		if s.SampledError > limit {
+			failed = true
+			fmt.Printf("benchgate: FAIL %-10s sampled CPI error %.3f%% > %.3f%% (baseline %.3f%%, +%.0f%% allowed)\n",
+				b.Model, s.SampledError, limit, b.SampledError, *flagMaxReg*100)
+		}
+	}
+
+	if failed {
+		return fmt.Errorf("sim-rate, allocs/op, or sampled-accuracy regression beyond %.0f%%; if intentional, refresh the baseline with -update", *flagMaxReg*100)
+	}
+	fmt.Println("benchgate: ok (no sim-rate, allocs/op, or sampled-accuracy regression beyond the threshold)")
 	return nil
 }
 

@@ -254,8 +254,8 @@ func coordMain(args []string) {
 	var (
 		connect   = fs.String("connect", "", "comma-separated worker addresses to dial (expd serve daemons)")
 		accept    = fs.String("accept-workers", "", "TCP address to accept elastic workers on (expd join); they may join mid-run")
-		run       = fs.String("run", "", "comma-separated experiment names (default: every experiment)")
-		all       = fs.Bool("all", false, "run every experiment (same as leaving -run empty)")
+		run       = fs.String("run", "", "comma-separated experiment names (default: the -all set)")
+		all       = fs.Bool("all", false, "run the standard experiment set (same as leaving -run empty; extras like fig5s run when named in -run)")
 		n         = fs.Int("n", 400_000, "timed instructions per sample")
 		warm      = fs.Int("warm", 150_000, "warmup instructions per sample")
 		parallel  = fs.Int("parallel", 0, "per-worker pool size (0 = each worker's GOMAXPROCS)")
@@ -280,7 +280,7 @@ func coordMain(args []string) {
 	if *run != "" && *all {
 		fatal(fmt.Errorf("-run and -all are mutually exclusive"))
 	}
-	names := registry.Names()
+	names := registry.DefaultNames()
 	if *run != "" {
 		names = names[:0]
 		for _, name := range strings.Split(*run, ",") {

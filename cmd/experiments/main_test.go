@@ -135,6 +135,8 @@ func TestFlagValidation(t *testing.T) {
 		{"-spec", "whatever.json", "-fig5"},      // -spec excludes named experiments
 		{"-spec", "whatever.json", "-n", "5000"}, // sample sizes come from the suite
 		{"-describe", "fig6", "-fig5"},           // -describe emits one experiment
+		{"-fig5", "-sample-interval", "1000"},    // -sample-* knobs refine -sample
+		{"-spec", "whatever.json", "-sample"},    // sampling policies live in the suite
 	} {
 		cmd := exec.Command(bin, args...)
 		err := cmd.Run()
@@ -142,6 +144,32 @@ func TestFlagValidation(t *testing.T) {
 		if !ok || ee.ExitCode() != 2 {
 			t.Errorf("args %v: err = %v, want exit code 2", args, err)
 		}
+	}
+}
+
+// TestSampledRunReportsCI pins the -sample flag family end to end: a
+// sampled run succeeds, reports confidence intervals in its cells, and
+// the same selection in full mode reports none.
+func TestSampledRunReportsCI(t *testing.T) {
+	bin := buildBinary(t)
+	run := func(extra ...string) string {
+		t.Helper()
+		args := append([]string{"-fig8", "-n", "20000", "-warm", "2000"}, extra...)
+		cmd := exec.Command(bin, args...)
+		var out, stderr bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%v: %v\nstderr: %s", args, err, stderr.String())
+		}
+		return out.String()
+	}
+	sampled := run("-sample")
+	if !strings.Contains(sampled, "±") {
+		t.Errorf("sampled run reports no confidence intervals:\n%s", sampled)
+	}
+	if full := run(); strings.Contains(full, "±") {
+		t.Errorf("full run invented confidence intervals:\n%s", full)
 	}
 }
 

@@ -1,0 +1,25 @@
+package bpred
+
+// Clone returns a deep copy of the predictor: all direction tables, the
+// BTB, the RAS, the global history, and statistics. The configured
+// HistLens slice is shared (it is never written after New). Cloning must
+// be exact — predictions from a clone are byte-identical to predictions
+// from the original — so warmed predictor state can be checkpointed once
+// and reused across simulations (pipeline.WarmState).
+func (p *Predictor) Clone() *Predictor {
+	cl := *p
+	cl.bimodal = make([]int8, len(p.bimodal))
+	copy(cl.bimodal, p.bimodal)
+	cl.tagged = make([][]taggedEntry, len(p.tagged))
+	for i := range p.tagged {
+		cl.tagged[i] = make([]taggedEntry, len(p.tagged[i]))
+		copy(cl.tagged[i], p.tagged[i])
+	}
+	cl.btbTags = make([]uint32, len(p.btbTags))
+	copy(cl.btbTags, p.btbTags)
+	cl.btbTargets = make([]uint64, len(p.btbTargets))
+	copy(cl.btbTargets, p.btbTargets)
+	cl.ras = make([]uint64, len(p.ras))
+	copy(cl.ras, p.ras)
+	return &cl
+}

@@ -39,9 +39,14 @@ func NewArena() *Arena {
 
 // Get returns the workload the spec declares, generating it on first
 // use. The returned workload is shared: callers must treat it as
-// read-only.
+// read-only. Sharing keys on the base workload — the sampling policy
+// does not change the generated trace or memory image — so sampled and
+// full runs of one benchmark share a single workload, and with it the
+// warmed-state checkpoint store the sampled runs attach to it
+// (pipeline.WarmState): a sweep warms each workload once, not once per
+// job.
 func (a *Arena) Get(w spec.Workload) *workload.Workload {
-	key := w.Canonical()
+	key := w.Base().Canonical()
 	a.mu.Lock()
 	e, ok := a.entries[key]
 	if ok {

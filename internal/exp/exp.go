@@ -348,7 +348,16 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 						panic(fmt.Sprintf("exp: job %q: %v", j.Name, err))
 					}
 					start := time.Now()
-					res := r.Run(o.arena.Get(j.Workload))
+					wk := o.arena.Get(j.Workload)
+					var res pipeline.Result
+					if pol := j.Workload.Sampling; pol.Live() {
+						// Every machine a spec can name implements sampled
+						// runs; synthetic test runners that don't simply
+						// cannot be asked for a live sampled workload.
+						res = r.(spec.SampledRunner).RunSampled(wk, pol.Policy())
+					} else {
+						res = r.Run(wk)
+					}
 					o.cache.finish(k, e, res, time.Since(start))
 					if o.onRun != nil {
 						hookMu.Lock()

@@ -252,7 +252,7 @@ func TestElasticTLSFleetMatchesGolden(t *testing.T) {
 	var out bytes.Buffer
 	cache := exp.NewCache()
 	opts := dist.Options{Join: join, Logf: t.Logf}
-	if _, err := registry.ReportDistributed(&out, registry.Names(), tinyParams(), nil, 1, cache, opts); err != nil {
+	if _, err := registry.ReportDistributed(&out, registry.DefaultNames(), tinyParams(), nil, 1, cache, opts); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), golden) {

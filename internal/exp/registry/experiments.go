@@ -59,30 +59,40 @@ func table1Exp() Experiment {
 	return e
 }
 
+// fig5Suite builds the Figure 5 job set under e's name prefix: the
+// in-order baseline and the four latency-tolerant designs over every
+// benchmark. fig5 and its sampled variant fig5s share it; the distinct
+// prefixes keep their jobs from colliding when both are selected.
+func fig5Suite(e Experiment, p Params) (spec.Suite, error) {
+	b := newSuite(e, p)
+	for _, name := range workload.AllSPECNames {
+		wl := spec.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
+		b.add(e.Name+"/"+name+"/base", sim.InOrder.Spec(), p.Cfg, wl)
+		for _, m := range fig5Models {
+			b.add(e.Name+"/"+name+"/"+m.String(), m.Spec(), p.Cfg, wl)
+		}
+	}
+	return b.done()
+}
+
 func fig5Exp() Experiment {
 	e := Experiment{
 		Name: "fig5",
 		Desc: "speedups over in-order: Runahead, Multipass, SLTP, iCFP (Figure 5)",
 	}
 	e.Suite = func(p Params) (spec.Suite, error) {
-		b := newSuite(e, p)
-		for _, name := range workload.AllSPECNames {
-			wl := spec.SPECWorkload(name, p.Cfg.WarmupInsts+p.N)
-			b.add("fig5/"+name+"/base", sim.InOrder.Spec(), p.Cfg, wl)
-			for _, m := range fig5Models {
-				b.add("fig5/"+name+"/"+m.String(), m.Spec(), p.Cfg, wl)
-			}
-		}
-		return b.done()
+		return fig5Suite(e, p)
 	}
 	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
-		sp := func(name string, m sim.Model) float64 {
-			return rs.Speedup("fig5/"+name+"/"+m.String(), "fig5/"+name+"/base")
+		// Sampled cells (the -sample flag family) grow a ±CI tail; full
+		// cells format exactly as always, keeping the golden intact.
+		sp := func(name string, m sim.Model) string {
+			return spCell(rs, "%+8.1f%%", "fig5/"+name+"/"+m.String(), "fig5/"+name+"/base")
 		}
 		fmt.Fprintln(w, "== Figure 5: % speedup over in-order ==")
 		fmt.Fprintf(w, "%-9s %9s %9s %9s %9s\n", "bench", "Runahead", "Multipass", "SLTP", "iCFP")
 		for _, name := range workload.AllSPECNames {
-			fmt.Fprintf(w, "%-9s %+8.1f%% %+8.1f%% %+8.1f%% %+8.1f%%\n", name,
+			fmt.Fprintf(w, "%-9s %s %s %s %s\n", name,
 				sp(name, sim.Runahead), sp(name, sim.Multipass), sp(name, sim.SLTP), sp(name, sim.ICFP))
 		}
 		for _, grp := range []struct {
@@ -104,6 +114,54 @@ func fig5Exp() Experiment {
 				geo(sim.Runahead), geo(sim.Multipass), geo(sim.SLTP), geo(sim.ICFP))
 		}
 		fmt.Fprintln(w, "paper geomeans: Runahead 11%, Multipass 11%, SLTP 9%, iCFP 16%")
+		fmt.Fprintln(w)
+	}
+	return e
+}
+
+// fig5sExp is fig5's sampled long-workload variant: the same comparison
+// at 25x the instruction count (the paper-scale regime where sampling
+// theory applies), measured by interval sampling at near-constant
+// detailed cost, with every cell carrying its 95% confidence
+// half-width. It is Extra — excluded from -all so the full-mode report
+// and its golden stay exactly the paper's evaluation — and runs when
+// named (-fig5s), under DefaultSampling unless the -sample flag family
+// pins a policy.
+func fig5sExp() Experiment {
+	const scale = 25
+	e := Experiment{
+		Name:  "fig5s",
+		Desc:  "Figure 5 at 25x workload length via interval sampling (speedup ± 95% CI)",
+		Extra: true,
+	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		q := p
+		q.N = p.N * scale
+		if q.Sampling == nil {
+			q.Sampling = DefaultSampling(q.Cfg.WarmupInsts + q.N)
+		}
+		return fig5Suite(e, q)
+	}
+	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
+		fmt.Fprintln(w, "== Figure 5 sampled, 25x length: % speedup over in-order ± 95% CI ==")
+		fmt.Fprintf(w, "%-9s %14s %14s %14s %14s\n", "bench", "Runahead", "Multipass", "SLTP", "iCFP")
+		for _, name := range workload.AllSPECNames {
+			fmt.Fprintf(w, "%-9s", name)
+			for _, m := range fig5Models {
+				sp, ci := rs.SpeedupCI95("fig5s/"+name+"/"+m.String(), "fig5s/"+name+"/base")
+				fmt.Fprintf(w, " %14s", fmt.Sprintf("%+.1f%%±%.1f", sp, ci))
+			}
+			fmt.Fprintln(w)
+		}
+		geo := func(m sim.Model) float64 {
+			pairs := make([][2]string, 0, len(workload.AllSPECNames))
+			for _, name := range workload.AllSPECNames {
+				pairs = append(pairs, [2]string{"fig5s/" + name + "/" + m.String(), "fig5s/" + name + "/base"})
+			}
+			return rs.GeoMeanSpeedup(pairs)
+		}
+		fmt.Fprintf(w, "%-9s %+13.1f%% %+13.1f%% %+13.1f%% %+13.1f%%   (geomean)\n", "SPEC",
+			geo(sim.Runahead), geo(sim.Multipass), geo(sim.SLTP), geo(sim.ICFP))
 		fmt.Fprintln(w)
 	}
 	return e
@@ -184,7 +242,7 @@ func fig6Exp() Experiment {
 		for _, m := range machines {
 			fmt.Fprintf(w, "%-18s", m.Label)
 			for _, lat := range fig6Lats {
-				fmt.Fprintf(w, " %+6.1f%%", rs.Speedup(
+				fmt.Fprintf(w, " %s", spCell(rs, "%+6.1f%%",
 					fmt.Sprintf("fig6/equake/%s/%d", m.Label, lat),
 					fmt.Sprintf("fig6/equake/base/%d", lat)))
 			}
@@ -240,7 +298,7 @@ func fig7Exp() Experiment {
 		for _, name := range figure7Names {
 			fmt.Fprintf(w, "%-9s", name)
 			for i := range builds {
-				fmt.Fprintf(w, " %+7.1f%%", rs.Speedup(fmt.Sprintf("fig7/%s/bar%d", name, i+1), "fig7/"+name+"/base"))
+				fmt.Fprintf(w, " %s", spCell(rs, "%+7.1f%%", fmt.Sprintf("fig7/%s/bar%d", name, i+1), "fig7/"+name+"/base"))
 			}
 			fmt.Fprintln(w)
 		}
@@ -272,7 +330,7 @@ func fig8Exp() Experiment {
 		for _, name := range figure8Names {
 			fmt.Fprintf(w, "%-9s", name)
 			for _, sb := range sbs {
-				fmt.Fprintf(w, " %+11.1f%%", rs.Speedup(fmt.Sprintf("fig8/%s/%s", name, sb.Label), "fig8/"+name+"/base"))
+				fmt.Fprintf(w, " %s", spCell(rs, "%+11.1f%%", fmt.Sprintf("fig8/%s/%s", name, sb.Label), "fig8/"+name+"/base"))
 			}
 			fmt.Fprintln(w)
 		}
@@ -331,9 +389,8 @@ func poisonExp() Experiment {
 		fmt.Fprintln(w, "== §3.4: poison vector width (speedup of 8-bit over 1-bit) ==")
 		speedups := []float64{}
 		for _, name := range workload.AllSPECNames {
-			sp := rs.Speedup("poison/"+name+"/8", "poison/"+name+"/1")
-			speedups = append(speedups, sp)
-			fmt.Fprintf(w, "%-9s %+6.1f%%\n", name, sp)
+			speedups = append(speedups, rs.Speedup("poison/"+name+"/8", "poison/"+name+"/1"))
+			fmt.Fprintf(w, "%-9s %s\n", name, spCell(rs, "%+6.1f%%", "poison/"+name+"/8", "poison/"+name+"/1"))
 		}
 		fmt.Fprintf(w, "%-9s %+6.1f%%   (paper: +1.5%% average, +6%% on mcf)\n\n", "geomean", exp.GeoMeanPercent(speedups))
 	}
@@ -380,9 +437,9 @@ func oooExp() Experiment {
 		fmt.Fprintln(w, "== §5.3: 2-way out-of-order and out-of-order CFP vs in-order ==")
 		var po, pc [][2]string
 		for _, name := range workload.AllSPECNames {
-			fmt.Fprintf(w, "%-9s ooo %+7.1f%%   ooo-cfp %+7.1f%%\n", name,
-				rs.Speedup("ooo/"+name+"/2way", "ooo/"+name+"/base"),
-				rs.Speedup("ooo/"+name+"/cfp", "ooo/"+name+"/base"))
+			fmt.Fprintf(w, "%-9s ooo %s   ooo-cfp %s\n", name,
+				spCell(rs, "%+7.1f%%", "ooo/"+name+"/2way", "ooo/"+name+"/base"),
+				spCell(rs, "%+7.1f%%", "ooo/"+name+"/cfp", "ooo/"+name+"/base"))
 			po = append(po, [2]string{"ooo/" + name + "/2way", "ooo/" + name + "/base"})
 			pc = append(pc, [2]string{"ooo/" + name + "/cfp", "ooo/" + name + "/base"})
 		}
@@ -436,8 +493,8 @@ func ablateExp() Experiment {
 			for _, v := range sweep.vals {
 				fmt.Fprintf(w, "%4d:", v)
 				for _, name := range ablateNames {
-					fmt.Fprintf(w, "  %s %+7.1f%%", name,
-						rs.Speedup(fmt.Sprintf("ablate/%d/%d/%s", si, v, name), "ablate/base/"+name))
+					fmt.Fprintf(w, "  %s %s", name,
+						spCell(rs, "%+7.1f%%", fmt.Sprintf("ablate/%d/%d/%s", si, v, name), "ablate/base/"+name))
 				}
 				fmt.Fprintln(w)
 			}

@@ -23,10 +23,32 @@ import (
 // configuration (whose WarmupInsts is the per-sample warmup) and the
 // number of timed instructions per sample. The configuration must be
 // spec-expressible (the base machine plus named overrides), or suite
-// building fails.
+// building fails. A non-nil Sampling attaches that policy to every SPEC
+// workload an experiment builds (the cmd/experiments -sample flag
+// family), turning the whole selection into a sampled run.
 type Params struct {
-	Cfg pipeline.Config
-	N   int
+	Cfg      pipeline.Config
+	N        int
+	Sampling *spec.Sampling
+}
+
+// DefaultSampling returns the sampling policy used when a sampled run
+// does not pin its own: one measurement window per twelfth of the
+// workload, each window 2% of its stratum with a detailed ramp three
+// windows long ahead of it — twelve strata give the 95% CI honest
+// width, the 8% detailed fraction keeps the ≥10x speedup margin, and
+// the ramp hides the warm-state transients functional warming cannot
+// recreate (the acceptance-pinned shape; see docs/ARCHITECTURE.md).
+// total is the workload's full dynamic length, warmup included.
+// Workloads too short to sample get a degenerate policy that
+// canonicalizes away into the full run.
+func DefaultSampling(total int) *spec.Sampling {
+	period := total / 12
+	interval := period / 50
+	if interval < 1 {
+		return &spec.Sampling{Mode: spec.ModeSampled, Interval: 1, Period: 1}
+	}
+	return &spec.Sampling{Mode: spec.ModeSampled, Interval: interval, Period: period, Ramp: 3 * interval, Seed: 1}
 }
 
 // DefaultParams mirrors the cmd/experiments defaults: the Table 1
@@ -45,6 +67,10 @@ type Experiment struct {
 	Desc  string
 	Suite func(p Params) (spec.Suite, error)
 	Print func(w io.Writer, p Params, rs *exp.ResultSet)
+	// Extra excludes the experiment from -all (it still runs when named
+	// explicitly): the sampled long-workload variants live here, so the
+	// -all report and its golden stay exactly the paper's evaluation.
+	Extra bool
 }
 
 // All lists the registry in the paper's presentation order.
@@ -52,6 +78,7 @@ func All() []Experiment {
 	return []Experiment{
 		table1Exp(),
 		fig5Exp(),
+		fig5sExp(),
 		table2Exp(),
 		fig6Exp(),
 		fig7Exp(),
@@ -70,6 +97,19 @@ func Names() []string {
 	names := make([]string, len(all))
 	for i, e := range all {
 		names[i] = e.Name
+	}
+	return names
+}
+
+// DefaultNames lists the -all selection: every experiment except the
+// Extra ones (the sampled long-workload variants, which run only when
+// named). This is the set the committed -all golden pins.
+func DefaultNames() []string {
+	var names []string
+	for _, e := range All() {
+		if !e.Extra {
+			names = append(names, e.Name)
+		}
 	}
 	return names
 }
@@ -101,25 +141,30 @@ func Describe(name string, p Params) (spec.Suite, error) {
 // concrete configuration into overrides of the spec base. The first
 // error sticks and surfaces from done().
 type suiteBuilder struct {
-	s   spec.Suite
-	err error
+	s        spec.Suite
+	sampling *spec.Sampling
+	err      error
 }
 
 // newSuite starts the experiment's suite at the given parameters, with a
 // builtin render pointing back at the experiment's own table code.
 func newSuite(e Experiment, p Params) *suiteBuilder {
-	return &suiteBuilder{s: spec.Suite{
-		Name:   e.Name,
-		Desc:   e.Desc,
-		N:      p.N,
-		Warm:   p.Cfg.WarmupInsts,
-		Render: &spec.Render{Kind: spec.RenderBuiltin, Builtin: e.Name},
-	}}
+	return &suiteBuilder{
+		s: spec.Suite{
+			Name:   e.Name,
+			Desc:   e.Desc,
+			N:      p.N,
+			Warm:   p.Cfg.WarmupInsts,
+			Render: &spec.Render{Kind: spec.RenderBuiltin, Builtin: e.Name},
+		},
+		sampling: p.Sampling,
+	}
 }
 
 // add appends one job: machine m configured by cfg (whose divergence
 // from the spec base rides in the overrides; the machine's own overrides
-// win where both set a knob) over the workload.
+// win where both set a knob) over the workload. A suite-level sampling
+// policy attaches to every SPEC workload that does not pin its own.
 func (b *suiteBuilder) add(name string, m spec.Machine, cfg pipeline.Config, wl spec.Workload) {
 	if b.err != nil {
 		return
@@ -130,6 +175,10 @@ func (b *suiteBuilder) add(name string, m spec.Machine, cfg pipeline.Config, wl 
 		return
 	}
 	m.Overrides = spec.Merge(m.Overrides, ov)
+	if b.sampling != nil && wl.SPEC != "" && wl.Sampling == nil {
+		s := *b.sampling
+		wl.Sampling = &s
+	}
 	b.s.Jobs = append(b.s.Jobs, spec.Job{Name: name, Machine: m, Workload: wl})
 }
 

@@ -52,15 +52,39 @@ func renderBuiltin(w io.Writer, s spec.Suite, rs *exp.ResultSet) (err error) {
 	return nil
 }
 
-// renderTable prints one row per job in suite order.
+// renderTable prints one row per job in suite order. Sampled results
+// append their 95% confidence half-width to the IPC cell; full results
+// render exactly as before the sampling harness existed, keeping the
+// golden output byte-identical.
 func renderTable(w io.Writer, s spec.Suite, rs *exp.ResultSet) error {
 	fmt.Fprintf(w, "== suite %s ==\n", s.Name)
 	fmt.Fprintf(w, "%-32s %12s %10s %6s\n", "job", "cycles", "insts", "IPC")
 	for _, r := range rs.Results {
-		fmt.Fprintf(w, "%-32s %12d %10d %6.3f\n", r.Name, r.R.Cycles, r.R.Insts, r.R.IPC())
+		fmt.Fprintf(w, "%-32s %12d %10d %6.3f", r.Name, r.R.Cycles, r.R.Insts, r.R.IPC())
+		if r.R.SampleIntervals > 0 && r.R.CPI() > 0 {
+			// IPC = 1/CPI, so the relative half-width carries over.
+			fmt.Fprintf(w, "±%.3f (%d windows)", r.R.IPC()*r.R.SampleCPICI95/r.R.CPI(), r.R.SampleIntervals)
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w)
 	return nil
+}
+
+// ciSuffix returns the "±h" tail for a speedup cell when either run was
+// sampled (h is the 95% half-width in percentage points), and "" for
+// full runs — so full-mode tables format exactly as they always have.
+func ciSuffix(rs *exp.ResultSet, test, base string) string {
+	if _, ci := rs.SpeedupCI95(test, base); ci > 0 {
+		return fmt.Sprintf("±%.1f", ci)
+	}
+	return ""
+}
+
+// spCell formats the percent speedup of test over base as a table cell
+// using the given verb (e.g. "%+7.1f%%"), with the ciSuffix tail.
+func spCell(rs *exp.ResultSet, format, test, base string) string {
+	return fmt.Sprintf(format, rs.Speedup(test, base)) + ciSuffix(rs, test, base)
 }
 
 // baseline returns the render's baseline name segment (default "base").
@@ -104,7 +128,7 @@ func renderSpeedup(w io.Writer, s spec.Suite, rs *exp.ResultSet) error {
 			return fmt.Errorf("registry: suite %q: job %q has no baseline %q (rename the baseline job or set render.baseline)",
 				s.Name, r.Name, bname)
 		}
-		fmt.Fprintf(w, "%-32s %+7.1f%%\n", r.Name, rs.Speedup(r.Name, bname))
+		fmt.Fprintf(w, "%-32s %+7.1f%%%s\n", r.Name, rs.Speedup(r.Name, bname), ciSuffix(rs, r.Name, bname))
 		pairs = append(pairs, [2]string{r.Name, bname})
 	}
 	if len(pairs) == 0 {
@@ -155,7 +179,7 @@ func renderSweep(w io.Writer, s spec.Suite, rs *exp.ResultSet) error {
 			if _, ok := rs.Get(bname); !ok {
 				return fmt.Errorf("registry: suite %q: sweep baseline %q is missing", s.Name, bname)
 			}
-			fmt.Fprintf(w, " %+7.1f%%", rs.Speedup(test, bname))
+			fmt.Fprintf(w, " %+7.1f%%%s", rs.Speedup(test, bname), ciSuffix(rs, test, bname))
 		}
 		fmt.Fprintln(w)
 	}

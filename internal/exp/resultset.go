@@ -55,6 +55,17 @@ func (rs *ResultSet) Speedup(test, base string) float64 {
 	return rs.MustGet(test).SpeedupOver(rs.MustGet(base))
 }
 
+// SpeedupCI95 returns Speedup(test, base) together with its 95%
+// half-width in percentage points, propagating both runs' sampling CIs
+// through the CPI ratio (relative half-widths add in quadrature; see
+// stats.RatioCI95). Full runs carry zero CIs, so their half-width is 0
+// and the speedup value itself always matches Speedup exactly.
+func (rs *ResultSet) SpeedupCI95(test, base string) (speedupPct, ciPct float64) {
+	t, b := rs.MustGet(test), rs.MustGet(base)
+	_, ci := stats.RatioCI95(b.CPI(), b.SampleCPICI95, t.CPI(), t.SampleCPICI95)
+	return t.SpeedupOver(b), ci * 100
+}
+
 // GeoMeanSpeedup returns the geometric-mean percent speedup over a list
 // of (test, base) result-name pairs — the reduction behind every
 // "geomean" row in the paper's figures.

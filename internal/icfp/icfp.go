@@ -90,6 +90,8 @@ type run struct {
 	sbMode  SBMode
 	ext     []ExternalStoreEvent
 	tr      *isa.Trace
+	end     int // window end (exclusive trace index); tr.Len() for full runs
+	meas    int // measurement start (trace index); == window start for full runs
 	hier    *mem.Hierarchy
 	front   *pipeline.Frontend
 	slots   *pipeline.SlotAlloc
@@ -156,18 +158,42 @@ type run struct {
 
 	dTrack, l2Track stats.MLPTracker
 	res             pipeline.Result
-	warm            int
+
+	// Measurement-crossing snapshot (ramp support): latched once when the
+	// tail cursor first reaches meas.
+	crossed  bool
+	measBase int64
+	res0     pipeline.Result
+	hs0      mem.Stats
+	fwd0     uint64
 }
 
 // Run simulates the workload to completion.
 func (m *Machine) Run(w *workload.Workload) pipeline.Result {
+	return m.RunSampled(w, pipeline.SamplePolicy{})
+}
+
+// RunSampled simulates the workload under the given sampling policy,
+// running the detailed model only inside measurement windows. The zero
+// policy is a full run.
+func (m *Machine) RunSampled(w *workload.Workload, pol pipeline.SamplePolicy) pipeline.Result {
+	return pipeline.RunWindowed(w, &m.cfg, pol,
+		func(hier *mem.Hierarchy, pred *bpred.Predictor, start, meas, hi int) pipeline.Result {
+			return m.runWindow(w, hier, pred, start, meas, hi)
+		})
+}
+
+// runWindow runs the detailed model over trace indexes [start, hi) from
+// the given warmed state at cycle 0, measuring [meas, hi): the cycle
+// loop latches a counter snapshot when the tail cursor first reaches
+// meas and the result reports differences (slice/rally work in flight at
+// the crossing is charged to the ramp). External store events are
+// replayed from the start of every window (their cycles are
+// window-relative).
+func (m *Machine) runWindow(w *workload.Workload, hier *mem.Hierarchy, pred *bpred.Predictor, start, meas, hi int) pipeline.Result {
 	cfg := m.cfg
-	r := &run{cfg: &cfg, sbMode: m.sbMode, tr: w.Trace, ext: m.ExternalStores}
-	r.hier = mem.New(cfg.Hier)
-	if w.Prewarm != nil {
-		w.Prewarm(r.hier)
-	}
-	pred := bpred.New(cfg.Bpred)
+	r := &run{cfg: &cfg, sbMode: m.sbMode, tr: w.Trace, end: hi, meas: meas, ext: m.ExternalStores}
+	r.hier = hier
 	r.front = pipeline.NewFrontend(&cfg, r.hier, pred)
 	r.slots = pipeline.NewSlotAlloc(&cfg)
 	r.csb = NewChainedStoreBuffer(cfg.ChainedSBEntries, cfg.ChainTableEntries, m.sbMode)
@@ -184,12 +210,7 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 		r.nBits = 8
 	}
 
-	r.warm = cfg.WarmupInsts
-	if r.warm > r.tr.Len() {
-		r.warm = r.tr.Len()
-	}
-	pipeline.Warmup(r.hier, pred, r.tr, r.warm)
-	r.i = r.warm
+	r.i = start
 
 	r.hier.MissObserver = func(start, done int64, l2 bool) {
 		r.dTrack.Add(start, done)
@@ -200,22 +221,24 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 
 	r.loop()
 
-	insts := int64(r.tr.Len() - r.warm)
+	insts := int64(hi - meas)
 	if insts == 0 {
-		return pipeline.Result{Name: w.Name}
+		return pipeline.Result{}
 	}
 	ki := float64(insts) / 1000
 	hs := r.hier.Stats
-	res := r.res
-	res.Name = w.Name
-	res.Cycles = r.finish
+	res := pipeline.SubCounters(r.res, r.res0)
+	res.Cycles = r.finish - r.measBase
 	res.Insts = insts
-	res.DCacheMissPerKI = float64(hs.DataL1Misses) / ki
-	res.L2MissPerKI = float64(hs.DataL2Misses) / ki
+	res.DCacheMissPerKI = float64(hs.DataL1Misses-r.hs0.DataL1Misses) / ki
+	res.L2MissPerKI = float64(hs.DataL2Misses-r.hs0.DataL2Misses) / ki
+	// MLP and store-buffer hop shapes observe the whole detailed range,
+	// ramp included: they are distribution summaries, not extensive
+	// counters, and the ramp's samples come from the same machine state.
 	res.DCacheMLP = r.dTrack.MLP()
 	res.L2MLP = r.l2Track.MLP()
 	res.RallyPerKI = float64(res.RallyInsts) / ki
-	res.SBForwards = r.csb.Forwards
+	res.SBForwards = r.csb.Forwards - r.fwd0
 	res.SBExtraHops = r.csb.MeanExtraHops()
 	res.SBHopsAtLeast = r.csb.Hops.FractionAtLeast(5)
 	return res
@@ -228,7 +251,7 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 // simulated workload, so even a no-op function call per subsystem per
 // cycle is measurable against the in-order baseline.
 func (r *run) loop() {
-	n := r.tr.Len()
+	n := r.end
 	for r.i < n || !r.slice.Empty() || len(r.pending) > 0 {
 		if r.cycle > watchdogCycles {
 			panic("icfp: simulation exceeded the watchdog cycle bound (deadlock?)")
@@ -596,8 +619,16 @@ func (r *run) stage() bool {
 	if r.st.valid {
 		return true
 	}
-	if r.i >= r.tr.Len() {
+	if r.i >= r.end {
 		return false
+	}
+	if !r.crossed && r.i >= r.meas {
+		// First tail instruction of the measurement range: snapshot every
+		// counter the result reports as a difference. A later squash may
+		// rewind the cursor below meas; the latch stays set — replay work
+		// caused inside the measurement range is charged to it.
+		r.crossed = true
+		r.measBase, r.res0, r.hs0, r.fwd0 = r.finish, r.res, r.hier.Stats, r.csb.Forwards
 	}
 	in := r.tr.At(r.i)
 	r.st.idx = r.i
@@ -1061,7 +1092,7 @@ func (r *run) prefetchAhead(from int) {
 	}
 	clock := r.cycle
 	issued := 0
-	for j := from + 1; j < r.tr.Len() && clock < horizon && issued < 256; j++ {
+	for j := from + 1; j < r.end && clock < horizon && issued < 256; j++ {
 		in := r.tr.At(j)
 		p := (in.Src1.Valid() && poison[in.Src1]) || (in.Src2.Valid() && poison[in.Src2])
 		if in.HasDst() {

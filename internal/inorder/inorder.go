@@ -24,12 +24,26 @@ func New(cfg pipeline.Config) *Machine { return &Machine{cfg: cfg} }
 
 // Run simulates the workload to completion and reports the result.
 func (m *Machine) Run(w *workload.Workload) pipeline.Result {
+	return m.RunSampled(w, pipeline.SamplePolicy{})
+}
+
+// RunSampled simulates the workload under the given sampling policy: the
+// detailed pipeline runs only inside the policy's measurement windows,
+// with functional warming in between. The zero policy is a full run.
+func (m *Machine) RunSampled(w *workload.Workload, pol pipeline.SamplePolicy) pipeline.Result {
+	return pipeline.RunWindowed(w, &m.cfg, pol,
+		func(hier *mem.Hierarchy, pred *bpred.Predictor, start, meas, hi int) pipeline.Result {
+			return m.runWindow(w, hier, pred, start, meas, hi)
+		})
+}
+
+// runWindow runs the detailed pipeline over trace indexes [start, hi)
+// starting from the given warmed hierarchy and predictor at cycle 0,
+// measuring [meas, hi): counters are snapshotted when the loop crosses
+// meas and the result reports differences. MLP is the one exception —
+// its trackers observe the whole detailed range, ramp included.
+func (m *Machine) runWindow(w *workload.Workload, hier *mem.Hierarchy, pred *bpred.Predictor, start, meas, hi int) pipeline.Result {
 	cfg := m.cfg
-	hier := mem.New(cfg.Hier)
-	if w.Prewarm != nil {
-		w.Prewarm(hier)
-	}
-	pred := bpred.New(cfg.Bpred)
 	front := pipeline.NewFrontend(&cfg, hier, pred)
 	slots := pipeline.NewSlotAlloc(&cfg)
 	sb := pipeline.NewStoreBuffer(cfg.StoreBufEntries, hier)
@@ -44,17 +58,18 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 	}
 
 	tr := w.Trace
-	warm := cfg.WarmupInsts
-	if warm > tr.Len() {
-		warm = tr.Len()
-	}
-	pipeline.Warmup(hier, pred, tr, warm)
 
 	var finish int64
 	var lastIssue int64
 	var mispredicts uint64
 
-	for i := warm; i < tr.Len(); i++ {
+	var measBase int64 // finish when detailed execution crossed meas
+	var misp0 uint64   // mispredicts at the crossing
+	var hs0 mem.Stats  // hierarchy counters at the crossing
+	for i := start; i < hi; i++ {
+		if i == meas {
+			measBase, misp0, hs0 = finish, mispredicts, hier.Stats
+		}
 		in := tr.At(i)
 		earliest := front.Avail(in)
 		if r := board.SrcReady(in); r > earliest {
@@ -104,17 +119,16 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 		}
 	}
 
-	insts := int64(tr.Len() - warm)
+	insts := int64(hi - meas)
 	ki := float64(insts) / 1000
 	hs := hier.Stats
 	return pipeline.Result{
-		Name:              w.Name,
-		Cycles:            finish,
+		Cycles:            finish - measBase,
 		Insts:             insts,
-		DCacheMissPerKI:   float64(hs.DataL1Misses) / ki,
-		L2MissPerKI:       float64(hs.DataL2Misses) / ki,
+		DCacheMissPerKI:   float64(hs.DataL1Misses-hs0.DataL1Misses) / ki,
+		L2MissPerKI:       float64(hs.DataL2Misses-hs0.DataL2Misses) / ki,
 		DCacheMLP:         dTrack.MLP(),
 		L2MLP:             l2Track.MLP(),
-		BranchMispredicts: mispredicts,
+		BranchMispredicts: mispredicts - misp0,
 	}
 }

@@ -1,0 +1,73 @@
+package mem
+
+import "testing"
+
+// TestHierarchyCloneIsolated pins that a cloned hierarchy shares no
+// mutable state with its original: accesses through the clone must not
+// change what the original's caches hold, and vice versa.
+func TestHierarchyCloneIsolated(t *testing.T) {
+	h := New(DefaultConfig())
+	// Populate: a strided walk that fills L1D sets and some MSHR/pending
+	// state via timed accesses.
+	for a := uint64(0); a < 1<<16; a += 64 {
+		h.Data(int64(a/64), a, a%128 == 0)
+	}
+
+	c := h.Clone()
+
+	// The clone sees the original's cache contents: the most recently
+	// touched line must be resident in both.
+	if !c.DCache.Lookup(1<<16-64, false) {
+		t.Fatal("clone lost a line the original holds")
+	}
+
+	// Mutating the clone leaves the original untouched.
+	origHits, origMisses := h.DCache.Hits, h.DCache.Misses
+	for a := uint64(1 << 20); a < 1<<20+1<<16; a += 64 {
+		c.Data(int64(a/64), a, false)
+	}
+	if h.DCache.Hits != origHits || h.DCache.Misses != origMisses {
+		t.Fatalf("original's D$ counters moved after clone accesses: hits %d->%d misses %d->%d",
+			origHits, h.DCache.Hits, origMisses, h.DCache.Misses)
+	}
+	if len(h.pending) != len(c.pending) && len(h.pending) == 0 {
+		t.Fatal("original pending map aliased by clone")
+	}
+
+	// And mutating the original leaves the clone untouched.
+	cHits := c.DCache.Hits
+	for a := uint64(2 << 20); a < 2<<20+1<<15; a += 64 {
+		h.Data(int64(a/64), a, false)
+	}
+	if c.DCache.Hits != cHits {
+		t.Fatalf("clone's D$ counters moved after original accesses: %d -> %d", cHits, c.DCache.Hits)
+	}
+
+	// MissObserver must not carry over: each simulation installs its own.
+	if c2 := h.Clone(); c2.MissObserver != nil {
+		t.Fatal("clone inherited a MissObserver")
+	}
+}
+
+// TestCacheCloneVictim pins victim-buffer deep copying.
+func TestCacheCloneVictim(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.L1D.VictimEntries == 0 {
+		t.Skip("no victim buffer in the default config")
+	}
+	h := New(cfg)
+	for a := uint64(0); a < 1<<18; a += 64 {
+		h.DCache.Lookup(a, false)
+		h.DCache.Insert(a, false)
+	}
+	c := h.DCache.Clone()
+	before := h.DCache.VictimHits
+	// Thrash the clone's victim buffer.
+	for a := uint64(1 << 21); a < 1<<21+1<<18; a += 64 {
+		c.Lookup(a, false)
+		c.Insert(a, false)
+	}
+	if h.DCache.VictimHits != before {
+		t.Fatal("original victim state aliased by clone")
+	}
+}

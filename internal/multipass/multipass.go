@@ -41,3 +41,8 @@ func NewWithTrigger(cfg pipeline.Config, trig pipeline.AdvanceTrigger, blockSeco
 func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 	return m.inner.Run(w)
 }
+
+// RunSampled simulates the workload under the given sampling policy.
+func (m *Machine) RunSampled(w *workload.Workload, pol pipeline.SamplePolicy) pipeline.Result {
+	return m.inner.RunSampled(w, pol)
+}

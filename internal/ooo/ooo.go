@@ -105,21 +105,28 @@ func (p *ports) slide(c int64) {
 
 // Run simulates the workload to completion.
 func (m *Machine) Run(w *workload.Workload) pipeline.Result {
+	return m.RunSampled(w, pipeline.SamplePolicy{})
+}
+
+// RunSampled simulates the workload under the given sampling policy,
+// running the detailed model only inside measurement windows. The zero
+// policy is a full run.
+func (m *Machine) RunSampled(w *workload.Workload, pol pipeline.SamplePolicy) pipeline.Result {
+	return pipeline.RunWindowed(w, &m.cfg.Config, pol,
+		func(hier *mem.Hierarchy, pred *bpred.Predictor, start, meas, hi int) pipeline.Result {
+			return m.runWindow(w, hier, pred, start, meas, hi)
+		})
+}
+
+// runWindow runs the detailed model over trace indexes [start, hi) from
+// the given warmed state at cycle 0, measuring [meas, hi) (counters are
+// snapshotted at the crossing and reported as differences).
+func (m *Machine) runWindow(w *workload.Workload, hier *mem.Hierarchy, pred *bpred.Predictor, start, meas, hi int) pipeline.Result {
 	cfg := m.cfg
-	hier := mem.New(cfg.Hier)
-	if w.Prewarm != nil {
-		w.Prewarm(hier)
-	}
-	pred := bpred.New(cfg.Bpred)
 	front := pipeline.NewFrontend(&cfg.Config, hier, pred)
 	sb := pipeline.NewStoreBuffer(cfg.StoreBufEntries, hier)
 
 	tr := w.Trace
-	warm := cfg.WarmupInsts
-	if warm > tr.Len() {
-		warm = tr.Len()
-	}
-	pipeline.Warmup(hier, pred, tr, warm)
 
 	intPorts := newPorts(cfg.IntPorts)
 	memPorts := newPorts(cfg.MemFPBrPorts)
@@ -135,9 +142,15 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 	var mispredicts uint64
 	pipe := int64(cfg.DCachePipe)
 
-	for i := warm; i < tr.Len(); i++ {
+	var measBase int64
+	var misp0 uint64
+	var hs0 mem.Stats
+	for i := start; i < hi; i++ {
+		if i == meas {
+			measBase, misp0, hs0 = finish, mispredicts, hier.Stats
+		}
 		in := tr.At(i)
-		k := (i - warm) % cfg.ROBEntries
+		k := (i - start) % cfg.ROBEntries
 
 		// Dispatch: in order, limited by the front end and a free ROB
 		// entry (the instruction ROBEntries older must have committed).
@@ -224,18 +237,17 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 		}
 	}
 
-	insts := int64(tr.Len() - warm)
+	insts := int64(hi - meas)
 	if insts == 0 {
-		return pipeline.Result{Name: w.Name}
+		return pipeline.Result{}
 	}
 	ki := float64(insts) / 1000
 	hs := hier.Stats
 	return pipeline.Result{
-		Name:              w.Name,
-		Cycles:            finish,
+		Cycles:            finish - measBase,
 		Insts:             insts,
-		DCacheMissPerKI:   float64(hs.DataL1Misses) / ki,
-		L2MissPerKI:       float64(hs.DataL2Misses) / ki,
-		BranchMispredicts: mispredicts,
+		DCacheMissPerKI:   float64(hs.DataL1Misses-hs0.DataL1Misses) / ki,
+		L2MissPerKI:       float64(hs.DataL2Misses-hs0.DataL2Misses) / ki,
+		BranchMispredicts: mispredicts - misp0,
 	}
 }

@@ -130,6 +130,12 @@ type Result struct {
 	SBForwards    uint64
 	SBExtraHops   float64 // mean excess chain hops per load
 	SBHopsAtLeast float64 // fraction of loads with >= 5 extra hops
+
+	// Interval sampling (zero for full runs). Both fields are additive
+	// to the persisted cache-file schema: snapshots written before they
+	// existed decode them as zero, i.e. as full runs.
+	SampleIntervals int     // measurement windows combined into this result
+	SampleCPICI95   float64 // 95% confidence half-width of CPI across windows
 }
 
 // IPC returns committed instructions per cycle.
@@ -138,6 +144,25 @@ func (r Result) IPC() float64 {
 		return 0
 	}
 	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// IPCCI95 returns the 95% confidence half-width of IPC for sampled
+// results, derived from the CPI half-width by the delta method
+// (IPC = 1/CPI, so dIPC = dCPI/CPI²). Full runs report 0.
+func (r Result) IPCCI95() float64 {
+	if r.SampleCPICI95 == 0 || r.Insts == 0 || r.Cycles == 0 {
+		return 0
+	}
+	cpi := float64(r.Cycles) / float64(r.Insts)
+	return r.SampleCPICI95 / (cpi * cpi)
+}
+
+// CPI returns cycles per committed instruction (0 when nothing ran).
+func (r Result) CPI() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Insts)
 }
 
 // SpeedupOver returns the percent speedup of r over base on the same

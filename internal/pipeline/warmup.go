@@ -15,10 +15,20 @@ import (
 //
 // Timing runs should then start at trace index n with all registers ready.
 func Warmup(h *mem.Hierarchy, p *bpred.Predictor, tr *isa.Trace, n int) {
-	if n > tr.Len() {
-		n = tr.Len()
+	WarmRange(h, p, tr, 0, n)
+}
+
+// WarmRange functionally replays trace indexes [lo, hi) into the caches
+// and branch predictor, exactly as Warmup does for [0, n). Sampled runs
+// use it to extend warmed state incrementally between measurement
+// windows: warming [0, a) and then [a, b) leaves state identical to
+// warming [0, b) in one pass, because warming is a pure left fold over
+// the trace.
+func WarmRange(h *mem.Hierarchy, p *bpred.Predictor, tr *isa.Trace, lo, hi int) {
+	if hi > tr.Len() {
+		hi = tr.Len()
 	}
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		in := tr.At(i)
 		if !h.ICache.Lookup(in.PC, false) {
 			h.L2.Lookup(in.PC, false)

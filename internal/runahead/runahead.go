@@ -60,11 +60,12 @@ func NewMultipass(cfg pipeline.Config) *Machine {
 // walk.
 var strictCycles = false
 
-// run bundles per-run state.
+// run bundles per-window state.
 type run struct {
 	cfg   *pipeline.Config
 	mp    bool
 	tr    *isa.Trace
+	end   int // window end (exclusive trace index); tr.Len() for full runs
 	hier  *mem.Hierarchy
 	front *pipeline.Frontend
 	slots *pipeline.SlotAlloc
@@ -91,13 +92,29 @@ type run struct {
 
 // Run simulates the workload to completion.
 func (m *Machine) Run(w *workload.Workload) pipeline.Result {
+	return m.RunSampled(w, pipeline.SamplePolicy{})
+}
+
+// RunSampled simulates the workload under the given sampling policy,
+// running the detailed model only inside measurement windows. The zero
+// policy is a full run.
+func (m *Machine) RunSampled(w *workload.Workload, pol pipeline.SamplePolicy) pipeline.Result {
+	return pipeline.RunWindowed(w, &m.cfg, pol,
+		func(hier *mem.Hierarchy, pred *bpred.Predictor, start, meas, hi int) pipeline.Result {
+			return m.runWindow(w, hier, pred, start, meas, hi)
+		})
+}
+
+// runWindow runs the detailed model over trace indexes [start, hi) from
+// the given warmed state at cycle 0, measuring [meas, hi): counters are
+// snapshotted when the step loop crosses meas and the result reports
+// differences. An advance episode in flight at the crossing is charged
+// to the ramp (the snapshot happens between normal-mode steps), a
+// boundary effect bounded by one episode.
+func (m *Machine) runWindow(w *workload.Workload, hier *mem.Hierarchy, pred *bpred.Predictor, start, meas, hi int) pipeline.Result {
 	cfg := m.cfg
-	r := &run{cfg: &cfg, mp: m.multipass, tr: w.Trace}
-	r.hier = mem.New(cfg.Hier)
-	if w.Prewarm != nil {
-		w.Prewarm(r.hier)
-	}
-	pred := bpred.New(cfg.Bpred)
+	r := &run{cfg: &cfg, mp: m.multipass, tr: w.Trace, end: hi}
+	r.hier = hier
 	r.front = pipeline.NewFrontend(&cfg, r.hier, pred)
 	r.slots = pipeline.NewSlotAlloc(&cfg)
 	r.sb = pipeline.NewStoreBuffer(cfg.StoreBufEntries, r.hier)
@@ -114,12 +131,6 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 		r.resMark = m.resMark
 	}
 
-	warm := cfg.WarmupInsts
-	if warm > r.tr.Len() {
-		warm = r.tr.Len()
-	}
-	pipeline.Warmup(r.hier, pred, r.tr, warm)
-
 	var dTrack, l2Track stats.MLPTracker
 	r.hier.MissObserver = func(start, done int64, l2 bool) {
 		dTrack.Add(start, done)
@@ -128,29 +139,34 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 		}
 	}
 
-	for i := warm; i < r.tr.Len(); i++ {
+	var measBase int64
+	var res0 pipeline.Result
+	var hs0 mem.Stats
+	for i := start; i < hi; i++ {
+		if i == meas {
+			measBase, res0, hs0 = r.finish, r.res, r.hier.Stats
+		}
 		r.step(i)
 	}
 	if r.mp && r.resLive != 0 {
 		// The normal-mode cursor passes every marked index, so the mark
 		// array is clean here; clear defensively anyway so a future logic
-		// change cannot leak stale results into the next Run on this
+		// change cannot leak stale results into the next window on this
 		// Machine.
 		clear(r.resMark)
 	}
 
-	insts := int64(r.tr.Len() - warm)
+	insts := int64(hi - meas)
 	ki := float64(insts) / 1000
 	if insts == 0 {
-		return pipeline.Result{Name: w.Name}
+		return pipeline.Result{}
 	}
 	hs := r.hier.Stats
-	res := r.res
-	res.Name = w.Name
-	res.Cycles = r.finish
+	res := pipeline.SubCounters(r.res, res0)
+	res.Cycles = r.finish - measBase
 	res.Insts = insts
-	res.DCacheMissPerKI = float64(hs.DataL1Misses) / ki
-	res.L2MissPerKI = float64(hs.DataL2Misses) / ki
+	res.DCacheMissPerKI = float64(hs.DataL1Misses-hs0.DataL1Misses) / ki
+	res.L2MissPerKI = float64(hs.DataL2Misses-hs0.DataL2Misses) / ki
 	res.DCacheMLP = dTrack.MLP()
 	res.L2MLP = l2Track.MLP()
 	res.RallyPerKI = float64(res.RallyInsts) / ki
@@ -264,7 +280,7 @@ func (r *run) advance(i int, detect, ret int64) {
 	last := detect
 	j := i + 1
 	diverged := false
-	for j < r.tr.Len() && !diverged {
+	for j < r.end && !diverged {
 		adv := r.tr.At(j)
 		var g pipeline.Gate
 		g.Reset(r.front.Avail(adv))

@@ -90,6 +90,7 @@ var strictCycles = false
 type run struct {
 	cfg   *pipeline.Config
 	tr    *isa.Trace
+	end   int // window end (exclusive trace index); tr.Len() for full runs
 	hier  *mem.Hierarchy
 	front *pipeline.Frontend
 	slots *pipeline.SlotAlloc
@@ -113,33 +114,42 @@ type run struct {
 
 // Run simulates the workload to completion.
 func (m *Machine) Run(w *workload.Workload) pipeline.Result {
+	return m.RunSampled(w, pipeline.SamplePolicy{})
+}
+
+// RunSampled simulates the workload under the given sampling policy,
+// running the detailed model only inside measurement windows. The zero
+// policy is a full run.
+func (m *Machine) RunSampled(w *workload.Workload, pol pipeline.SamplePolicy) pipeline.Result {
+	return pipeline.RunWindowed(w, &m.cfg, pol,
+		func(hier *mem.Hierarchy, pred *bpred.Predictor, start, meas, hi int) pipeline.Result {
+			return m.runWindow(w, hier, pred, start, meas, hi)
+		})
+}
+
+// runWindow runs the detailed model over trace indexes [start, hi) from
+// the given warmed state at cycle 0, measuring [meas, hi): counters are
+// snapshotted the first time the step loop reaches meas (step can both
+// jump forward past an episode and rewind on a squash, so the crossing
+// is latched once) and the result reports differences.
+func (m *Machine) runWindow(w *workload.Workload, hier *mem.Hierarchy, pred *bpred.Predictor, start, meas, hi int) pipeline.Result {
 	cfg := m.cfg
 	if m.slice == nil {
 		m.slice = make([]sliceEntry, 0, cfg.SliceEntries)
 		m.srl = make([]srlEntry, 0, cfg.SRLEntries)
 		m.spec = make(map[uint64]specVal, cfg.SRLEntries)
 	}
-	r := &run{cfg: &cfg, tr: w.Trace, slice: m.slice[:0], srl: m.srl[:0], spec: m.spec}
+	r := &run{cfg: &cfg, tr: w.Trace, end: hi, slice: m.slice[:0], srl: m.srl[:0], spec: m.spec}
 	clear(r.spec)
 	defer func() {
 		// Episode scratch may have grown (the SRL is unbounded by design);
-		// hand the larger backing back to the Machine for the next Run.
+		// hand the larger backing back to the Machine for the next window.
 		m.slice, m.srl = r.slice[:0], r.srl[:0]
 	}()
-	r.hier = mem.New(cfg.Hier)
-	if w.Prewarm != nil {
-		w.Prewarm(r.hier)
-	}
-	pred := bpred.New(cfg.Bpred)
+	r.hier = hier
 	r.front = pipeline.NewFrontend(&cfg, r.hier, pred)
 	r.slots = pipeline.NewSlotAlloc(&cfg)
 	r.sb = pipeline.NewStoreBuffer(cfg.StoreBufEntries, r.hier)
-
-	warm := cfg.WarmupInsts
-	if warm > r.tr.Len() {
-		warm = r.tr.Len()
-	}
-	pipeline.Warmup(r.hier, pred, r.tr, warm)
 
 	var dTrack, l2Track stats.MLPTracker
 	r.hier.MissObserver = func(start, done int64, l2 bool) {
@@ -149,22 +159,29 @@ func (m *Machine) Run(w *workload.Workload) pipeline.Result {
 		}
 	}
 
-	for i := warm; i < r.tr.Len(); {
+	var measBase int64
+	var res0 pipeline.Result
+	var hs0 mem.Stats
+	crossed := false
+	for i := start; i < hi; {
+		if !crossed && i >= meas {
+			crossed = true
+			measBase, res0, hs0 = r.finish, r.res, r.hier.Stats
+		}
 		i = r.step(i)
 	}
 
-	insts := int64(r.tr.Len() - warm)
+	insts := int64(hi - meas)
 	if insts == 0 {
-		return pipeline.Result{Name: w.Name}
+		return pipeline.Result{}
 	}
 	ki := float64(insts) / 1000
 	hs := r.hier.Stats
-	res := r.res
-	res.Name = w.Name
-	res.Cycles = r.finish
+	res := pipeline.SubCounters(r.res, res0)
+	res.Cycles = r.finish - measBase
 	res.Insts = insts
-	res.DCacheMissPerKI = float64(hs.DataL1Misses) / ki
-	res.L2MissPerKI = float64(hs.DataL2Misses) / ki
+	res.DCacheMissPerKI = float64(hs.DataL1Misses-hs0.DataL1Misses) / ki
+	res.L2MissPerKI = float64(hs.DataL2Misses-hs0.DataL2Misses) / ki
 	res.DCacheMLP = dTrack.MLP()
 	res.L2MLP = l2Track.MLP()
 	res.RallyPerKI = float64(res.RallyInsts) / ki
@@ -296,7 +313,7 @@ func (r *run) advance(i int, t, ret int64) int {
 	last := t + pipe
 	j := i + 1
 	halted := false
-	for j < r.tr.Len() && !halted {
+	for j < r.end && !halted {
 		adv := r.tr.At(j)
 		var g pipeline.Gate
 		g.Reset(r.front.Avail(adv))

@@ -33,6 +33,15 @@ type Runner interface {
 	Run(w *workload.Workload) pipeline.Result
 }
 
+// SampledRunner additionally runs a workload under a sampling policy.
+// Every machine a spec can name satisfies it too; the split interface
+// keeps Runner — the minimal contract third-party harness code holds —
+// unchanged.
+type SampledRunner interface {
+	Runner
+	RunSampled(w *workload.Workload, pol pipeline.SamplePolicy) pipeline.Result
+}
+
 // The simulated micro-architectures a Machine can name.
 const (
 	ModelInOrder   = "in-order"
@@ -88,9 +97,63 @@ type Machine struct {
 	Overrides *Overrides `json:"overrides,omitempty"`
 }
 
+// Sampling mode names.
+const (
+	// ModeFull simulates every instruction in detail (the default).
+	ModeFull = "full"
+	// ModeSampled runs SMARTS-style interval sampling: detailed
+	// simulation inside periodic measurement windows, functional cache
+	// and predictor warming in between.
+	ModeSampled = "sampled"
+)
+
+// SamplingModes lists the valid Sampling.Mode values.
+var SamplingModes = []string{ModeFull, ModeSampled}
+
+// Sampling declares a workload's sampling policy. A nil policy (and,
+// canonically, an explicit "full" one) means full detailed simulation.
+type Sampling struct {
+	// Mode is "full" or "sampled".
+	Mode string `json:"mode"`
+	// Interval is the detailed instructions measured per window
+	// (sampled only; >= 1).
+	Interval int `json:"interval,omitempty"`
+	// Period is the stratum length: one window per Period instructions
+	// (sampled only; >= Interval). Period == Interval measures every
+	// instruction and is canonically a full run.
+	Period int `json:"period,omitempty"`
+	// Warmup is the minimum functionally warmed prefix before the first
+	// window (sampled only; the machine's own warmup still applies).
+	Warmup int `json:"warmup,omitempty"`
+	// Ramp is the detailed-warmup length: detailed simulation starts Ramp
+	// instructions before each window but only the window itself is
+	// measured, hiding warm-state transients functional warming cannot
+	// recreate (sampled only; SMARTS "detailed warmup").
+	Ramp int `json:"ramp,omitempty"`
+	// Seed selects stratified-random window placement within each
+	// period; 0 places windows systematically at period starts.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Live reports whether the policy actually changes the simulation — a
+// sampled mode whose windows do not provably coalesce into the full
+// measured region. Non-live policies dispatch through the ordinary full
+// path (and canonicalize away, so they share its cache identity).
+func (s *Sampling) Live() bool {
+	return s != nil && s.Mode == ModeSampled && !(s.Period == s.Interval && s.Warmup == 0 && s.Ramp == 0)
+}
+
+// Policy converts the declaration to the pipeline's sampling policy.
+func (s *Sampling) Policy() pipeline.SamplePolicy {
+	if s == nil || s.Mode != ModeSampled {
+		return pipeline.SamplePolicy{}
+	}
+	return pipeline.SamplePolicy{Interval: s.Interval, Period: s.Period, Warmup: s.Warmup, Ramp: s.Ramp, Seed: s.Seed}
+}
+
 // Workload declares one workload: exactly one of a SPEC2000-profile
 // benchmark (with its total dynamic instruction count, warmup included)
-// or a Figure 1 micro-scenario.
+// or a Figure 1 micro-scenario, plus an optional sampling policy.
 type Workload struct {
 	// SPEC names a SPEC2000-profile benchmark (workload.AllSPECNames).
 	SPEC string `json:"spec,omitempty"`
@@ -99,6 +162,9 @@ type Workload struct {
 	// N is the total dynamic instruction count of a SPEC workload,
 	// warmup included. Scenarios have fixed traces and must leave it 0.
 	N int `json:"n,omitempty"`
+	// Sampling selects how much of the workload is simulated in detail
+	// (SPEC only). Nil means full simulation.
+	Sampling *Sampling `json:"sampling,omitempty"`
 }
 
 // Job is one named simulation: a machine run over a workload. Names
@@ -212,8 +278,28 @@ func (m Machine) Canonical() string {
 	return Canonical(m)
 }
 
-// Canonical returns the workload's canonical encoding.
-func (w Workload) Canonical() string { return Canonical(w) }
+// Canonical returns the workload's canonical encoding. A sampling policy
+// that provably does not change the simulation — explicit "full" mode, or
+// a sampled mode whose windows coalesce into the whole measured region
+// (period == interval with no extra warmup, for any seed) — encodes the
+// same as no policy at all, so such spellings share the full run's cache
+// entries and wire identity. Every live policy field, including the
+// placement seed, stays part of the identity.
+func (w Workload) Canonical() string {
+	if !w.Sampling.Live() {
+		w.Sampling = nil
+	}
+	return Canonical(w)
+}
+
+// Base returns the workload stripped of its sampling policy — the
+// identity of the generated trace and memory image, which sampling does
+// not affect. Sampled and full runs of one benchmark share a Base, and
+// with it the harness's in-memory trace and warmed-state checkpoints.
+func (w Workload) Base() Workload {
+	w.Sampling = nil
+	return w
+}
 
 // Validate checks the machine against the model vocabulary and the
 // override ranges, returning an actionable error for the first problem.
@@ -259,8 +345,9 @@ func (m Machine) Validate() error {
 
 // maxInsts bounds workload and warmup instruction counts at roughly the
 // paper's full scale: a spec arriving over the network must not be able
-// to pin a worker's cores for hours on one key.
-const maxInsts = 1 << 30
+// to pin a worker's cores for hours on one key. It is the generator's
+// own documented bound.
+const maxInsts = workload.MaxInsts
 
 // Validate checks the workload names a known benchmark or scenario with
 // a sane instruction count.
@@ -284,6 +371,35 @@ func (w Workload) Validate() error {
 		}
 	default:
 		return fmt.Errorf("spec: workload names neither a SPEC benchmark nor a scenario")
+	}
+	if s := w.Sampling; s != nil {
+		if w.SPEC == "" {
+			return fmt.Errorf("spec: sampling applies only to SPEC workloads, not scenario %q", w.Scenario)
+		}
+		switch s.Mode {
+		case ModeFull:
+			if s.Interval != 0 || s.Period != 0 || s.Warmup != 0 || s.Ramp != 0 || s.Seed != 0 {
+				return fmt.Errorf("spec: sampling mode %q takes no interval/period/warmup/ramp/seed", ModeFull)
+			}
+		case ModeSampled:
+			if s.Interval < 1 || s.Interval > maxInsts {
+				return fmt.Errorf("spec: sampling interval %d, want 1..%d", s.Interval, maxInsts)
+			}
+			if s.Period < s.Interval || s.Period > maxInsts {
+				return fmt.Errorf("spec: sampling period %d, want interval (%d)..%d", s.Period, s.Interval, maxInsts)
+			}
+			if s.Warmup < 0 || s.Warmup > maxInsts {
+				return fmt.Errorf("spec: sampling warmup %d, want 0..%d", s.Warmup, maxInsts)
+			}
+			if s.Ramp < 0 || s.Ramp > maxInsts {
+				return fmt.Errorf("spec: sampling ramp %d, want 0..%d", s.Ramp, maxInsts)
+			}
+			if s.Warmup+s.Interval > w.N {
+				return fmt.Errorf("spec: sampling warmup %d + interval %d exceeds workload n=%d", s.Warmup, s.Interval, w.N)
+			}
+		default:
+			return fmt.Errorf("spec: unknown sampling mode %q (want one of %v)", s.Mode, SamplingModes)
+		}
 	}
 	return nil
 }

@@ -21,6 +21,12 @@ import (
 type MLPTracker struct {
 	starts []int64
 	ends   []int64
+	// MLP needs both edge lists sorted; the sorted copies are cached here
+	// and rebuilt only after an Add, so repeated MLP calls (and MLP calls
+	// on already-sorted recordings) don't re-copy and re-sort every time.
+	sortedStarts []int64
+	sortedEnds   []int64
+	sorted       bool
 }
 
 // Add records one miss outstanding over [start, end). Empty or inverted
@@ -31,6 +37,7 @@ func (t *MLPTracker) Add(start, end int64) {
 	}
 	t.starts = append(t.starts, start)
 	t.ends = append(t.ends, end)
+	t.sorted = false
 }
 
 // Count returns the number of recorded misses.
@@ -42,10 +49,14 @@ func (t *MLPTracker) MLP() float64 {
 	if len(t.starts) == 0 {
 		return 0
 	}
-	ss := append([]int64(nil), t.starts...)
-	es := append([]int64(nil), t.ends...)
-	sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
-	sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+	if !t.sorted {
+		t.sortedStarts = append(t.sortedStarts[:0], t.starts...)
+		t.sortedEnds = append(t.sortedEnds[:0], t.ends...)
+		sort.Slice(t.sortedStarts, func(i, j int) bool { return t.sortedStarts[i] < t.sortedStarts[j] })
+		sort.Slice(t.sortedEnds, func(i, j int) bool { return t.sortedEnds[i] < t.sortedEnds[j] })
+		t.sorted = true
+	}
+	ss, es := t.sortedStarts, t.sortedEnds
 
 	var missCycles, busyCycles int64
 	outstanding := 0
@@ -81,6 +92,9 @@ func (t *MLPTracker) MLP() float64 {
 func (t *MLPTracker) Reset() {
 	t.starts = t.starts[:0]
 	t.ends = t.ends[:0]
+	t.sortedStarts = t.sortedStarts[:0]
+	t.sortedEnds = t.sortedEnds[:0]
+	t.sorted = false
 }
 
 // Histogram counts small non-negative integer samples (e.g. store-buffer
@@ -132,6 +146,47 @@ func (h *Histogram) FractionAtLeast(v int) float64 {
 		n += h.Buckets[i]
 	}
 	return float64(n) / float64(h.total)
+}
+
+// MeanCI95 returns the sample mean of xs and the 95% confidence
+// half-width of that mean under the normal approximation (1.96·s/√k with
+// the sample standard deviation s) — the stratified-sampling error bar of
+// SMARTS-style interval simulation. Fewer than two samples give a
+// half-width of 0 (no spread information).
+func MeanCI95(xs []float64) (mean, ci float64) {
+	k := len(xs)
+	if k == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(k)
+	if k < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	s := math.Sqrt(ss / float64(k-1))
+	return mean, 1.96 * s / math.Sqrt(float64(k))
+}
+
+// RatioCI95 propagates independent 95% half-widths through the ratio
+// num/den by the first-order delta method: the relative half-widths add
+// in quadrature. It is how sampled speedups (cycle ratios of two
+// independently sampled runs) get their error bars. A zero numerator or
+// denominator yields (0, 0).
+func RatioCI95(num, numCI, den, denCI float64) (ratio, ci float64) {
+	if num == 0 || den == 0 {
+		return 0, 0
+	}
+	ratio = num / den
+	rel := math.Sqrt((numCI/num)*(numCI/num) + (denCI/den)*(denCI/den))
+	return ratio, math.Abs(ratio) * rel
 }
 
 // GeoMean returns the geometric mean of xs (each must be > 0); it is used

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestGenerateSingleAllocation pins the builder's one-allocation
+// contract: the trace backing is sized n+genSlack up front and never
+// regrows. A regrowth would show as a capacity different from the
+// preallocation (append doubles), so capacity equality is the witness.
+func TestGenerateSingleAllocation(t *testing.T) {
+	for _, name := range AllSPECNames {
+		for _, n := range []int{1, 1000, 50_000} {
+			w := Generate(Profiles(name), n, DefaultSeed)
+			if got, want := cap(w.Trace.Insts), n+genSlack; got != want {
+				t.Fatalf("%s n=%d: trace backing cap %d, want the single preallocation %d (generation overran genSlack and regrew)",
+					name, n, got, want)
+			}
+			if w.Trace.Len() < n {
+				t.Fatalf("%s n=%d: trace has %d insts, want >= n", name, n, w.Trace.Len())
+			}
+		}
+	}
+}
+
+// TestGenerateRejectsBadN pins the documented 1..MaxInsts contract.
+func TestGenerateRejectsBadN(t *testing.T) {
+	for _, n := range []int{0, -1, MaxInsts + 1} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Generate(n=%d) did not panic", n)
+				}
+				if !strings.Contains(r.(string), "out of range") {
+					t.Fatalf("Generate(n=%d) panic = %q, want an out-of-range message", n, r)
+				}
+			}()
+			Generate(Profiles("mcf"), n, DefaultSeed)
+		}()
+	}
+}
+
+// BenchmarkGenerate measures trace generation and reports bytes allocated
+// per generated instruction — the figure of merit for the one-allocation
+// builder (an isa.Inst is 64 bytes; the memory image and chase rings add
+// a workload-fixed overhead on top).
+func BenchmarkGenerate(b *testing.B) {
+	const n = 200_000
+	p := Profiles("mcf")
+	b.ReportAllocs()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := Generate(p, n, DefaultSeed); w.Trace.Len() < n {
+			b.Fatal("short trace")
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	b.ReportMetric(float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(b.N)/float64(n), "bytes/inst")
+}

@@ -10,7 +10,9 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 
 	"icfp/internal/isa"
 	"icfp/internal/mem"
@@ -25,6 +27,31 @@ type Workload struct {
 	Trace   *isa.Trace
 	Mem     *memimage.Image
 	Prewarm func(h *mem.Hierarchy) // optional; called before simulation
+
+	sharedMu sync.Mutex
+	shared   map[string]any
+}
+
+// SharedState returns the per-workload shared value for key, calling
+// build exactly once per key to create it. The harness shares workloads
+// read-only across all simulations (exp.Arena), so this is where state
+// that is a pure function of the workload — warmed cache/predictor
+// checkpoints, most importantly — attaches and amortizes across every
+// machine that runs the workload. build runs under the workload's shared
+// lock: it must create the (empty) container only, deferring real work
+// to the container's own methods.
+func (w *Workload) SharedState(key string, build func() any) any {
+	w.sharedMu.Lock()
+	defer w.sharedMu.Unlock()
+	if w.shared == nil {
+		w.shared = make(map[string]any)
+	}
+	v, ok := w.shared[key]
+	if !ok {
+		v = build()
+		w.shared[key] = v
+	}
+	return v
 }
 
 // Address-space layout for generated programs. Regions are spaced far
@@ -138,11 +165,11 @@ func newBuilder(seed int64, n int) *builder {
 	return &builder{
 		rng: rand.New(rand.NewSource(seed)),
 		mem: memimage.New(),
-		// One allocation for the whole trace: generation appends one
-		// iteration (~64-200 instructions) past n at most, and growing a
+		// One allocation for the whole trace: generation appends at most
+		// one iteration past n (bounded by genSlack), and growing a
 		// multi-hundred-kilo-instruction slice by doubling would copy the
 		// whole trace several times over.
-		tr: make([]isa.Inst, 0, n+256),
+		tr: make([]isa.Inst, 0, n+genSlack),
 	}
 }
 
@@ -219,10 +246,27 @@ func (b *builder) buildChase(base, bytes uint64, reg isa.Reg) chaseWalk {
 	return chaseWalk{ptr: addrs[0], ring: addrs}
 }
 
+// MaxInsts bounds generated workload lengths at roughly the paper's full
+// scale. It is the documented contract of Generate — and the bound
+// internal/spec enforces on specs arriving over the network, so a remote
+// worker cannot be pinned for hours on a single absurd key.
+const MaxInsts = 1 << 30
+
+// genSlack bounds how far one generator iteration can run past n: the
+// nominal loop body is ~64 instructions, and the widest profile mix
+// (every chase load expanding to three instructions, forwarded reloads
+// doubling stores) stays well under this. The builder preallocates
+// n+genSlack up front so the whole trace is one allocation;
+// TestGenerateSingleAllocation pins that the backing never regrows.
+const genSlack = 512
+
 // Generate builds a deterministic workload of roughly n dynamic
-// instructions for the profile. The same (profile, seed, n) triple always
-// yields an identical trace.
+// instructions for the profile; n must be in 1..MaxInsts. The same
+// (profile, seed, n) triple always yields an identical trace.
 func Generate(p Profile, n int, seed int64) *Workload {
+	if n < 1 || n > MaxInsts {
+		panic(fmt.Sprintf("workload: Generate n=%d out of range 1..%d", n, MaxInsts))
+	}
 	b := newBuilder(seed, n)
 	b.streamPtr = streamBase
 	b.far = b.buildChase(chaseBase, p.ChaseBytes, regChase)
