@@ -48,12 +48,21 @@
 // re-dispatched (and their recorded wall times pre-seed the cost
 // model), and interrupts or failures save a partial snapshot of
 // everything the workers completed.
+//
+// Observability: every role accepts -metrics-addr to serve /metrics
+// (Prometheus text, or JSON via ?format=json) and /healthz over plain
+// HTTP — bind it to loopback or an internal interface. The coordinator
+// additionally beacons protocol-v4 heartbeats (-heartbeat) so idle
+// workers detect a vanished coordinator fast, and -max-idle bounds how
+// long an elastic run waits with zero workers before giving up. See the
+// Monitoring section of docs/OPERATIONS.md for the metric catalog.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -65,8 +74,26 @@ import (
 	"icfp/cmd/internal/cliutil"
 	"icfp/internal/dist"
 	"icfp/internal/exp/registry"
+	"icfp/internal/obs"
 	"icfp/internal/sim"
 )
+
+// serveMetrics starts the telemetry endpoint when addr is nonempty and
+// returns the registry (nil when disabled — every obs call site treats
+// a nil registry as off).
+func serveMetrics(role, addr string) *obs.Registry {
+	if addr == "" {
+		return nil
+	}
+	reg := obs.NewRegistry()
+	bound, _, err := obs.Serve(addr, reg, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expd %s: %v\n", role, err)
+		os.Exit(1)
+	}
+	obs.NewLogger(os.Stderr).Info("metrics endpoint up", obs.KeyAddr, bound)
+	return reg
+}
 
 func main() {
 	if len(os.Args) > 1 {
@@ -92,9 +119,11 @@ func serveMain(args []string) {
 		fs.PrintDefaults()
 	}
 	listen := fs.String("listen", ":9700", "TCP address to accept coordinators on")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = telemetry off)")
 	sec := cliutil.SecurityFlags(fs)
 	fs.Parse(args)
 
+	reg := serveMetrics("serve", *metricsAddr)
 	ln, err := sec.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "expd serve:", err)
@@ -135,7 +164,7 @@ func serveMain(args []string) {
 				return
 			}
 			fmt.Fprintf(os.Stderr, "expd serve: coordinator %s connected\n", peer)
-			if err := dist.Serve(sc); err != nil {
+			if err := dist.Serve(sc, dist.WithMetrics(reg)); err != nil {
 				fmt.Fprintf(os.Stderr, "expd serve: coordinator %s: %v\n", peer, err)
 				return
 			}
@@ -158,6 +187,7 @@ func joinMain(args []string) {
 	}
 	name := fs.String("name", "", "worker display name in coordinator logs (default host:pid)")
 	retry := fs.Duration("retry", 2*time.Second, "redial interval while the coordinator is unreachable (0 = try once)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = telemetry off)")
 	sec := cliutil.SecurityFlags(fs)
 
 	// Accept both `expd join host:port -flags` and `expd join -flags host:port`.
@@ -178,6 +208,7 @@ func joinMain(args []string) {
 		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
 
+	reg := serveMetrics("join", *metricsAddr)
 	leave := make(chan struct{})
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -213,7 +244,7 @@ func joinMain(args []string) {
 		err = dist.Register(conn, *name)
 		if err == nil {
 			fmt.Fprintf(os.Stderr, "expd join: registered with %s as %q\n", addr, *name)
-			err = dist.Serve(conn, dist.LeaveOn(leave))
+			err = dist.Serve(conn, dist.LeaveOn(leave), dist.WithMetrics(reg))
 		}
 		conn.Close()
 		select {
@@ -221,6 +252,19 @@ func joinMain(args []string) {
 			fmt.Fprintln(os.Stderr, "expd join: left the fleet")
 			return
 		default:
+		}
+		if errors.Is(err, dist.ErrCoordinatorLost) && *retry > 0 {
+			// The coordinator went silent past its announced heartbeat
+			// grace (protocol v4): treat it like an unreachable
+			// coordinator and redial, rather than dying — a restarted
+			// coordinator wants its fleet back.
+			fmt.Fprintf(os.Stderr, "expd join: %v; redialing in %v\n", err, *retry)
+			select {
+			case <-time.After(*retry):
+				continue
+			case <-leave:
+				return
+			}
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "expd join:", err)
@@ -262,6 +306,9 @@ func coordMain(args []string) {
 		batch     = fs.Int("batch", 0, "fixed jobs per dispatched batch (0 = cost-aware sizing from per-key estimates)")
 		cacheFile = fs.String("cache-file", "", "load/save the memoization cache from/to this JSON file")
 		timeout   = fs.Duration("worker-timeout", 0, "declare a silent worker dead and reassign its batch after this long (must exceed one simulation's duration; 0 = wait forever)")
+		heartbeat = fs.Duration("heartbeat", 2*time.Second, "beacon a liveness heartbeat to every worker on this interval so idle workers detect a dead coordinator (0 = off)")
+		maxIdle   = fs.Duration("max-idle", 0, "give up an elastic run after this long with zero workers and jobs outstanding (0 = wait forever)")
+		metrics   = fs.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = telemetry off)")
 	)
 	sec := cliutil.SecurityFlags(fs)
 	fs.Parse(args)
@@ -298,7 +345,9 @@ func coordMain(args []string) {
 		fatal(err)
 	}
 
-	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	log := obs.NewLogger(os.Stderr)
+	reg := serveMetrics("", *metrics)
+	cache.Instrument(reg)
 
 	var workers []dist.Worker
 	for _, addr := range strings.Split(*connect, ",") {
@@ -321,10 +370,11 @@ func coordMain(args []string) {
 			dist.CloseAll(workers)
 			fatal(err)
 		}
-		logf("expd: accepting elastic workers on %s (tls: %v, token auth: %v)", ln.Addr(), sec.CertFile != "", sec.Token != "")
+		log.Info("accepting elastic workers", obs.KeyAddr, ln.Addr().String(),
+			"tls", sec.CertFile != "", "token_auth", sec.Token != "")
 		join = make(chan dist.Worker)
 		runDone := make(chan struct{})
-		go acceptWorkers(ln, *sec, join, runDone, logf)
+		go acceptWorkers(ln, *sec, join, runDone, log)
 		// Once the run ends nothing reads the join channel again: stop
 		// accepting and turn away candidates already mid-handshake, so a
 		// late joiner gets a closed connection instead of a silent hang.
@@ -334,7 +384,10 @@ func coordMain(args []string) {
 
 	p := registry.Params{Cfg: sim.DefaultConfig(), N: *n}
 	p.Cfg.WarmupInsts = *warm
-	opts := dist.Options{Logf: logf, FrameTimeout: *timeout, BatchSize: *batch, Join: join}
+	opts := dist.Options{
+		Log: log, FrameTimeout: *timeout, BatchSize: *batch, Join: join,
+		Heartbeat: *heartbeat, MaxIdle: *maxIdle, Metrics: reg,
+	}
 	if _, err := registry.ReportDistributed(os.Stdout, names, p, workers, *parallel, cache, opts); err != nil {
 		if serr := saveCache(); serr != nil {
 			fmt.Fprintln(os.Stderr, "expd: saving cache:", serr)
@@ -353,7 +406,7 @@ func coordMain(args []string) {
 // loop so one slow dialer cannot block the next; a worker whose
 // handshake finishes after the run ended is closed instead of parked on
 // the never-again-read join channel.
-func acceptWorkers(ln net.Listener, sec dist.Security, join chan<- dist.Worker, done <-chan struct{}, logf func(string, ...any)) {
+func acceptWorkers(ln net.Listener, sec dist.Security, join chan<- dist.Worker, done <-chan struct{}, log *slog.Logger) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -363,12 +416,12 @@ func acceptWorkers(ln net.Listener, sec dist.Security, join chan<- dist.Worker, 
 			peer := c.RemoteAddr().String()
 			sc, err := sec.Secure(c)
 			if err != nil {
-				logf("expd: rejecting %s: %v", peer, err)
+				log.Info("rejecting worker", obs.KeyAddr, peer, obs.KeyCause, err)
 				return
 			}
 			w, err := dist.AcceptWorker(sc, peer)
 			if err != nil {
-				logf("expd: rejecting %s: %v", peer, err)
+				log.Info("rejecting worker", obs.KeyAddr, peer, obs.KeyCause, err)
 				return
 			}
 			select {

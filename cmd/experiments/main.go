@@ -101,6 +101,7 @@ import (
 	"icfp/internal/dist"
 	"icfp/internal/exp"
 	"icfp/internal/exp/registry"
+	"icfp/internal/obs"
 	"icfp/internal/sim"
 	"icfp/internal/spec"
 )
@@ -119,6 +120,7 @@ var (
 	flagCacheFile   = flag.String("cache-file", "", "load/save the memoization cache from/to this JSON file")
 	flagCPUProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	flagMemProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
+	flagRunSummary  = flag.String("run-summary", "", "write the run's span timeline (per-simulation start/end/worker/elapsed) to this JSON file")
 
 	flagSample         = flag.Bool("sample", false, "run SPEC workloads under interval sampling; results carry 95% confidence intervals")
 	flagSampleInterval = flag.Int("sample-interval", 0, "sampled: measured instructions per window (default: scaled to the run length)")
@@ -305,26 +307,48 @@ func main() {
 		}
 	}
 
+	// The span log records one entry per simulation — local pool workers
+	// and dist fleet members alike — when -run-summary asks for the
+	// timeline; nil otherwise, and every Add on nil is a no-op.
+	var spans *obs.SpanLog
+	if *flagRunSummary != "" {
+		spans = obs.NewSpanLog()
+	}
+
 	sets := make(map[string]*exp.ResultSet)
 	exportN, exportWarm := *flagN, *flagWarm
 	switch {
 	case *flagSpec != "" && *flagWorkers > 0:
 		var rs *exp.ResultSet
-		rs, err = registry.ReportSuiteDistributed(os.Stdout, suite, workers, perWorkerParallel(), cache, distOptions())
+		rs, err = registry.ReportSuiteDistributed(os.Stdout, suite, workers, perWorkerParallel(), cache, distOptions(spans))
 		sets[suite.Name] = rs
 		exportN, exportWarm = suite.N, suite.Warm
 	case *flagSpec != "":
 		var rs *exp.ResultSet
-		rs, err = registry.ReportSuite(os.Stdout, suite, exp.Parallelism(*flagParallel), exp.WithCache(cache))
+		rs, err = registry.ReportSuite(os.Stdout, suite, exp.Parallelism(*flagParallel), exp.WithCache(cache), exp.WithSpans(spans))
 		sets[suite.Name] = rs
 		exportN, exportWarm = suite.N, suite.Warm
 	case *flagWorkers > 0:
-		sets, err = registry.ReportDistributed(os.Stdout, names, p, workers, perWorkerParallel(), cache, distOptions())
+		sets, err = registry.ReportDistributed(os.Stdout, names, p, workers, perWorkerParallel(), cache, distOptions(spans))
 	default:
-		sets, err = registry.Report(os.Stdout, names, p, exp.Parallelism(*flagParallel), exp.WithCache(cache))
+		sets, err = registry.Report(os.Stdout, names, p, exp.Parallelism(*flagParallel), exp.WithCache(cache), exp.WithSpans(spans))
 	}
 	if err != nil {
 		fail(err)
+	}
+
+	if *flagRunSummary != "" {
+		f, err := os.Create(*flagRunSummary)
+		if err != nil {
+			fail(err)
+		}
+		err = spans.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	// The complete snapshot: failing to persist it is a failed run.
@@ -414,8 +438,8 @@ func perWorkerParallel() int {
 }
 
 // distOptions builds the dispatch options shared by both distributed
-// paths.
-func distOptions() dist.Options {
-	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
-	return dist.Options{Logf: logf}
+// paths: structured dispatch events on stderr, plus the run's span log
+// (nil when -run-summary is off).
+func distOptions(spans *obs.SpanLog) dist.Options {
+	return dist.Options{Log: obs.NewLogger(os.Stderr), Spans: spans}
 }

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
 
 	"icfp/internal/exp"
+	"icfp/internal/obs"
 	"icfp/internal/spec"
 )
 
@@ -57,10 +59,34 @@ type Options struct {
 	// give up (an interrupt still checkpoints the cache). Closing the
 	// channel restores fail-when-all-workers-die semantics.
 	Join <-chan Worker
-	// Logf, when set, receives dispatch diagnostics: worker hand-offs,
-	// joins, goodbyes, crash reassignments, retirements. Results
-	// themselves are silent.
+	// Heartbeat, when positive, makes the coordinator beacon a
+	// heartbeat frame to every worker on this interval (protocol v4).
+	// Idle workers use it to detect a vanished coordinator within a few
+	// intervals instead of waiting out TCP keepalive; see
+	// ErrCoordinatorLost. Zero disables heartbeats.
+	Heartbeat time.Duration
+	// MaxIdle, when positive, bounds how long an elastic run (Options.
+	// Join set) tolerates having zero workers while jobs are still
+	// outstanding. On expiry the run fails with ErrFleetIdle — the
+	// give-up knob for fleets whose workers may never come back. Zero
+	// means wait forever (the operator decides via interrupt).
+	MaxIdle time.Duration
+	// Log, when set, receives dispatch diagnostics as structured slog
+	// records using the shared obs key vocabulary (worker, jobs, cause,
+	// ...). Results themselves are silent.
+	Log *slog.Logger
+	// Logf is the legacy printf diagnostics sink, consulted only when
+	// Log is nil; events arrive pre-rendered by obs.Event.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives the coordinator's dispatch telemetry:
+	// queue depth, in-flight jobs, fleet size, per-worker batch and
+	// result counters, requeues, retirements, and the cost-model
+	// calibration ratio. A nil registry costs one nil check per event.
+	Metrics *obs.Registry
+	// Spans, when set, collects one obs.Span per merged result, labeled
+	// with the worker that simulated it — the distributed half of the
+	// -run-summary timeline.
+	Spans *obs.SpanLog
 }
 
 // readDeadliner is the optional transport capability FrameTimeout needs.
@@ -78,10 +104,57 @@ func readFrame(rw io.ReadWriteCloser, opts *Options) (*Message, error) {
 	return ReadMessage(rw)
 }
 
-func (o *Options) logf(format string, args ...any) {
-	if o.Logf != nil {
-		o.Logf(format, args...)
+// event emits one structured dispatch diagnostic: to Options.Log as a
+// slog record when set, otherwise rendered through obs.Event into the
+// legacy Logf sink. Keys come from the shared obs vocabulary so the
+// coordinator, the workers, and the CLIs all log the same field names.
+func (o *Options) event(msg string, kv ...any) {
+	if o.Log != nil {
+		o.Log.Info(msg, kv...)
+		return
 	}
+	if o.Logf != nil {
+		o.Logf("%s", obs.Event(msg, kv...))
+	}
+}
+
+// distMetrics is the coordinator's telemetry, carved from
+// Options.Metrics once per run. Every field is nil when the registry is
+// nil, and every obs method on a nil metric is a no-op — the
+// uninstrumented dispatch path pays one nil check per event.
+type distMetrics struct {
+	reg        *obs.Registry
+	queueDepth *obs.Gauge   // dist_queue_depth
+	inflight   *obs.Gauge   // dist_inflight_jobs
+	active     *obs.Gauge   // dist_active_workers
+	batches    *obs.Counter // dist_dispatched_batches_total
+	merged     *obs.Counter // dist_results_merged_total
+	requeued   *obs.Counter // dist_requeued_jobs_total
+	retired    *obs.Counter // dist_retired_workers_total
+	joins      *obs.Counter // dist_worker_joins_total
+	goodbyes   *obs.Counter // dist_worker_goodbyes_total
+}
+
+func newDistMetrics(reg *obs.Registry) *distMetrics {
+	return &distMetrics{
+		reg:        reg,
+		queueDepth: reg.Gauge("dist_queue_depth", "jobs awaiting dispatch"),
+		inflight:   reg.Gauge("dist_inflight_jobs", "jobs handed to a worker, neither merged nor requeued"),
+		active:     reg.Gauge("dist_active_workers", "workers admitted and not retired"),
+		batches:    reg.Counter("dist_dispatched_batches_total", "batches handed to workers"),
+		merged:     reg.Counter("dist_results_merged_total", "results merged into the coordinator cache"),
+		requeued:   reg.Counter("dist_requeued_jobs_total", "jobs returned to the queue after a crash or goodbye"),
+		retired:    reg.Counter("dist_retired_workers_total", "workers that left the fleet (any cause)"),
+		joins:      reg.Counter("dist_worker_joins_total", "workers admitted to the fleet"),
+		goodbyes:   reg.Counter("dist_worker_goodbyes_total", "workers that left cleanly with a goodbye frame"),
+	}
+}
+
+// syncLocked refreshes the queue-shape gauges; the caller holds d.mu.
+func (m *distMetrics) syncLocked(d *dispatcher) {
+	m.queueDepth.Set(float64(len(d.ready)))
+	m.inflight.Set(float64(d.inflight))
+	m.active.Set(float64(d.active))
 }
 
 // pjob is one plan job moving through the dispatcher: its spec, its
@@ -113,7 +186,10 @@ type dispatcher struct {
 
 	active     int  // workers currently admitted and not retired
 	joinable   bool // an open Join channel may still deliver workers
+	idleGen    int  // bumped on every admit; stale idle timers stand down
 	workerErrs []string
+
+	met *distMetrics
 
 	transports []io.Closer // every admitted transport, closed when the run ends
 	model      *costModel
@@ -147,8 +223,11 @@ func Run(plan []spec.Job, workers []Worker, cache *exp.Cache, opts Options) erro
 		model:    newCostModel(),
 		cache:    cache,
 		opts:     &opts,
+		met:      newDistMetrics(opts.Metrics),
 	}
 	d.cond = sync.NewCond(&d.mu)
+	opts.Metrics.GaugeFunc("dist_cost_model_ratio", "online static-units to wall-ns calibration of the dispatch cost model",
+		func() float64 { return d.model.calibration() })
 
 	var missing []spec.Job
 	for _, sj := range plan {
@@ -167,7 +246,10 @@ func Run(plan []spec.Job, workers []Worker, cache *exp.Cache, opts Options) erro
 	for _, sj := range missing {
 		d.ready = append(d.ready, &pjob{sj: sj, key: exp.KeyOf(sj)})
 	}
-	opts.logf("dist: %d jobs queued across %d workers (elastic: %v)", len(missing), len(workers), opts.Join != nil)
+	d.mu.Lock()
+	d.met.syncLocked(d)
+	d.mu.Unlock()
+	opts.event("dispatch started", obs.KeyJobs, len(missing), obs.KeyWorkers, len(workers), obs.KeyElastic, opts.Join != nil)
 
 	for _, w := range workers {
 		d.admit(w)
@@ -175,6 +257,11 @@ func Run(plan []spec.Job, workers []Worker, cache *exp.Cache, opts Options) erro
 	if opts.Join != nil {
 		d.wg.Add(1)
 		go d.watchJoins(opts.Join)
+		if len(workers) == 0 {
+			// Starting with an empty elastic fleet: the give-up clock
+			// runs from the start, not only after a worker leaves.
+			d.armIdleTimer()
+		}
 	}
 
 	<-d.done
@@ -187,7 +274,8 @@ func Run(plan []spec.Job, workers []Worker, cache *exp.Cache, opts Options) erro
 	return d.failure
 }
 
-// admit adds one worker to the fleet and starts its dispatch loop.
+// admit adds one worker to the fleet and starts its dispatch loop. Any
+// armed idle timer stands down: bumping the generation invalidates it.
 func (d *dispatcher) admit(w Worker) {
 	d.mu.Lock()
 	if d.stopped {
@@ -196,7 +284,10 @@ func (d *dispatcher) admit(w Worker) {
 		return
 	}
 	d.active++
+	d.idleGen++
 	d.transports = append(d.transports, w.RW)
+	d.met.joins.Inc()
+	d.met.syncLocked(d)
 	d.mu.Unlock()
 	d.wg.Add(1)
 	go d.runWorker(w)
@@ -222,7 +313,7 @@ func (d *dispatcher) watchJoins(join <-chan Worker) {
 				}
 				return
 			}
-			d.opts.logf("dist: worker %s joined the fleet", w.Name)
+			d.opts.event("worker joined", obs.KeyWorker, w.Name)
 			d.admit(w)
 		}
 	}
@@ -238,6 +329,39 @@ func (d *dispatcher) remaining() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.remainingLocked()
+}
+
+// ErrFleetIdle reports that an elastic run had zero workers for the
+// whole Options.MaxIdle window with jobs still outstanding and gave up.
+// Distinct from the all-workers-failed error of inelastic runs: the
+// fleet was allowed to refill and nothing came.
+var ErrFleetIdle = errors.New("dist: elastic fleet idle past the give-up window")
+
+// armIdleTimer starts the MaxIdle give-up clock if the fleet is
+// currently empty with work outstanding and a join could still save it.
+// The timer captures the idle generation; an admit in the window bumps
+// the generation and the expired timer stands down.
+func (d *dispatcher) armIdleTimer() {
+	if d.opts.MaxIdle <= 0 {
+		return
+	}
+	d.mu.Lock()
+	if d.stopped || d.active > 0 || !d.joinable || d.remainingLocked() == 0 {
+		d.mu.Unlock()
+		return
+	}
+	gen := d.idleGen
+	d.mu.Unlock()
+	time.AfterFunc(d.opts.MaxIdle, func() {
+		d.mu.Lock()
+		expired := !d.stopped && d.active == 0 && d.idleGen == gen && d.remainingLocked() > 0
+		outstanding := d.remainingLocked()
+		d.mu.Unlock()
+		if expired {
+			d.fail(fmt.Errorf("%w: no workers for %v with %d jobs outstanding: %s",
+				ErrFleetIdle, d.opts.MaxIdle, outstanding, d.joinErrs()))
+		}
+	})
 }
 
 // fail records the run's failure and wakes everyone. A fatal error from
@@ -288,6 +412,8 @@ func (d *dispatcher) next() []*pjob {
 			batch := d.takeBatchLocked()
 			d.inflight += len(batch)
 			d.batches++
+			d.met.batches.Inc()
+			d.met.syncLocked(d)
 			return batch
 		}
 		if d.inflight == 0 && d.batches == 0 {
@@ -360,6 +486,8 @@ func (d *dispatcher) requeue(owed []*pjob, counted bool, worker string, cause er
 	d.mu.Lock()
 	d.inflight -= len(owed)
 	d.ready = append(d.ready, owed...)
+	d.met.requeued.Add(int64(len(owed)))
+	d.met.syncLocked(d)
 	d.cond.Broadcast()
 	d.mu.Unlock()
 }
@@ -369,6 +497,8 @@ func (d *dispatcher) requeue(owed []*pjob, counted bool, worker string, cause er
 func (d *dispatcher) merged() {
 	d.mu.Lock()
 	d.inflight--
+	d.met.merged.Inc()
+	d.met.syncLocked(d)
 	d.mu.Unlock()
 }
 
@@ -380,6 +510,8 @@ func (d *dispatcher) retire(w Worker, cause string) {
 	w.RW.Close()
 	d.mu.Lock()
 	d.active--
+	d.met.retired.Inc()
+	d.met.syncLocked(d)
 	if cause != "" {
 		d.workerErrs = append(d.workerErrs, fmt.Sprintf("%s: %s", w.Name, cause))
 	}
@@ -389,6 +521,8 @@ func (d *dispatcher) retire(w Worker, cause string) {
 		d.fail(fmt.Errorf("dist: all workers failed with %d jobs outstanding: %s",
 			d.remaining(), d.joinErrs()))
 	}
+	// An elastic fleet that just went empty starts the give-up clock.
+	d.armIdleTimer()
 }
 
 // runOver reports whether the run has already ended (success or
@@ -409,29 +543,73 @@ func (d *dispatcher) joinErrs() string {
 	return strings.Join(d.workerErrs, "; ")
 }
 
+// coordConn serializes the coordinator's outbound frames to one worker:
+// batch frames come from the dispatch loop while heartbeat frames come
+// from the beacon goroutine, and a frame must never interleave with
+// another mid-write. Reads stay unserialized — only the dispatch loop
+// reads.
+type coordConn struct {
+	rw io.ReadWriteCloser
+	mu sync.Mutex
+}
+
+func (c *coordConn) send(m *Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return WriteMessage(c.rw, m)
+}
+
+// beat beacons heartbeat frames to one worker every interval until the
+// run ends, the worker's loop stops it, or the transport dies (the
+// dispatch loop notices the death on its own; the beacon just stops).
+func (d *dispatcher) beat(conn *coordConn, stop <-chan struct{}) {
+	t := time.NewTicker(d.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-d.done:
+			return
+		case <-t.C:
+			if conn.send(&Message{Type: TypeHeartbeat}) != nil {
+				return
+			}
+		}
+	}
+}
+
 // runWorker is one worker's dispatch loop: handshake, then pull batches
 // until the run ends or the worker leaves (goodbye) or dies (transport
 // failure). Fatal worker-reported errors abort the whole run.
 func (d *dispatcher) runWorker(w Worker) {
 	defer d.wg.Done()
-	if err := initWorker(w, d.opts); err != nil {
+	conn := &coordConn{rw: w.RW}
+	if err := initWorker(w, conn, d.opts); err != nil {
 		var fatal *fatalError
 		if errors.As(err, &fatal) {
 			d.fail(fmt.Errorf("dist: worker %s: %w", w.Name, err))
 			d.retire(w, "")
 			return
 		}
-		d.opts.logf("dist: worker %s failed during handshake: %v", w.Name, err)
+		d.opts.event("worker handshake failed", obs.KeyWorker, w.Name, obs.KeyCause, err)
 		d.retire(w, fmt.Sprintf("handshake: %v", err))
 		return
 	}
+	if d.opts.Heartbeat > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go d.beat(conn, stop)
+	}
+	batchCount := d.met.reg.Counter("dist_worker_batches_total", "batches dispatched per worker", "worker", w.Name)
 	for {
 		batch := d.next()
 		if batch == nil {
 			d.retire(w, "")
 			return
 		}
-		owed, err := d.runBatch(w, batch)
+		batchCount.Inc()
+		owed, err := d.runBatch(w, conn, batch)
 		// The batch has concluded one way or another; owed jobs are still
 		// accounted in-flight until requeue moves them back, so this
 		// cannot complete a run that still owes work.
@@ -440,7 +618,8 @@ func (d *dispatcher) runWorker(w Worker) {
 		case err == nil:
 			continue
 		case errors.Is(err, errGoodbye):
-			d.opts.logf("dist: worker %s said goodbye; requeueing %d unfinished jobs", w.Name, len(owed))
+			d.opts.event("worker goodbye", obs.KeyWorker, w.Name, obs.KeyJobs, len(owed))
+			d.met.goodbyes.Inc()
 			d.requeue(owed, false, w.Name, err)
 			d.retire(w, "")
 			return
@@ -460,11 +639,7 @@ func (d *dispatcher) runWorker(w Worker) {
 			}
 			// Transport-level failure: the worker is gone. Requeue
 			// whatever the batch still owes and retire this worker.
-			if len(owed) == 0 {
-				d.opts.logf("dist: worker %s died after finishing its batch: %v", w.Name, err)
-			} else {
-				d.opts.logf("dist: worker %s died mid-batch; requeueing %d jobs: %v", w.Name, len(owed), err)
-			}
+			d.opts.event("worker died", obs.KeyWorker, w.Name, obs.KeyJobs, len(owed), obs.KeyCause, err)
 			d.requeue(owed, true, w.Name, err)
 			d.retire(w, err.Error())
 			return
@@ -481,11 +656,13 @@ func (e *fatalError) Error() string { return e.msg }
 // errGoodbye marks a clean worker departure mid-batch.
 var errGoodbye = errors.New("worker left the fleet")
 
-// initWorker performs the handshake: protocol version plus the worker's
-// pool size. There is no job-table cross-check — batches are
-// self-describing, so the worker needs no prior copy of the plan.
-func initWorker(w Worker, opts *Options) error {
-	if err := WriteMessage(w.RW, &Message{Type: TypeInit, Proto: ProtoVersion, Parallel: opts.Parallel}); err != nil {
+// initWorker performs the handshake: protocol version, the worker's
+// pool size, and the heartbeat interval this coordinator will beacon
+// on. There is no job-table cross-check — batches are self-describing,
+// so the worker needs no prior copy of the plan.
+func initWorker(w Worker, conn *coordConn, opts *Options) error {
+	init := &Message{Type: TypeInit, Proto: ProtoVersion, Parallel: opts.Parallel, HeartbeatNS: int64(opts.Heartbeat)}
+	if err := conn.send(init); err != nil {
 		return err
 	}
 	m, err := readFrame(w.RW, opts)
@@ -507,11 +684,12 @@ func initWorker(w Worker, opts *Options) error {
 // transport failure or goodbye it returns the jobs still owed, in
 // dispatch order, for requeueing; worker-reported errors come back as
 // fatalError.
-func (d *dispatcher) runBatch(w Worker, batch []*pjob) (owed []*pjob, err error) {
+func (d *dispatcher) runBatch(w Worker, conn *coordConn, batch []*pjob) (owed []*pjob, err error) {
 	d.mu.Lock()
 	d.batchSeq++
 	id := d.batchSeq
 	d.mu.Unlock()
+	resultCount := d.met.reg.Counter("dist_worker_results_total", "results merged per worker", "worker", w.Name)
 
 	jobs := make([]spec.Job, len(batch))
 	remaining := make(map[exp.Key]*pjob, len(batch))
@@ -528,7 +706,7 @@ func (d *dispatcher) runBatch(w Worker, batch []*pjob) (owed []*pjob, err error)
 		}
 		return out
 	}
-	if err := WriteMessage(w.RW, &Message{Type: TypeBatch, BatchID: id, Jobs: jobs}); err != nil {
+	if err := conn.send(&Message{Type: TypeBatch, BatchID: id, Jobs: jobs}); err != nil {
 		return still(), err
 	}
 	for {
@@ -549,6 +727,17 @@ func (d *dispatcher) runBatch(w Worker, batch []*pjob) (owed []*pjob, err error)
 			if _, ok := remaining[k]; ok {
 				delete(remaining, k)
 				d.merged()
+				resultCount.Inc()
+				if d.opts.Spans != nil {
+					// Width is the worker's own measurement; placement is
+					// coordinator-clock, anchored at the merge instant.
+					end := time.Now()
+					d.opts.Spans.Add(obs.Span{
+						Machine: k.Machine, Workload: k.Workload, Worker: w.Name,
+						Start: end.Add(-time.Duration(m.Result.ElapsedNS)), End: end,
+						ElapsedNS: m.Result.ElapsedNS,
+					})
+				}
 			}
 		case TypeCostReport:
 			for _, kc := range m.Costs {

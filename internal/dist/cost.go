@@ -98,6 +98,14 @@ func (c *costModel) observe(k exp.Key, ns float64) {
 	}
 }
 
+// calibration returns the current static-units → wall-ns EWMA ratio,
+// the dist_cost_model_ratio gauge (1 until the first observation).
+func (c *costModel) calibration() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ratio
+}
+
 // estimate returns the key's current cost estimate in wall nanoseconds
 // (calibrated units before the first observation — consistent across
 // keys, which is all batch sizing needs).

@@ -3,6 +3,7 @@ package dist_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"icfp/internal/dist"
 	"icfp/internal/exp"
+	"icfp/internal/obs"
 	"icfp/internal/pipeline"
 	"icfp/internal/sim"
 	"icfp/internal/spec"
@@ -768,4 +770,175 @@ func TestAuthRejectedBeforeAnyFrame(t *testing.T) {
 	}
 	c3.Close()
 	<-errc
+}
+
+// TestHeartbeatRunAndMetrics pins the protocol-v4 happy path plus the
+// telemetry contract in one end-to-end run: with heartbeats beaconing
+// faster than the worker's grace window, a run completes with correct
+// results, the coordinator registry shows the dispatch shape (joins,
+// merges, drained queue), and the worker registry shows heartbeat age
+// and its simulation counters.
+func TestHeartbeatRunAndMetrics(t *testing.T) {
+	jobs := testJobs(6)
+	want := localResults(t, jobs)
+	plan, err := exp.Plan(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wreg := obs.NewRegistry()
+	w, serveErr := startWorker(t, "w0", dist.WithMetrics(wreg))
+	creg := obs.NewRegistry()
+	cache := exp.NewCache()
+	err = dist.Run(plan, []dist.Worker{w}, cache, dist.Options{
+		Parallel:  1,
+		Heartbeat: 20 * time.Millisecond,
+		Metrics:   creg,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("heartbeat-enabled run failed: %v", err)
+	}
+	if serr := <-serveErr; serr != nil {
+		t.Errorf("worker Serve under heartbeats: %v", serr)
+	}
+	for i, sj := range plan {
+		k := exp.KeyOf(sj)
+		res, ok := cache.Lookup(k)
+		if !ok {
+			t.Fatalf("plan entry %d missing", i)
+		}
+		if res != want[k] {
+			t.Errorf("plan entry %d diverged under heartbeats", i)
+		}
+	}
+
+	// Coordinator-side telemetry: reading a metric back is the same
+	// get-or-create call sites use.
+	if got := creg.Counter("dist_worker_joins_total", "").Value(); got != 1 {
+		t.Errorf("dist_worker_joins_total = %d, want 1", got)
+	}
+	if got := creg.Counter("dist_results_merged_total", "").Value(); got != int64(len(plan)) {
+		t.Errorf("dist_results_merged_total = %d, want %d", got, len(plan))
+	}
+	if got := creg.Counter("dist_worker_results_total", "", "worker", "w0").Value(); got != int64(len(plan)) {
+		t.Errorf(`dist_worker_results_total{worker="w0"} = %d, want %d`, got, len(plan))
+	}
+	if got := creg.Counter("dist_dispatched_batches_total", "").Value(); got < 1 {
+		t.Errorf("dist_dispatched_batches_total = %d, want >= 1", got)
+	}
+	if got := creg.Gauge("dist_queue_depth", "").Value(); got != 0 {
+		t.Errorf("dist_queue_depth = %v after the run, want 0", got)
+	}
+	if got := creg.Gauge("dist_inflight_jobs", "").Value(); got != 0 {
+		t.Errorf("dist_inflight_jobs = %v after the run, want 0", got)
+	}
+
+	// Worker-side telemetry: heartbeat age gauge and the instrumented
+	// per-connection cache.
+	var buf bytes.Buffer
+	if err := wreg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"dist_heartbeat_age_seconds", "exp_cache_misses_total", "exp_simulations_total"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("worker registry missing %s:\n%s", name, buf.String())
+		}
+	}
+	if got := wreg.Counter("exp_cache_misses_total", "").Value(); got != int64(len(plan)) {
+		t.Errorf("worker exp_cache_misses_total = %d, want %d", got, len(plan))
+	}
+}
+
+// TestHeartbeatLossDetected pins the dead-coordinator fast path: a
+// coordinator that announces a heartbeat interval and then goes silent —
+// connection still open, so no EOF ever arrives — is declared lost
+// within the grace window, with ErrCoordinatorLost, instead of the
+// worker hanging until TCP keepalive (minutes) or forever on a pipe.
+func TestHeartbeatLossDetected(t *testing.T) {
+	coordEnd, workerEnd := dist.Pipe()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- dist.Serve(workerEnd) }()
+	if err := dist.WriteMessage(coordEnd, &dist.Message{
+		Type: dist.TypeInit, Proto: dist.ProtoVersion, Parallel: 1,
+		HeartbeatNS: int64(30 * time.Millisecond),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := dist.ReadMessage(coordEnd); err != nil || m.Type != dist.TypeReady {
+		t.Fatalf("handshake reply = (%+v, %v)", m, err)
+	}
+	// Prove the liveness path: one real heartbeat is consumed silently.
+	if err := dist.WriteMessage(coordEnd, &dist.Message{Type: dist.TypeHeartbeat}); err != nil {
+		t.Fatal(err)
+	}
+	// Then total silence with the connection held open.
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, dist.ErrCoordinatorLost) {
+			t.Errorf("Serve error = %v, want ErrCoordinatorLost", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never declared the silent coordinator lost")
+	}
+	coordEnd.Close()
+}
+
+// TestMaxIdleGivesUp pins the elastic give-up knob: a run whose fleet
+// stays empty for the whole MaxIdle window fails with ErrFleetIdle (a
+// distinct, matchable error) instead of waiting forever for a join that
+// never comes.
+func TestMaxIdleGivesUp(t *testing.T) {
+	plan, err := exp.Plan(testJobs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := make(chan dist.Worker) // never delivers
+	start := time.Now()
+	err = dist.Run(plan, nil, exp.NewCache(), dist.Options{
+		Join:    join,
+		MaxIdle: 80 * time.Millisecond,
+		Logf:    t.Logf,
+	})
+	if !errors.Is(err, dist.ErrFleetIdle) {
+		t.Fatalf("idle elastic run error = %v, want ErrFleetIdle", err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("gave up after %v, before the %v window", elapsed, 80*time.Millisecond)
+	}
+	if !strings.Contains(err.Error(), "3 jobs outstanding") {
+		t.Errorf("idle error lacks the outstanding-job count: %v", err)
+	}
+}
+
+// TestMaxIdleDisarmedByJoin pins the other half of the knob: a worker
+// arriving inside the window stands the give-up timer down and the run
+// completes normally.
+func TestMaxIdleDisarmedByJoin(t *testing.T) {
+	jobs := testJobs(4)
+	want := localResults(t, jobs)
+	plan, err := exp.Plan(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := make(chan dist.Worker)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		w, _ := startWorker(t, "late")
+		join <- w
+	}()
+	cache := exp.NewCache()
+	if err := dist.Run(plan, nil, cache, dist.Options{
+		Join:    join,
+		MaxIdle: 2 * time.Second,
+		Logf:    t.Logf,
+	}); err != nil {
+		t.Fatalf("run with an in-window join must succeed, got: %v", err)
+	}
+	for i, sj := range plan {
+		k := exp.KeyOf(sj)
+		if res, ok := cache.Lookup(k); !ok || res != want[k] {
+			t.Fatalf("plan entry %d missing or diverged after late join", i)
+		}
+	}
 }

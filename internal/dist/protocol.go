@@ -30,8 +30,17 @@
 // per-key cost model: a static estimate derived from each spec (workload
 // length × model class) refined online by the observed wall times that
 // workers stream back in cost-report frames, so cheap keys ride in large
-// batches while known-expensive stragglers ship alone. The full frame
-// catalog lives in docs/ARCHITECTURE.md.
+// batches while known-expensive stragglers ship alone.
+//
+// Protocol v4 adds coordinator heartbeats: the init frame announces an
+// interval and the coordinator beacons on it, so an idle worker whose
+// coordinator vanished (host gone, network partition) notices within a
+// few intervals instead of waiting out TCP keepalive. The package is
+// also instrumented end to end (internal/obs): Options.Metrics exposes
+// queue depth, per-worker batch counters, requeues and retirements on
+// the coordinator; WithMetrics does the same for a serving worker,
+// including a last-heartbeat-age gauge. The full frame catalog lives in
+// docs/ARCHITECTURE.md.
 package dist
 
 import (
@@ -47,11 +56,14 @@ import (
 // ProtoVersion identifies the wire protocol. Version 2 replaced the v1
 // job-table handshake (an opaque registry spec plus a table-size
 // cross-check) with self-describing spec.Job batches; version 3 added
-// the elastic-fleet frames (register, goodbye) and per-key cost reports.
-// Coordinator and workers must match exactly: results are only portable
-// between compatible simulators, so version skew is a handshake error —
-// reported with both versions named — not something to paper over.
-const ProtoVersion = 3
+// the elastic-fleet frames (register, goodbye) and per-key cost reports;
+// version 4 added coordinator liveness heartbeats (the init frame
+// announces the interval, heartbeat frames keep idle connections
+// provably alive). Coordinator and workers must match exactly: results
+// are only portable between compatible simulators, so version skew is a
+// handshake error — reported with both versions named — not something
+// to paper over.
+const ProtoVersion = 4
 
 // maxFrame bounds one protocol frame. The largest real frames are batch
 // messages (a few spec jobs) and single results — far below this; the
@@ -86,6 +98,14 @@ const (
 	// TypeBatchDone is worker → coordinator: every job of the identified
 	// batch has been simulated and its result sent.
 	TypeBatchDone = "batch_done"
+	// TypeHeartbeat is coordinator → worker: a liveness beacon sent
+	// every Options.Heartbeat while the run is up. The init frame
+	// announces the interval (HeartbeatNS); a worker that has seen no
+	// frame at all for several intervals concludes the coordinator is
+	// gone — much faster than TCP keepalive notices a vanished peer —
+	// and abandons the connection with ErrCoordinatorLost. Workers never
+	// send heartbeats: their liveness is covered by Options.FrameTimeout.
+	TypeHeartbeat = "heartbeat"
 	// TypeGoodbye is worker → coordinator: the worker is leaving the
 	// fleet (operator drain, host reclaim). Results it already streamed
 	// are kept; the unfinished remainder of any in-flight batch is
@@ -116,6 +136,9 @@ type Message struct {
 	Parallel int `json:"parallel,omitempty"`
 	// Name is the registering worker's display name (register only).
 	Name string `json:"name,omitempty"`
+	// HeartbeatNS is the coordinator's heartbeat interval in nanoseconds
+	// (init only); zero means heartbeats are off for this connection.
+	HeartbeatNS int64 `json:"heartbeat_ns,omitempty"`
 
 	// Batch and BatchDone. Batch IDs start at 1 so a zero ID always
 	// means "absent". Jobs are self-describing: each carries the full

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"icfp/internal/exp"
+	"icfp/internal/obs"
 )
 
 // maxWorkerParallel caps the coordinator-requested pool size: the spec
@@ -21,6 +24,7 @@ type ServeOption func(*serveOptions)
 type serveOptions struct {
 	onRun func(exp.Key)
 	leave <-chan struct{}
+	reg   *obs.Registry
 }
 
 // OnSimulate installs a hook invoked once per actual simulation this
@@ -28,6 +32,28 @@ type serveOptions struct {
 func OnSimulate(f func(exp.Key)) ServeOption {
 	return func(o *serveOptions) { o.onRun = f }
 }
+
+// WithMetrics attaches a metrics registry to the serving worker: the
+// connection's simulation cache is instrumented (exp_cache_* plus the
+// per-model exp_sim_* totals — the worker-side sim rate), and
+// dist_heartbeat_age_seconds reports how long ago the coordinator last
+// proved liveness (any frame counts; heartbeats keep it fresh while
+// idle). Re-registering across redials replaces the gauge cleanly.
+func WithMetrics(reg *obs.Registry) ServeOption {
+	return func(o *serveOptions) { o.reg = reg }
+}
+
+// ErrCoordinatorLost reports that a worker abandoned its connection
+// because the coordinator announced a heartbeat interval and then went
+// silent for several intervals — the fast-path detection of a vanished
+// coordinator (host gone, network partition) that TCP keepalive would
+// take minutes to notice. Redialing is the caller's policy (expd join
+// exits; a supervisor restarts it).
+var ErrCoordinatorLost = errors.New("dist: coordinator heartbeat lost")
+
+// heartbeatGrace is how many announced intervals of total silence a
+// worker tolerates before declaring the coordinator lost.
+const heartbeatGrace = 3
 
 // LeaveOn makes the worker leave the fleet when ch is closed: a goodbye
 // frame is sent (interleaving safely with any in-flight result stream),
@@ -167,14 +193,32 @@ func Serve(rw io.ReadWriter, opts ...ServeOption) error {
 		return sendError(conn, fmt.Sprintf("requested parallelism %d exceeds the worker cap %d", m.Parallel, maxWorkerParallel))
 	}
 	parallel := m.Parallel
+	hb := time.Duration(m.HeartbeatNS)
 	if err := conn.send(&Message{Type: TypeReady}); err != nil {
 		return err
 	}
 
+	// Any frame proves coordinator liveness; the handshake seeds the
+	// clock so the age gauge never reads from the epoch.
+	var lastBeat atomic.Int64
+	lastBeat.Store(time.Now().UnixNano())
+	so.reg.GaugeFunc("dist_heartbeat_age_seconds", "seconds since the coordinator last proved liveness (any frame)",
+		func() float64 { return time.Since(time.Unix(0, lastBeat.Load())).Seconds() })
+
 	cache := exp.NewCache()
 	arena := exp.NewArena()
+	cache.Instrument(so.reg)
+	deadline, canDeadline := rw.(readDeadliner)
 	for {
+		// While heartbeats are announced, an idle wait is bounded: total
+		// silence past the grace window means the coordinator is gone.
+		if hb > 0 && canDeadline {
+			deadline.SetReadDeadline(time.Now().Add(heartbeatGrace * hb))
+		}
 		m, err := ReadMessage(rw)
+		if hb > 0 && canDeadline {
+			deadline.SetReadDeadline(time.Time{})
+		}
 		if err == io.EOF || errors.Is(err, io.ErrClosedPipe) {
 			return nil // coordinator closed the connection: run complete, or this worker's goodbye was honored
 		}
@@ -184,9 +228,15 @@ func Serve(rw io.ReadWriter, opts ...ServeOption) error {
 				// of a drained connection, not a failure.
 				return nil
 			}
+			if hb > 0 && errors.Is(err, os.ErrDeadlineExceeded) {
+				return fmt.Errorf("%w: no frame for %v (announced interval %v)", ErrCoordinatorLost, heartbeatGrace*hb, hb)
+			}
 			return err
 		}
+		lastBeat.Store(time.Now().UnixNano())
 		switch m.Type {
+		case TypeHeartbeat:
+			// Liveness only; the timestamp above is the whole point.
 		case TypeBatch:
 			if err := serveBatch(conn, m, cache, arena, parallel, &so); err != nil {
 				return err

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"icfp/internal/obs"
 	"icfp/internal/pipeline"
 	"icfp/internal/spec"
 )
@@ -80,6 +81,13 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]*entry
 	runs    map[Key]int // actual simulations per key (diagnostics/tests)
+
+	// Telemetry (Instrument). All nil-safe no-ops until a registry is
+	// attached, so the uninstrumented path pays one nil check per event.
+	reg      *obs.Registry
+	hits     *obs.Counter
+	misses   *obs.Counter
+	inflight *obs.Gauge
 }
 
 type entry struct {
@@ -93,16 +101,42 @@ func NewCache() *Cache {
 	return &Cache{entries: make(map[Key]*entry), runs: make(map[Key]int)}
 }
 
+// Instrument attaches a metrics registry: cache hits/misses
+// (exp_cache_hits_total / exp_cache_misses_total — a hit is any claim or
+// lookup answered without a new simulation), in-flight simulations
+// (exp_cache_inflight), and the per-model simulation totals that Run
+// records (exp_simulations_total, exp_sim_instructions_total,
+// exp_sim_elapsed_ns_total, exp_sim_seconds). A nil registry detaches.
+func (c *Cache) Instrument(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg = reg
+	c.hits = reg.Counter("exp_cache_hits_total", "simulations answered from the memo cache (claims and lookups)")
+	c.misses = reg.Counter("exp_cache_misses_total", "cache claims and lookups that found no completed result")
+	c.inflight = reg.Gauge("exp_cache_inflight", "simulations claimed but not yet finished")
+}
+
+// registry returns the attached metrics registry (nil when
+// uninstrumented); Run uses it for the per-model simulation totals.
+func (c *Cache) registry() *obs.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reg
+}
+
 // claim returns the entry for k and whether the caller claimed it (and
 // must simulate, then call finish).
 func (c *Cache) claim(k Key) (*entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[k]; ok {
+		c.hits.Inc()
 		return e, false
 	}
 	e := &entry{done: make(chan struct{})}
 	c.entries[k] = e
+	c.misses.Inc()
+	c.inflight.Add(1)
 	return e, true
 }
 
@@ -114,6 +148,7 @@ func (c *Cache) finish(k Key, e *entry, res pipeline.Result, elapsed time.Durati
 	c.mu.Unlock()
 	e.res = res
 	e.elapsed = elapsed
+	c.inflight.Add(-1)
 	close(e.done)
 }
 
@@ -145,12 +180,15 @@ func (c *Cache) Lookup(k Key) (pipeline.Result, bool) {
 	e, ok := c.entries[k]
 	c.mu.Unlock()
 	if !ok {
+		c.misses.Inc()
 		return pipeline.Result{}, false
 	}
 	select {
 	case <-e.done:
+		c.hits.Inc()
 		return e.res, true
 	default:
+		c.misses.Inc()
 		return pipeline.Result{}, false
 	}
 }
@@ -181,6 +219,7 @@ type options struct {
 	arena       *Arena
 	onRun       func(Key)
 	cancel      <-chan struct{}
+	spans       *obs.SpanLog
 }
 
 // Option configures Run.
@@ -214,6 +253,13 @@ func WithArena(a *Arena) Option {
 // worker but never concurrently.
 func OnRun(f func(Key)) Option {
 	return func(o *options) { o.onRun = f }
+}
+
+// WithSpans records one obs.Span per actual simulation (never for cache
+// hits) into l, labeled with the pool worker that ran it — the local
+// half of the -run-summary timeline. A nil log records nothing.
+func WithSpans(l *obs.SpanLog) Option {
+	return func(o *options) { o.spans = l }
 }
 
 // ErrCanceled reports that a Run was abandoned through a Cancel channel
@@ -358,7 +404,17 @@ func Run(jobs []Job, opts ...Option) (*ResultSet, error) {
 					} else {
 						res = r.Run(wk)
 					}
-					o.cache.finish(k, e, res, time.Since(start))
+					end := time.Now()
+					elapsed := end.Sub(start)
+					o.cache.finish(k, e, res, elapsed)
+					if reg := o.cache.registry(); reg != nil {
+						model := j.Machine.Model
+						reg.Counter("exp_simulations_total", "actual simulator runs per model (cache hits excluded)", "model", model).Inc()
+						reg.Counter("exp_sim_instructions_total", "simulated instructions per model", "model", model).Add(res.Insts)
+						reg.Counter("exp_sim_elapsed_ns_total", "wall time spent simulating per model, in nanoseconds", "model", model).Add(int64(elapsed))
+						reg.Histogram("exp_sim_seconds", "wall time of individual simulations", obs.DefSecondsBuckets).Observe(elapsed.Seconds())
+					}
+					o.spans.Add(obs.Span{Machine: k.Machine, Workload: k.Workload, Worker: fmt.Sprintf("pool-%d", w), Start: start, End: end, ElapsedNS: int64(elapsed)})
 					if o.onRun != nil {
 						hookMu.Lock()
 						o.onRun(k)

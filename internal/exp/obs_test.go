@@ -1,0 +1,101 @@
+package exp_test
+
+import (
+	"strings"
+	"testing"
+
+	"icfp/internal/exp"
+	"icfp/internal/obs"
+)
+
+// TestCacheInstrumentation pins the harness telemetry contract: an
+// instrumented cache counts misses (one per distinct key), hits (every
+// repeat claim or lookup), drains its in-flight gauge to zero, and Run
+// records per-model simulation totals plus one span per actual
+// simulation — never for cache hits.
+func TestCacheInstrumentation(t *testing.T) {
+	jobs := scenarioJobs()
+	distinct := make(map[exp.Key]bool)
+	models := make(map[string]bool)
+	for _, j := range jobs {
+		distinct[j.Key()] = true
+		models[j.Machine.Model] = true
+	}
+
+	reg := obs.NewRegistry()
+	cache := exp.NewCache()
+	cache.Instrument(reg)
+	spans := obs.NewSpanLog()
+	if _, err := exp.Run(jobs, exp.WithCache(cache), exp.WithSpans(spans)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("exp_cache_misses_total", "").Value(); got != int64(len(distinct)) {
+		t.Errorf("exp_cache_misses_total = %d, want %d (one per distinct key)", got, len(distinct))
+	}
+	if got := reg.Gauge("exp_cache_inflight", "").Value(); got != 0 {
+		t.Errorf("exp_cache_inflight = %v after the run, want 0", got)
+	}
+	firstHits := reg.Counter("exp_cache_hits_total", "").Value()
+
+	// A second run over the same cache is all hits: no new simulations,
+	// no new spans, hits grow by at least one per job.
+	if _, err := exp.Run(jobs, exp.WithCache(cache), exp.WithSpans(spans)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("exp_cache_misses_total", "").Value(); got != int64(len(distinct)) {
+		t.Errorf("warm rerun grew misses to %d, want still %d", got, len(distinct))
+	}
+	if got := reg.Counter("exp_cache_hits_total", "").Value(); got < firstHits+int64(len(jobs)) {
+		t.Errorf("warm rerun hits = %d, want >= %d", got, firstHits+int64(len(jobs)))
+	}
+
+	// Per-model totals: every model simulated at least once, instruction
+	// counts nonzero, and the sum over models equals the distinct-key
+	// simulation count.
+	var simTotal int64
+	for m := range models {
+		n := reg.Counter("exp_simulations_total", "", "model", m).Value()
+		if n < 1 {
+			t.Errorf("exp_simulations_total{model=%q} = %d, want >= 1", m, n)
+		}
+		simTotal += n
+		if insts := reg.Counter("exp_sim_instructions_total", "", "model", m).Value(); insts < 1 {
+			t.Errorf("exp_sim_instructions_total{model=%q} = %d, want >= 1", m, insts)
+		}
+	}
+	if simTotal != int64(len(distinct)) {
+		t.Errorf("sum of exp_simulations_total = %d, want %d", simTotal, len(distinct))
+	}
+	if got := reg.Histogram("exp_sim_seconds", "", obs.DefSecondsBuckets).Count(); got != int64(len(distinct)) {
+		t.Errorf("exp_sim_seconds count = %d, want %d", got, len(distinct))
+	}
+
+	// Spans: exactly one per actual simulation, none from the warm rerun,
+	// all labeled with a pool worker and internally consistent.
+	got := spans.Spans()
+	if len(got) != len(distinct) {
+		t.Fatalf("recorded %d spans, want %d (one per simulation)", len(got), len(distinct))
+	}
+	for _, s := range got {
+		if !strings.HasPrefix(s.Worker, "pool-") {
+			t.Errorf("span worker = %q, want a pool-N label", s.Worker)
+		}
+		if s.End.Before(s.Start) || s.ElapsedNS < 0 {
+			t.Errorf("span timing inconsistent: %+v", s)
+		}
+	}
+}
+
+// TestUninstrumentedCacheIsFree pins the off-by-default contract at the
+// harness level: a cache never handed a registry runs identically with
+// all telemetry paths as no-ops.
+func TestUninstrumentedCacheIsFree(t *testing.T) {
+	cache := exp.NewCache()
+	if _, err := exp.Run(scenarioJobs(), exp.WithCache(cache)); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Simulations() == 0 {
+		t.Error("uninstrumented run recorded no simulations")
+	}
+}

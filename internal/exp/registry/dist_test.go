@@ -9,6 +9,7 @@ import (
 	"crypto/x509/pkix"
 	"encoding/pem"
 	"fmt"
+	"io"
 	"math/big"
 	"net"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"icfp/internal/dist"
 	"icfp/internal/exp"
 	"icfp/internal/exp/registry"
+	"icfp/internal/obs"
 )
 
 // pipeWorkers serves n in-process workers over pipes. Workers carry no
@@ -260,5 +262,144 @@ func TestElasticTLSFleetMatchesGolden(t *testing.T) {
 	}
 	if cache.Simulations() != 0 {
 		t.Errorf("coordinator simulated %d times; all simulation must happen on the fleet", cache.Simulations())
+	}
+}
+
+// crashRW lets a fixed number of worker-side frames through, then fails
+// every write and severs the pipe — a worker process dying mid-batch.
+type crashRW struct {
+	rw         io.ReadWriteCloser
+	writesLeft atomic.Int32
+	died       chan struct{}
+	once       sync.Once
+}
+
+func newCrashRW(rw io.ReadWriteCloser, frames int32) *crashRW {
+	c := &crashRW{rw: rw, died: make(chan struct{})}
+	c.writesLeft.Store(frames)
+	return c
+}
+
+func (c *crashRW) Read(p []byte) (int, error) { return c.rw.Read(p) }
+
+func (c *crashRW) Write(p []byte) (int, error) {
+	if c.writesLeft.Add(-1) < 0 {
+		c.once.Do(func() {
+			c.rw.Close()
+			close(c.died)
+		})
+		return 0, fmt.Errorf("worker crashed")
+	}
+	return c.rw.Write(p)
+}
+
+// gateRW delays a worker's first read — and with it its handshake —
+// until the gate opens, the scheduling device that forces the first
+// batches onto the workers that will fail.
+type gateRW struct {
+	rw   io.ReadWriteCloser
+	gate <-chan struct{}
+}
+
+func (g *gateRW) Read(p []byte) (int, error)  { <-g.gate; return g.rw.Read(p) }
+func (g *gateRW) Write(p []byte) (int, error) { return g.rw.Write(p) }
+func (g *gateRW) Close() error                { return g.rw.Close() }
+
+// TestChaosFleetMatchesGolden is the fault-injection acceptance pin: the
+// full -all report survives a worker crashing mid-batch AND a worker
+// partitioning (connected but silent, cut by FrameTimeout) — with the
+// output still byte-identical to the committed single-process golden,
+// and the telemetry registry accounting the carnage: requeues happened,
+// every worker retired, and the queue drained to zero.
+func TestChaosFleetMatchesGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("..", "..", "..", "cmd", "experiments", "testdata", "golden_all_tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The crasher: handshakes, streams one result, then dies mid-batch.
+	crashCoord, crashWorker := dist.Pipe()
+	dying := newCrashRW(crashWorker, 2) // ready + one result
+	go dist.Serve(dying)
+
+	// The partitioned worker: handshakes, accepts a batch, then goes
+	// silent while holding the connection open — only FrameTimeout can
+	// declare it dead.
+	stallCoord, stallWorker := dist.Pipe()
+	gotBatch := make(chan struct{})
+	go func() {
+		m, err := dist.ReadMessage(stallWorker)
+		if err != nil || m.Type != dist.TypeInit {
+			return
+		}
+		if err := dist.WriteMessage(stallWorker, &dist.Message{Type: dist.TypeReady}); err != nil {
+			return
+		}
+		if m, err = dist.ReadMessage(stallWorker); err != nil || m.Type != dist.TypeBatch {
+			return
+		}
+		close(gotBatch)
+		dist.ReadMessage(stallWorker) // silence: never answer again
+	}()
+
+	// Two healthy survivors, gated until both victims have their batches
+	// (and the crasher is dead), so the first dispatches provably land on
+	// the doomed workers and real requeues happen.
+	gate := make(chan struct{})
+	go func() {
+		<-dying.died
+		<-gotBatch
+		close(gate)
+	}()
+	workers := []dist.Worker{
+		{Name: "crasher", RW: crashCoord},
+		{Name: "partitioned", RW: stallCoord},
+	}
+	for i := 0; i < 2; i++ {
+		coordEnd, workerEnd := dist.Pipe()
+		go dist.Serve(&gateRW{rw: workerEnd, gate: gate})
+		workers = append(workers, dist.Worker{Name: fmt.Sprintf("survivor%d", i), RW: coordEnd})
+	}
+
+	reg := obs.NewRegistry()
+	var out bytes.Buffer
+	cache := exp.NewCache()
+	opts := dist.Options{
+		BatchSize:    8,
+		FrameTimeout: 500 * time.Millisecond,
+		Metrics:      reg,
+		Logf:         t.Logf,
+	}
+	if _, err := registry.ReportDistributed(&out, registry.DefaultNames(), tinyParams(), workers, 1, cache, opts); err != nil {
+		t.Fatalf("chaos run must still succeed: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Errorf("chaos fleet output differs from the committed golden (%d vs %d bytes)", out.Len(), len(golden))
+	}
+	if cache.Simulations() != 0 {
+		t.Errorf("coordinator simulated %d times; all simulation must happen on the fleet", cache.Simulations())
+	}
+
+	// The registry must have witnessed the chaos and the recovery.
+	if got := reg.Counter("dist_requeued_jobs_total", "").Value(); got < 1 {
+		t.Errorf("dist_requeued_jobs_total = %d, want >= 1 (a crash and a partition both requeue)", got)
+	}
+	if got := reg.Counter("dist_retired_workers_total", "").Value(); got != int64(len(workers)) {
+		t.Errorf("dist_retired_workers_total = %d, want %d", got, len(workers))
+	}
+	if got := reg.Counter("dist_worker_joins_total", "").Value(); got != int64(len(workers)) {
+		t.Errorf("dist_worker_joins_total = %d, want %d", got, len(workers))
+	}
+	if got := reg.Counter("dist_worker_goodbyes_total", "").Value(); got != 0 {
+		t.Errorf("dist_worker_goodbyes_total = %d, want 0 (nobody left cleanly)", got)
+	}
+	if got := reg.Gauge("dist_queue_depth", "").Value(); got != 0 {
+		t.Errorf("dist_queue_depth = %v after the run, want 0", got)
+	}
+	if got := reg.Gauge("dist_inflight_jobs", "").Value(); got != 0 {
+		t.Errorf("dist_inflight_jobs = %v after the run, want 0", got)
+	}
+	if got := reg.Counter("dist_results_merged_total", "").Value(); got < 1 {
+		t.Errorf("dist_results_merged_total = %d, want >= 1", got)
 	}
 }

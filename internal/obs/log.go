@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// The shared structured-log key vocabulary. Every dispatch diagnostic in
+// the fleet uses these keys, so one grep (or one log-pipeline field)
+// means the same thing on the coordinator, the workers, and the CLIs —
+// the log table in docs/OPERATIONS.md is written against them.
+const (
+	// KeyWorker is a worker's display name ("proc 2", "hostB:9700").
+	KeyWorker = "worker"
+	// KeyBatch is a dispatch batch ID (they start at 1).
+	KeyBatch = "batch"
+	// KeyKey is a simulation's canonical machine|workload identity.
+	KeyKey = "key"
+	// KeyAttempt is a job's dispatch-attempt ordinal.
+	KeyAttempt = "attempt"
+	// KeyCause carries the error or reason behind an event.
+	KeyCause = "cause"
+	// KeyJobs counts jobs (queued, requeued, outstanding).
+	KeyJobs = "jobs"
+	// KeyWorkers counts fleet members.
+	KeyWorkers = "workers"
+	// KeyAddr is a network address (listeners, peers).
+	KeyAddr = "addr"
+	// KeyElastic marks a run whose fleet accepts mid-run joins.
+	KeyElastic = "elastic"
+)
+
+// NewLogger returns the fleet's standard structured logger: slog text
+// format at Info level to w (stderr in the CLIs — stdout carries only
+// reports).
+func NewLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo}))
+}
+
+// Event formats a structured event as "msg key=value ..." — the bridge
+// from the slog vocabulary to legacy printf-style log sinks (test
+// t.Logf, the deprecated dist.Options.Logf). Values render with %v;
+// strings containing spaces are quoted the way slog's text handler
+// quotes them.
+func Event(msg string, kv ...any) string {
+	var b strings.Builder
+	b.WriteString(msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v=", kv[i])
+		v := fmt.Sprintf("%v", kv[i+1])
+		if strings.ContainsAny(v, " \t\"") {
+			fmt.Fprintf(&b, "%q", v)
+		} else {
+			b.WriteString(v)
+		}
+	}
+	return b.String()
+}

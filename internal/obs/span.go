@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one simulation's slot in a run timeline: which canonical
+// (machine, workload) key ran, where (a local pool worker or a dist
+// fleet member), and when. Distributed spans are reconstructed on the
+// coordinator from each result's merge time and reported wall time, so
+// their absolute placement is coordinator-clock based while their width
+// is the worker's measurement.
+type Span struct {
+	Machine   string    `json:"machine"`
+	Workload  string    `json:"workload"`
+	Worker    string    `json:"worker"`
+	Start     time.Time `json:"start"`
+	End       time.Time `json:"end"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+}
+
+// SpanLog collects a run's spans for offline trace inspection
+// (cmd/experiments -run-summary). A nil SpanLog ignores every Add, so
+// callers thread it unconditionally; it is safe for concurrent use.
+type SpanLog struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewSpanLog returns an empty span log.
+func NewSpanLog() *SpanLog { return &SpanLog{} }
+
+// Add records one span. No-op on a nil log.
+func (l *SpanLog) Add(s Span) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.spans = append(l.spans, s)
+	l.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans sorted by start time (ties
+// by key), the stable order the JSON export uses.
+func (l *SpanLog) Spans() []Span {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]Span, len(l.spans))
+	copy(out, l.spans)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		if out[i].Machine != out[j].Machine {
+			return out[i].Machine < out[j].Machine
+		}
+		return out[i].Workload < out[j].Workload
+	})
+	return out
+}
+
+// WriteJSON writes the timeline as {"spans": [...]}, sorted by start
+// time — the -run-summary file format.
+func (l *SpanLog) WriteJSON(w io.Writer) error {
+	type doc struct {
+		Spans []Span `json:"spans"`
+	}
+	d := doc{Spans: l.Spans()}
+	if d.Spans == nil {
+		d.Spans = []Span{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
