@@ -67,6 +67,16 @@
 // included — for multi-host runs (see docs/ARCHITECTURE.md and
 // docs/OPERATIONS.md).
 //
+// -server URL submits the selected experiments (or the -spec suite) to
+// a running expq simulation daemon instead of simulating locally: the
+// daemon answers from its persistent result store, simulates only
+// genuinely new work, and streams back the rendered report —
+// byte-identical to the local run at any fleet shape.
+// -server-token/-server-tls-ca/-server-tls-name authenticate the
+// connection; execution flags (-workers, -cache-file, -json,
+// -run-summary, profiling) conflict with -server, since the daemon owns
+// execution. See docs/OPERATIONS.md, "Running expq".
+//
 // -cache-file FILE persists the memoization cache across invocations:
 // results are loaded before the run and the merged cache is saved after
 // it, so re-running (or running a different selection that shares work)
@@ -102,6 +112,7 @@ import (
 	"icfp/internal/exp"
 	"icfp/internal/exp/registry"
 	"icfp/internal/obs"
+	"icfp/internal/serve"
 	"icfp/internal/sim"
 	"icfp/internal/spec"
 )
@@ -118,6 +129,10 @@ var (
 	flagWorkerStdio = flag.Bool("worker-stdio", false, "serve as a stdio protocol worker (internal: spawned by -workers)")
 	flagJSON        = flag.String("json", "", "also write every result set to this file as JSON")
 	flagCacheFile   = flag.String("cache-file", "", "load/save the memoization cache from/to this JSON file")
+	flagServer      = flag.String("server", "", "submit the selected experiments to a running expq daemon at this base URL instead of simulating locally")
+	flagServerToken = flag.String("server-token", "", "bearer token for -server (the daemon's -token)")
+	flagServerCA    = flag.String("server-tls-ca", "", "CA certificate file to verify an https -server against")
+	flagServerName  = flag.String("server-tls-name", "", "expected TLS server name for -server when it differs from the URL host")
 	flagCPUProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	flagMemProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flagRunSummary  = flag.String("run-summary", "", "write the run's span timeline (per-simulation start/end/worker/elapsed) to this JSON file")
@@ -266,6 +281,23 @@ func main() {
 		usageError("no experiments selected")
 	}
 
+	if *flagServer != "" {
+		// Remote mode: the daemon owns execution, caching, parallelism,
+		// and profiling — flags that configure local execution would be
+		// silently ignored, so reject them instead.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "workers", "cache-file", "json", "run-summary", "cpuprofile", "memprofile", "parallel":
+				usageError("-" + f.Name + " conflicts with -server: execution happens on the daemon")
+			}
+		})
+		if err := runRemote(names, p, suite, *flagSpec != ""); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	// The persistent cache checkpoints completed work on every exit
 	// path: SIGINT/SIGTERM (handled inside PersistentCache), mid-run
 	// failures (fail below), and the happy path — where a save failure
@@ -387,6 +419,43 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// runRemote submits the selected work to an expq daemon and writes the
+// rendered reports to stdout. Each experiment is described as the same
+// suite document -describe emits and submitted in selection order, so
+// the concatenated output is byte-identical to running the selection
+// locally (the describe/spec round trip CI pins, transitively).
+func runRemote(names []string, p registry.Params, suite spec.Suite, haveSuite bool) error {
+	c, err := serve.NewClient(*flagServer, *flagServerToken, *flagServerCA, *flagServerName)
+	if err != nil {
+		return err
+	}
+	submit := func(s spec.Suite) error {
+		b, err := s.Marshal()
+		if err != nil {
+			return err
+		}
+		out, err := c.Submit(b, nil)
+		if err != nil {
+			return fmt.Errorf("suite %q: %w", s.Name, err)
+		}
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if haveSuite {
+		return submit(suite)
+	}
+	for _, name := range names {
+		s, err := registry.Describe(name, p)
+		if err != nil {
+			return err
+		}
+		if err := submit(s); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // loadSuite reads and strictly decodes a suite file ("-" means stdin).

@@ -87,6 +87,11 @@ type Options struct {
 	// with the worker that simulated it — the distributed half of the
 	// -run-summary timeline.
 	Spans *obs.SpanLog
+	// OnMerge, when set, is called after each result lands in the cache
+	// (so a Lookup from inside the hook succeeds). Calls may arrive
+	// concurrently from different workers' dispatch loops; the hook is
+	// the service layer's per-job progress signal (internal/serve).
+	OnMerge func(exp.Key)
 }
 
 // readDeadliner is the optional transport capability FrameTimeout needs.
@@ -400,8 +405,9 @@ func (d *dispatcher) closeTransports() {
 }
 
 // next blocks until there is a batch to dispatch, returning nil when the
-// run is over. The returned jobs are moved from ready to in-flight.
-func (d *dispatcher) next() []*pjob {
+// run is over. The returned jobs are moved from ready to in-flight; the
+// requesting worker's name sizes the batch to its measured speed.
+func (d *dispatcher) next(worker string) []*pjob {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
@@ -409,7 +415,7 @@ func (d *dispatcher) next() []*pjob {
 			return nil
 		}
 		if len(d.ready) > 0 {
-			batch := d.takeBatchLocked()
+			batch := d.takeBatchLocked(worker)
 			d.inflight += len(batch)
 			d.batches++
 			d.met.batches.Inc()
@@ -450,7 +456,7 @@ func (d *dispatcher) endBatch() {
 // floor keeps a worker's pool saturated by its own batch — the
 // coordinator cannot see a GOMAXPROCS-width pool, so it assumes a
 // generously wide host; stealing evens out the rest.
-func (d *dispatcher) takeBatchLocked() []*pjob {
+func (d *dispatcher) takeBatchLocked(worker string) []*pjob {
 	n := len(d.ready)
 	if d.opts.BatchSize > 0 {
 		n = min(n, d.opts.BatchSize)
@@ -459,7 +465,7 @@ func (d *dispatcher) takeBatchLocked() []*pjob {
 		if floor < 1 {
 			floor = 16
 		}
-		n = d.model.sizeBatch(d.ready, d.active, floor, maxBatchJobs)
+		n = d.model.sizeBatch(d.ready, worker, d.active, floor, maxBatchJobs)
 	}
 	batch := d.ready[:n]
 	d.ready = d.ready[n:]
@@ -602,8 +608,10 @@ func (d *dispatcher) runWorker(w Worker) {
 		go d.beat(conn, stop)
 	}
 	batchCount := d.met.reg.Counter("dist_worker_batches_total", "batches dispatched per worker", "worker", w.Name)
+	d.met.reg.GaugeFunc("dist_worker_speed", "measured throughput relative to the fleet-average calibration (1 until measured)",
+		func() float64 { return d.model.speed(w.Name) }, "worker", w.Name)
 	for {
-		batch := d.next()
+		batch := d.next(w.Name)
 		if batch == nil {
 			d.retire(w, "")
 			return
@@ -723,11 +731,15 @@ func (d *dispatcher) runBatch(w Worker, conn *coordConn, batch []*pjob) (owed []
 			k := exp.Key{Machine: m.Result.Machine, Workload: m.Result.Workload}
 			if m.Result.ElapsedNS > 0 {
 				d.model.observe(k, float64(m.Result.ElapsedNS))
+				d.model.observeWorker(w.Name, k, float64(m.Result.ElapsedNS))
 			}
 			if _, ok := remaining[k]; ok {
 				delete(remaining, k)
 				d.merged()
 				resultCount.Inc()
+				if d.opts.OnMerge != nil {
+					d.opts.OnMerge(k)
+				}
 				if d.opts.Spans != nil {
 					// Width is the worker's own measurement; placement is
 					// coordinator-clock, anchored at the merge instant.
@@ -741,7 +753,9 @@ func (d *dispatcher) runBatch(w Worker, conn *coordConn, batch []*pjob) (owed []
 			}
 		case TypeCostReport:
 			for _, kc := range m.Costs {
-				d.model.observe(exp.Key{Machine: kc.Machine, Workload: kc.Workload}, float64(kc.ElapsedNS))
+				kk := exp.Key{Machine: kc.Machine, Workload: kc.Workload}
+				d.model.observe(kk, float64(kc.ElapsedNS))
+				d.model.observeWorker(w.Name, kk, float64(kc.ElapsedNS))
 			}
 		case TypeGoodbye:
 			return still(), errGoodbye

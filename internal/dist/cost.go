@@ -57,6 +57,19 @@ type costModel struct {
 	observed map[exp.Key]float64 // wall ns, exact once measured
 	ratio    float64             // EWMA of observed-ns / static-units
 	measured bool                // at least one observation folded into ratio
+	workers  map[string]*workerRate
+}
+
+// workerRate is one worker's private static→wall-clock calibration: the
+// same EWMA the global ratio runs, but fed only by wall times this
+// worker reported. The quotient global/worker is the worker's relative
+// speed — a host twice as fast as the fleet average burns nanoseconds at
+// half the fleet rate — which is what lets heterogeneous hosts get
+// correctly sized batches instead of the fleet-average batch.
+type workerRate struct {
+	ratio    float64
+	measured bool
+	seen     map[exp.Key]bool // each key feeds this worker's EWMA once
 }
 
 func newCostModel() *costModel {
@@ -64,6 +77,7 @@ func newCostModel() *costModel {
 		static:   make(map[exp.Key]float64),
 		observed: make(map[exp.Key]float64),
 		ratio:    1,
+		workers:  make(map[string]*workerRate),
 	}
 }
 
@@ -96,6 +110,59 @@ func (c *costModel) observe(k exp.Key, ns float64) {
 			c.ratio = 0.75*c.ratio + 0.25*r
 		}
 	}
+}
+
+// observeWorker attributes one measured wall time to the worker that
+// produced it, feeding that worker's private calibration EWMA. Like the
+// global ratio, each key is folded at most once per worker (result frame
+// and batch cost report both carry it). Unattributed observations —
+// cache-snapshot seeds — never reach here, so a worker's ratio reflects
+// only its own hardware.
+func (c *costModel) observeWorker(worker string, k exp.Key, ns float64) {
+	if ns <= 0 || worker == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.static[k]
+	if s <= 0 {
+		return
+	}
+	w := c.workers[worker]
+	if w == nil {
+		w = &workerRate{ratio: 1, seen: make(map[exp.Key]bool)}
+		c.workers[worker] = w
+	}
+	if w.seen[k] {
+		return
+	}
+	w.seen[k] = true
+	r := ns / s
+	if !w.measured {
+		w.ratio, w.measured = r, true
+	} else {
+		w.ratio = 0.75*w.ratio + 0.25*r
+	}
+}
+
+// speedLocked returns a worker's relative throughput: global ns-per-unit
+// over the worker's own ns-per-unit, so 2 means "twice the fleet-average
+// speed". 1 until both sides have been measured; clamped to [1/4, 4] so
+// one noisy first measurement cannot starve or flood a host.
+func (c *costModel) speedLocked(worker string) float64 {
+	w := c.workers[worker]
+	if w == nil || !w.measured || !c.measured || w.ratio <= 0 {
+		return 1
+	}
+	s := c.ratio / w.ratio
+	return min(max(s, 0.25), 4)
+}
+
+// speed is the self-locking variant, the dist_worker_speed gauge.
+func (c *costModel) speed(worker string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.speedLocked(worker)
 }
 
 // calibration returns the current static-units → wall-ns EWMA ratio,
@@ -142,10 +209,13 @@ func (c *costModel) seedFromCache(cache *exp.Cache, plan []spec.Job) {
 // cost budget is an even share of the queue's remaining estimated cost
 // per active worker, divided again by stealSlack so each worker's share
 // is split into several steals — the slack is what lets a fast worker
-// pick up a slow one's leftovers. The floor keeps the receiving pool
-// saturated by its own batch; maxJobs keeps even a queue of near-free
-// keys stealable in bounded pieces. At least one job is always taken.
-func (c *costModel) sizeBatch(ready []*pjob, activeWorkers, floor, maxJobs int) int {
+// pick up a slow one's leftovers — and scaled by the receiving worker's
+// measured relative speed, so a host twice as fast as the fleet average
+// takes roughly twice the batch instead of idling between steals. The
+// floor keeps the receiving pool saturated by its own batch; maxJobs
+// keeps even a queue of near-free keys stealable in bounded pieces. At
+// least one job is always taken.
+func (c *costModel) sizeBatch(ready []*pjob, worker string, activeWorkers, floor, maxJobs int) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var queueCost float64
@@ -155,7 +225,7 @@ func (c *costModel) sizeBatch(ready []*pjob, activeWorkers, floor, maxJobs int) 
 	if activeWorkers < 1 {
 		activeWorkers = 1
 	}
-	budget := queueCost / (float64(activeWorkers) * stealSlack)
+	budget := queueCost * c.speedLocked(worker) / (float64(activeWorkers) * stealSlack)
 	var cost float64
 	take := 0
 	for take < len(ready) && take < maxJobs {

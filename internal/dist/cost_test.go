@@ -86,18 +86,18 @@ func TestCostAwareBatchSizing(t *testing.T) {
 		d.ready = append(d.ready, &pjob{sj: sj, key: k})
 	}
 
-	first := d.takeBatchLocked()
+	first := d.takeBatchLocked("w")
 	if len(first) != 1 || first[0].key != sk {
 		t.Fatalf("first batch = %d jobs, want the straggler alone", len(first))
 	}
-	second := d.takeBatchLocked()
+	second := d.takeBatchLocked("w")
 	if len(second) < 2 {
 		t.Errorf("cheap keys batched %d at a time, want them grouped", len(second))
 	}
 
 	// A fixed BatchSize bypasses the model entirely.
 	d.opts.BatchSize = 5
-	fixed := d.takeBatchLocked()
+	fixed := d.takeBatchLocked("w")
 	if len(fixed) != 5 {
 		t.Errorf("fixed BatchSize batch = %d jobs, want exactly 5", len(fixed))
 	}
@@ -114,7 +114,7 @@ func TestBatchFloorKeepsPoolsBusy(t *testing.T) {
 		d.model.admit(sj, k)
 		d.ready = append(d.ready, &pjob{sj: sj, key: k})
 	}
-	if got := len(d.takeBatchLocked()); got < 8 {
+	if got := len(d.takeBatchLocked("w")); got < 8 {
 		t.Errorf("batch of %d jobs starves an 8-wide pool", got)
 	}
 }
@@ -131,5 +131,87 @@ func TestSeedFromCacheUsesSnapshotTimings(t *testing.T) {
 	m.seedFromCache(cache, []spec.Job{sj})
 	if got := m.estimate(k); got != 7e6 {
 		t.Errorf("estimate after snapshot seeding = %v, want the recorded 7e6", got)
+	}
+}
+
+// TestPerWorkerSpeedSizesBatches pins the heterogeneous-fleet satellite:
+// once a worker's own wall times diverge from the fleet-average
+// calibration, its batches scale with its measured relative speed — a
+// 2×-speed synthetic worker takes visibly more of the queue per steal
+// than a ½×-speed one, instead of both receiving the fleet-average
+// batch.
+func TestPerWorkerSpeedSizesBatches(t *testing.T) {
+	m := newCostModel()
+
+	// Calibrate the fleet average at 100 ns per static unit, on keys
+	// disjoint from the ready queue (cost reports from finished batches).
+	for i := 0; i < 8; i++ {
+		sj, k := costJob(spec.ModelInOrder, 10_000+i)
+		m.admit(sj, k)
+		m.observe(k, float64(10_000+i)*100)
+	}
+	// The fast host finishes identical work in half the fleet-average
+	// time; the slow host takes double. Several keys each, so the EWMA
+	// converges near the true per-worker rate.
+	for i := 0; i < 8; i++ {
+		sj, k := costJob(spec.ModelRunahead, 20_000+i)
+		m.admit(sj, k)
+		m.observe(k, float64(staticCost(sj))*100)
+		m.observeWorker("fast", k, float64(staticCost(sj))*50)
+	}
+	for i := 0; i < 8; i++ {
+		sj, k := costJob(spec.ModelSLTP, 30_000+i)
+		m.admit(sj, k)
+		m.observe(k, float64(staticCost(sj))*100)
+		m.observeWorker("slow", k, float64(staticCost(sj))*200)
+	}
+
+	if s := m.speed("fast"); s < 1.5 || s > 2.5 {
+		t.Errorf("fast worker speed = %v, want ≈2", s)
+	}
+	if s := m.speed("slow"); s < 0.35 || s > 0.65 {
+		t.Errorf("slow worker speed = %v, want ≈0.5", s)
+	}
+	if s := m.speed("unmeasured"); s != 1 {
+		t.Errorf("unmeasured worker speed = %v, want exactly 1", s)
+	}
+
+	// One shared ready queue of unmeasured keys: the fast worker's steal
+	// must be decisively larger than the slow worker's.
+	ready := make([]*pjob, 0, 40)
+	for i := 0; i < 40; i++ {
+		sj, k := costJob(spec.ModelICFP, 40_000+i)
+		m.admit(sj, k)
+		ready = append(ready, &pjob{sj: sj, key: k})
+	}
+	const workers, floor = 2, 1
+	fast := m.sizeBatch(ready, "fast", workers, floor, maxBatchJobs)
+	slow := m.sizeBatch(ready, "slow", workers, floor, maxBatchJobs)
+	if fast < 3*slow {
+		t.Errorf("2×-speed worker takes %d jobs vs the ½×-speed worker's %d; want ≥3× (speed must shape the budget)", fast, slow)
+	}
+	if unk := m.sizeBatch(ready, "unmeasured", workers, floor, maxBatchJobs); unk <= slow || unk >= fast {
+		t.Errorf("unmeasured worker takes %d jobs, want between slow (%d) and fast (%d)", unk, slow, fast)
+	}
+}
+
+// TestWorkerSpeedClamped pins the guard rail: one wild measurement
+// cannot push a worker's speed outside [1/4, 4].
+func TestWorkerSpeedClamped(t *testing.T) {
+	m := newCostModel()
+	sj, k := costJob(spec.ModelInOrder, 10_000)
+	m.admit(sj, k)
+	m.observe(k, 1e6)
+	sj2, k2 := costJob(spec.ModelInOrder, 10_001)
+	m.admit(sj2, k2)
+	m.observeWorker("glacial", k2, 1e12) // absurdly slow single sample
+	if s := m.speed("glacial"); s != 0.25 {
+		t.Errorf("glacial worker speed = %v, want clamped to 0.25", s)
+	}
+	sj3, k3 := costJob(spec.ModelInOrder, 10_002)
+	m.admit(sj3, k3)
+	m.observeWorker("warp", k3, 1) // absurdly fast single sample
+	if s := m.speed("warp"); s != 4 {
+		t.Errorf("warp worker speed = %v, want clamped to 4", s)
 	}
 }

@@ -147,10 +147,15 @@ func LoadCacheFile(c *Cache, path string) error {
 // runs can share a cache directory) never clobber each other's work in
 // progress — and is fsynced before the rename, so a crash leaves either
 // the old snapshot or the complete new one, never a torn file.
+// Every error — temp creation, write, fsync, rename — names the
+// destination path, so "disk full" or "read-only directory" failures
+// point at the snapshot that was being saved, not an anonymous temp
+// file. (os.Rename's LinkError names both ends itself and passes
+// through unwrapped.)
 func SaveCacheFile(c *Cache, path string) error {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("exp: saving cache file %s: %w", path, err)
 	}
 	tmp := f.Name()
 	err = c.WriteSnapshot(f)
@@ -169,7 +174,7 @@ func SaveCacheFile(c *Cache, path string) error {
 	}
 	if err != nil {
 		os.Remove(tmp)
-		return err
+		return fmt.Errorf("exp: saving cache file %s: %w", path, err)
 	}
 	return nil
 }

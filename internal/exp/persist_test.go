@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -231,4 +232,42 @@ func TestSaveCacheFileConcurrentSavers(t *testing.T) {
 	if len(left) != 0 {
 		t.Errorf("temp files left behind: %v", left)
 	}
+}
+
+// TestSaveCacheFileErrorNamesPath pins the failure-mode ergonomics of
+// SaveCacheFile: when the destination directory is unwritable, the error
+// must name the snapshot path the caller asked for — not just the
+// anonymous temp file — so an operator reading a log knows which cache
+// was lost.
+func TestSaveCacheFileErrorNamesPath(t *testing.T) {
+	// A destination whose parent directory does not exist fails for every
+	// user, including root (where 0555 permission bits are not enforced).
+	t.Run("missing dir", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "no", "such", "cache.json")
+		err := exp.SaveCacheFile(exp.NewCache(), path)
+		if err == nil {
+			t.Fatalf("SaveCacheFile into a missing directory succeeded")
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Errorf("error %q does not name the destination path %q", err, path)
+		}
+	})
+	t.Run("read-only dir", func(t *testing.T) {
+		if os.Geteuid() == 0 {
+			t.Skip("running as root: directory permissions are not enforced")
+		}
+		dir := filepath.Join(t.TempDir(), "ro")
+		if err := os.Mkdir(dir, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { os.Chmod(dir, 0o755) })
+		path := filepath.Join(dir, "cache.json")
+		err := exp.SaveCacheFile(exp.NewCache(), path)
+		if err == nil {
+			t.Fatalf("SaveCacheFile into a read-only directory succeeded")
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Errorf("error %q does not name the destination path %q", err, path)
+		}
+	})
 }

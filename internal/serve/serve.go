@@ -1,0 +1,431 @@
+// Package serve is the simulation service: the HTTP layer that turns
+// the batch pipeline into a long-lived daemon (cmd/expq). Clients
+// submit declarative suites — the same `-spec` documents the CLI runs —
+// and get back per-job progress plus the final rendered tables,
+// byte-identical to a local run of the same suite.
+//
+// The serving discipline mirrors the shared-batch-service shape of the
+// cluster-computing literature in PAPERS.md: most traffic is absorbed
+// by common infrastructure, and only genuinely new work reaches the
+// compute backend. Concretely, each submitted job resolves through
+// three layers:
+//
+//  1. the persistent content-addressed store (internal/store) — a prior
+//     completion by any client, any process lifetime, is a hit;
+//  2. the in-flight table — jobs identical (by canonical spec) to one
+//     already simulating for another client attach to that flight
+//     instead of simulating again (singleflight across all clients);
+//  3. the compute backend — an elastic `expd join` fleet via the
+//     internal/dist coordinator, or a local worker pool.
+//
+// Completed simulations are persisted before waiters are released, so a
+// result is never announced and then lost to a crash.
+//
+// Responses stream as NDJSON (one JSON event per line, flushed as they
+// happen): `plan` (how the submission resolved), `job` (one result
+// merged), `output` (the rendered report), `done` or `error`. The wire
+// format is plain chunked HTTP — curl works.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+
+	"icfp/internal/dist"
+	"icfp/internal/exp"
+	"icfp/internal/exp/registry"
+	"icfp/internal/obs"
+	"icfp/internal/spec"
+	"icfp/internal/store"
+)
+
+// maxSuiteBytes bounds one submitted suite document. Generously above
+// any real suite (the full -all set is a few kilobytes) while keeping a
+// hostile client from streaming gigabytes into memory.
+const maxSuiteBytes = 8 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// Store persists completed results across submissions and daemon
+	// restarts. Required.
+	Store *store.Store
+	// Join, when set, delivers dialed-in expd workers; cache-miss jobs
+	// are dispatched to the fleet via the dist coordinator. The channel
+	// is long-lived: each submission runs one coordinator round, and
+	// workers redial between rounds (the expd join retry loop).
+	Join <-chan dist.Worker
+	// DistOpts seeds the per-submission coordinator options (heartbeat,
+	// idle give-up, frame timeout, logging). Join, Parallel, Metrics,
+	// and OnMerge are filled per submission.
+	DistOpts dist.Options
+	// WorkerParallel is each fleet worker's pool size (dist handshake).
+	WorkerParallel int
+	// LocalParallel, when Join is nil, sizes the in-process simulation
+	// pool; values below 1 mean GOMAXPROCS.
+	LocalParallel int
+	// Token, when non-empty, requires `Authorization: Bearer <token>`
+	// on submissions — the same shared secret the dist fleet uses.
+	Token string
+	// Metrics, when set, receives the expq_* service series and is
+	// shared with the store and the dispatch layer.
+	Metrics *obs.Registry
+	// Log receives service diagnostics; nil means silent.
+	Log *slog.Logger
+}
+
+// flight is one in-progress simulation shared by every submission that
+// needs its key: the claimant runs it, everyone else waits on done.
+type flight struct {
+	done chan struct{}
+	res  exp.CachedResult
+	err  error
+}
+
+// Server handles suite submissions. One Server owns the in-flight
+// table; run exactly one per store directory.
+type Server struct {
+	cfg   Config
+	arena *exp.Arena // local mode: workload traces shared across submissions
+
+	mu       sync.Mutex // guards inflight
+	inflight map[exp.Key]*flight
+
+	// dispatchMu serializes fleet rounds: the join channel feeds one
+	// coordinator at a time. Store hits and flight waits never take it.
+	dispatchMu sync.Mutex
+
+	submissions *obs.Counter
+	dispatched  *obs.Counter
+	attached    *obs.Counter
+	clients     *obs.Gauge
+}
+
+// New assembles a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	s := &Server{
+		cfg:         cfg,
+		arena:       exp.NewArena(),
+		inflight:    make(map[exp.Key]*flight),
+		submissions: cfg.Metrics.Counter("expq_submissions_total", "suite submissions accepted"),
+		dispatched:  cfg.Metrics.Counter("expq_dispatched_jobs_total", "jobs sent to the compute backend (store misses not already in flight)"),
+		attached:    cfg.Metrics.Counter("expq_attached_jobs_total", "jobs attached to another client's in-flight simulation"),
+		clients:     cfg.Metrics.Gauge("expq_clients", "submissions currently being served"),
+	}
+	cfg.Metrics.GaugeFunc("expq_inflight_jobs", "simulations currently running for some client", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.inflight))
+	})
+	return s, nil
+}
+
+// Handler returns the service's HTTP routes: POST /submit and GET
+// /healthz. Metrics stay on the separate obs handler (cmd/expq's
+// -metrics-addr), mirroring the expd split between control and
+// observation planes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// authorized checks the bearer token, constant-time, hash-first so
+// length is not observable either — the same discipline as the dist
+// transport preamble.
+func (s *Server) authorized(r *http.Request) bool {
+	if s.cfg.Token == "" {
+		return true
+	}
+	got := r.Header.Get("Authorization")
+	want := "Bearer " + s.cfg.Token
+	gh, wh := sha256.Sum256([]byte(got)), sha256.Sum256([]byte(want))
+	return subtle.ConstantTimeCompare(gh[:], wh[:]) == 1
+}
+
+// Event is one NDJSON progress line of a streaming submission response.
+type Event struct {
+	Event string `json:"event"` // plan | job | output | done | error
+
+	// plan: how the submission resolved against the three layers.
+	Jobs       int `json:"jobs,omitempty"`       // distinct simulations in the suite
+	StoreHits  int `json:"store_hits,omitempty"` // answered from the persistent store
+	Attached   int `json:"attached,omitempty"`   // shared with another client's flight
+	Dispatched int `json:"dispatched,omitempty"` // sent to the compute backend
+
+	// job: one simulation merged.
+	Machine  string `json:"machine,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Done     int    `json:"done,omitempty"`
+	Total    int    `json:"total,omitempty"`
+
+	// output: the rendered report, verbatim.
+	Data string `json:"data,omitempty"`
+
+	// error.
+	Error string `json:"error,omitempty"`
+}
+
+// eventWriter serializes NDJSON events onto one response: job events
+// arrive from concurrent merge callbacks.
+type eventWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+	f  http.Flusher
+}
+
+func (ew *eventWriter) send(e Event) {
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	b, err := json.Marshal(e)
+	if err != nil {
+		return // events are plain data; this cannot happen
+	}
+	ew.w.Write(append(b, '\n'))
+	if ew.f != nil {
+		ew.f.Flush()
+	}
+}
+
+// planned is one distinct simulation of a submission, tagged with how
+// it resolved.
+type planned struct {
+	sj spec.Job
+	k  exp.Key
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a suite document", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.authorized(r) {
+		http.Error(w, "missing or wrong bearer token", http.StatusUnauthorized)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSuiteBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading suite: %v", err), http.StatusBadRequest)
+		return
+	}
+	suite, err := spec.UnmarshalSuite(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	jobs := make([]exp.Job, len(suite.Jobs))
+	for i, j := range suite.Jobs {
+		jobs[i] = exp.Job{Name: j.Name, Machine: j.Machine, Workload: j.Workload}
+	}
+	plan, err := exp.Plan(jobs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.submissions.Inc()
+	s.clients.Add(1)
+	defer s.clients.Add(-1)
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info("submission accepted", obs.KeyJobs, len(plan), "suite", suite.Name)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	ew := &eventWriter{w: w, f: flusher}
+
+	cache := exp.NewCache()
+	out, err := s.run(suite, plan, cache, ew)
+	if err != nil {
+		ew.send(Event{Event: "error", Error: err.Error()})
+		return
+	}
+	ew.send(Event{Event: "output", Data: string(out)})
+	ew.send(Event{Event: "done", Jobs: len(plan)})
+}
+
+// run resolves the plan through store, in-flight table, and backend,
+// then renders the suite from the filled cache. All simulation results
+// land in cache; the returned bytes are the rendered report.
+func (s *Server) run(suite spec.Suite, plan []spec.Job, cache *exp.Cache, ew *eventWriter) ([]byte, error) {
+	var mine []planned   // this submission simulates these
+	var shared []*flight // another submission is simulating these
+	storeHits := 0
+	for _, sj := range plan {
+		k := exp.KeyOf(sj)
+		if rec, ok, err := s.cfg.Store.Get(k); err != nil {
+			return nil, err
+		} else if ok {
+			cache.AddResults([]exp.CachedResult{rec})
+			storeHits++
+			continue
+		}
+		s.mu.Lock()
+		if f, ok := s.inflight[k]; ok {
+			shared = append(shared, f)
+			s.attached.Inc()
+		} else {
+			f := &flight{done: make(chan struct{})}
+			s.inflight[k] = f
+			mine = append(mine, planned{sj: sj, k: k})
+		}
+		s.mu.Unlock()
+	}
+	ew.send(Event{Event: "plan", Jobs: len(plan), StoreHits: storeHits, Attached: len(shared), Dispatched: len(mine)})
+
+	total := len(plan)
+	var doneMu sync.Mutex
+	done := storeHits
+	progress := func(k exp.Key) {
+		doneMu.Lock()
+		done++
+		n := done
+		doneMu.Unlock()
+		ew.send(Event{Event: "job", Machine: k.Machine, Workload: k.Workload, Done: n, Total: total})
+	}
+
+	if err := s.dispatch(mine, cache, progress); err != nil {
+		return nil, err
+	}
+	// Results simulated by other submissions: wait and merge. The
+	// claimant persisted each before publishing, so a flight resolving
+	// cleanly is durable.
+	for _, f := range shared {
+		<-f.done
+		if f.err != nil {
+			return nil, fmt.Errorf("serve: shared in-flight job failed: %w", f.err)
+		}
+		cache.AddResults([]exp.CachedResult{f.res})
+		progress(exp.Key{Machine: f.res.Machine, Workload: f.res.Workload})
+	}
+
+	// Every key is now a cache hit: rendering simulates nothing, and the
+	// bytes match a local run of the same suite by construction (same
+	// renderer, same results).
+	var buf bytes.Buffer
+	if _, err := registry.ReportSuite(&buf, suite, exp.WithCache(cache), exp.Parallelism(1)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// dispatch runs this submission's share of the plan on the backend,
+// persisting and publishing each result as it merges. On any error the
+// unpublished flights are failed and removed so a later submission can
+// retry the keys.
+func (s *Server) dispatch(mine []planned, cache *exp.Cache, progress func(exp.Key)) (err error) {
+	if len(mine) == 0 {
+		return nil
+	}
+	s.dispatched.Add(int64(len(mine)))
+
+	published := make(map[exp.Key]bool, len(mine))
+	var pubMu sync.Mutex
+	// complete persists one merged result, then releases its waiters.
+	// Persist-before-publish: a waiter released on a result that then
+	// failed to persist would report success the store cannot back.
+	complete := func(k exp.Key) {
+		res, ok := cache.Lookup(k)
+		if !ok {
+			return // foreign key (cost report echo); nothing to publish
+		}
+		rec := exp.CachedResult{Machine: k.Machine, Workload: k.Workload, R: res}
+		if d, ok := cache.Elapsed(k); ok {
+			rec.ElapsedNS = int64(d)
+		}
+		perr := s.cfg.Store.Put(rec)
+		pubMu.Lock()
+		if published[k] {
+			pubMu.Unlock()
+			return
+		}
+		published[k] = true
+		pubMu.Unlock()
+		s.mu.Lock()
+		f := s.inflight[k]
+		delete(s.inflight, k)
+		s.mu.Unlock()
+		if f != nil {
+			f.res, f.err = rec, perr
+			close(f.done)
+		}
+		if perr != nil {
+			if s.cfg.Log != nil {
+				s.cfg.Log.Error("persisting result failed", obs.KeyCause, perr)
+			}
+			pubMu.Lock()
+			if err == nil {
+				err = perr
+			}
+			pubMu.Unlock()
+			return
+		}
+		progress(k)
+	}
+	// Whatever the backend leaves unpublished (dispatch error, worker
+	// loss) fails loudly for this submission's waiters and frees the
+	// keys for a retry.
+	defer func() {
+		for _, p := range mine {
+			pubMu.Lock()
+			pub := published[p.k]
+			pubMu.Unlock()
+			if pub {
+				continue
+			}
+			s.mu.Lock()
+			f := s.inflight[p.k]
+			delete(s.inflight, p.k)
+			s.mu.Unlock()
+			if f != nil {
+				f.err = fmt.Errorf("serve: job (%s | %s) not completed: %w", p.k.Machine, p.k.Workload, err)
+				close(f.done)
+			}
+		}
+	}()
+
+	if s.cfg.Join != nil {
+		plan := make([]spec.Job, len(mine))
+		for i, p := range mine {
+			plan[i] = p.sj
+		}
+		s.dispatchMu.Lock()
+		defer s.dispatchMu.Unlock()
+		opts := s.cfg.DistOpts
+		opts.Join = s.cfg.Join
+		opts.Parallel = s.cfg.WorkerParallel
+		opts.Metrics = s.cfg.Metrics
+		opts.OnMerge = complete
+		if rerr := dist.Run(plan, nil, cache, opts); rerr != nil && err == nil {
+			err = rerr
+		}
+		return err
+	}
+
+	jobs := make([]exp.Job, len(mine))
+	for i, p := range mine {
+		jobs[i] = exp.Job{Name: fmt.Sprintf("serve/%d", i), Machine: p.sj.Machine, Workload: p.sj.Workload}
+	}
+	if _, rerr := exp.Run(jobs,
+		exp.WithCache(cache),
+		exp.WithArena(s.arena),
+		exp.Parallelism(s.cfg.LocalParallel),
+		exp.OnRun(complete),
+	); rerr != nil && err == nil {
+		err = rerr
+	}
+	return err
+}

@@ -1,0 +1,477 @@
+package store_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"icfp/internal/exp"
+	"icfp/internal/obs"
+	"icfp/internal/pipeline"
+	"icfp/internal/store"
+)
+
+// rec fabricates a distinct result record. The store treats machine and
+// workload as opaque canonical strings and never interprets the result,
+// so synthetic identities exercise it fully.
+func rec(machine, workload string, cycles int64) exp.CachedResult {
+	return exp.CachedResult{
+		Machine:   machine,
+		Workload:  workload,
+		R:         pipeline.Result{Cycles: cycles, Insts: cycles * 2},
+		ElapsedNS: 1000,
+	}
+}
+
+func key(r exp.CachedResult) exp.Key {
+	return exp.Key{Machine: r.Machine, Workload: r.Workload}
+}
+
+func TestRoundTripAndLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec(`{"m":1}`, `{"w":1}`, 42)
+	if _, ok, err := s.Get(key(r)); err != nil || ok {
+		t.Fatalf("empty store Get = ok=%v err=%v, want miss", ok, err)
+	}
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key(r))
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+	}
+	if got.R.Cycles != 42 || got.ElapsedNS != 1000 {
+		t.Errorf("round trip mangled record: %+v", got)
+	}
+
+	// The record must live at <dir>/<hash[:2]>/<hash>.json.
+	hash := store.HashKey(key(r))
+	path := filepath.Join(dir, hash[:2], hash+".json")
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("record not at content address %s: %v", path, err)
+	}
+
+	// A fresh Open of the same directory sees the record (persistence).
+	s2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s2.Get(key(r)); err != nil || !ok {
+		t.Errorf("reopened store lost the record: ok=%v err=%v", ok, err)
+	}
+	if s2.Len() != 1 || s2.Bytes() <= 0 {
+		t.Errorf("reopened index Len=%d Bytes=%d, want 1 record with positive bytes", s2.Len(), s2.Bytes())
+	}
+}
+
+// TestFirstWriterWins pins the optimistic-concurrency contract: a second
+// Put of the identical result is a silent no-op (even with a different
+// elapsed time, which describes the host, not the simulation), while a
+// byte-different result is a fatal ConflictError naming the record path.
+func TestFirstWriterWins(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec("m", "w", 7)
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	dup := r
+	dup.ElapsedNS = 999999 // a slower host re-ran it; still the same simulation
+	if err := s.Put(dup); err != nil {
+		t.Fatalf("identical re-Put errored: %v", err)
+	}
+	got, _, err := s.Get(key(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ElapsedNS != 1000 {
+		t.Errorf("re-Put replaced the first writer's record (elapsed %d, want 1000)", got.ElapsedNS)
+	}
+
+	bad := r
+	bad.R.Cycles = 8 // a determinism violation
+	err = s.Put(bad)
+	var conflict *store.ConflictError
+	if !errors.As(err, &conflict) {
+		t.Fatalf("conflicting Put returned %v, want *ConflictError", err)
+	}
+	hash := store.HashKey(key(r))
+	if !strings.Contains(conflict.Path, hash) {
+		t.Errorf("ConflictError path %q does not name the record file (hash %s)", conflict.Path, hash)
+	}
+	// The store keeps the original record.
+	got, _, _ = s.Get(key(r))
+	if got.R.Cycles != 7 {
+		t.Errorf("conflict clobbered the stored result: cycles %d, want 7", got.R.Cycles)
+	}
+}
+
+// TestEvictionLRU pins the bounded-size policy: once the byte bound is
+// exceeded, least-recently-accessed records go first, and a Get refreshes
+// a record's access time so hot entries survive.
+func TestEvictionLRU(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Put(rec("m", "probe", 1)); err != nil {
+		t.Fatal(err)
+	}
+	recBytes := probe.Bytes() // all synthetic records are near-identical size
+
+	// Budget for three records; insert four, keeping the oldest hot.
+	dir2 := t.TempDir()
+	s, err := store.Open(dir2, store.Options{MaxBytes: recBytes*3 + recBytes/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	var rs []exp.CachedResult
+	for i := 0; i < 4; i++ {
+		r := rec("m", fmt.Sprintf("w%d", i), int64(i+1))
+		rs = append(rs, r)
+		if i == 3 {
+			// Refresh w0 so w1 is the LRU victim when w3 lands. The access
+			// clock is time.Now(); a sleep keeps it strictly ordered even on
+			// coarse filesystem timestamps (the index clock is in-memory).
+			time.Sleep(5 * time.Millisecond)
+			if _, ok, err := s.Get(key(rs[0])); err != nil || !ok {
+				t.Fatalf("refresh Get: ok=%v err=%v", ok, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if s.Bytes() > recBytes*3+recBytes/2 {
+		t.Errorf("store over budget after eviction: %d bytes", s.Bytes())
+	}
+	wantAlive := map[int]bool{0: true, 1: false, 2: true, 3: true}
+	for i, r := range rs {
+		_, ok, err := s.Get(key(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != wantAlive[i] {
+			t.Errorf("record w%d alive=%v, want %v (LRU must evict the stalest, not the hot-again oldest)", i, ok, wantAlive[i])
+		}
+	}
+	if v := reg.Counter("expq_store_evictions_total", "").Value(); v != 1 {
+		t.Errorf("evictions counter = %d, want 1", v)
+	}
+}
+
+// TestImportSnapshot pins the one-shot migration from -cache-file: a v2
+// snapshot imports completely, re-import is a no-op, and a legacy
+// unversioned snapshot is a loud SnapshotVersionError, not a partial
+// import.
+func TestImportSnapshot(t *testing.T) {
+	cache := exp.NewCache()
+	cache.AddResults([]exp.CachedResult{rec("m1", "w1", 1), rec("m2", "w2", 2)})
+	snap := filepath.Join(t.TempDir(), "cache.json")
+	if err := exp.SaveCacheFile(cache, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.ImportSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || s.Len() != 2 {
+		t.Errorf("import wrote %d records (store has %d), want 2", n, s.Len())
+	}
+	n, err = s.ImportSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("re-import wrote %d new records, want 0 (first-writer-wins)", n)
+	}
+
+	legacy := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(legacy, []byte(`{"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var vErr *exp.SnapshotVersionError
+	if _, err := s.ImportSnapshot(legacy); !errors.As(err, &vErr) {
+		t.Errorf("legacy snapshot import returned %v, want SnapshotVersionError", err)
+	}
+}
+
+// TestPutErrorNamesPath is the store half of the error-ergonomics
+// satellite: a Put that cannot write must name the destination record
+// path, whether the store root vanished or (as non-root) is read-only.
+func TestPutErrorNamesPath(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec("m", "w", 1)
+	hash := store.HashKey(key(r))
+
+	t.Run("missing root", func(t *testing.T) {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		err := s.Put(r)
+		if err == nil {
+			t.Skip("fanout mkdir recreated the root; covered by read-only dir")
+		}
+		if !strings.Contains(err.Error(), hash) {
+			t.Errorf("error %q does not name the record (hash %s)", err, hash)
+		}
+	})
+	t.Run("read-only dir", func(t *testing.T) {
+		if os.Geteuid() == 0 {
+			t.Skip("running as root: directory permissions are not enforced")
+		}
+		roDir := t.TempDir()
+		s2, err := store.Open(roDir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chmod(roDir, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { os.Chmod(roDir, 0o755) })
+		err = s2.Put(r)
+		if err == nil {
+			t.Fatal("Put into a read-only store directory succeeded")
+		}
+		if !strings.Contains(err.Error(), hash) {
+			t.Errorf("error %q does not name the record (hash %s)", err, hash)
+		}
+	})
+}
+
+// TestConcurrentPutGet races many goroutines over one store — mixed
+// Put/Get traffic on overlapping keys with eviction churn — and asserts
+// no lost records among the keys that must survive. Run under -race in
+// CI (the dist job's race sweep covers internal/...).
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const keys = 32
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines*keys)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				// All goroutines write the same deterministic result per key:
+				// concurrent identical Puts must coexist (first-writer-wins).
+				r := rec("m", fmt.Sprintf("w%d", i), int64(i))
+				if err := s.Put(r); err != nil {
+					errCh <- fmt.Errorf("goroutine %d put w%d: %w", g, i, err)
+					return
+				}
+				if _, ok, err := s.Get(key(r)); err != nil || !ok {
+					errCh <- fmt.Errorf("goroutine %d get w%d: ok=%v err=%v", g, i, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if s.Len() != keys {
+		t.Errorf("store has %d records, want %d", s.Len(), keys)
+	}
+}
+
+// TestConcurrentEviction races writers against the evictor: a tiny byte
+// bound forces every Put to evict while other goroutines Get. Nothing
+// here asserts which records survive (that depends on timing) — the
+// assertions are no errors, no torn files, and the bound holds.
+func TestConcurrentEviction(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Put(rec("m", "probe", 1)); err != nil {
+		t.Fatal(err)
+	}
+	bound := probe.Bytes() * 4
+
+	s, err := store.Open(t.TempDir(), store.Options{MaxBytes: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				r := rec("m", fmt.Sprintf("g%d-w%d", g, i), int64(i))
+				if err := s.Put(r); err != nil {
+					errCh <- err
+					return
+				}
+				s.Get(key(r)) // may miss: another goroutine's Put can evict it
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if s.Bytes() > bound {
+		t.Errorf("store over budget under concurrent eviction: %d > %d", s.Bytes(), bound)
+	}
+	// Every surviving record must parse cleanly — no torn files.
+	s2, err := store.Open(s.Dir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 4; g++ {
+		for i := 0; i < 16; i++ {
+			k := exp.Key{Machine: "m", Workload: fmt.Sprintf("g%d-w%d", g, i)}
+			if _, _, err := s2.Get(k); err != nil {
+				t.Errorf("surviving record %v is torn: %v", k, err)
+			}
+		}
+	}
+}
+
+// TestTwoProcessAppend is the multi-process half of the concurrency
+// satellite: two separate OS processes append overlapping and disjoint
+// key sets to one store directory through the public API, and every
+// record must land intact — the temp+rename protocol makes concurrent
+// writers safe without any cross-process locking.
+func TestTwoProcessAppend(t *testing.T) {
+	if os.Getenv("STORE_APPEND_HELPER") != "" {
+		helperAppend(os.Getenv("STORE_APPEND_HELPER"), os.Getenv("STORE_APPEND_SET"))
+		os.Exit(0)
+	}
+	dir := t.TempDir()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procs []*exec.Cmd
+	for _, set := range []string{"a", "b"} {
+		cmd := exec.Command(exe, "-test.run", "^TestTwoProcessAppend$", "-test.v")
+		cmd.Env = append(os.Environ(), "STORE_APPEND_HELPER="+dir, "STORE_APPEND_SET="+set)
+		out, err := os.CreateTemp(t.TempDir(), "helper-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stdout, cmd.Stderr = out, out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, cmd)
+	}
+	for i, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("helper process %d: %v", i, err)
+		}
+	}
+
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each helper writes 20 private keys and 10 shared ones (identical
+	// deterministic results, so the overlap is first-writer-wins, not a
+	// conflict): 50 distinct records total, none lost, none torn.
+	want := 20 + 20 + 10
+	if s.Len() != want {
+		t.Errorf("store has %d records after two-process append, want %d", s.Len(), want)
+	}
+	for _, set := range []string{"a", "b", "shared"} {
+		for i := 0; i < helperCount(set); i++ {
+			k := exp.Key{Machine: "m", Workload: fmt.Sprintf("%s-%d", set, i)}
+			if _, ok, err := s.Get(k); err != nil || !ok {
+				t.Errorf("record %v lost or torn: ok=%v err=%v", k, ok, err)
+			}
+		}
+	}
+}
+
+func helperCount(set string) int {
+	if set == "shared" {
+		return 10
+	}
+	return 20
+}
+
+// helperAppend is the body run inside each helper process.
+func helperAppend(dir, set string) {
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	put := func(workload string, cycles int64) {
+		if err := s.Put(rec("m", workload, cycles)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for i := 0; i < helperCount(set); i++ {
+		put(fmt.Sprintf("%s-%d", set, i), int64(i))
+		if i < helperCount("shared") {
+			// Shared keys: both processes race to write the identical record.
+			put(fmt.Sprintf("shared-%d", i), int64(i))
+		}
+	}
+}
+
+// TestInstrumentCounters pins the expq_store_* metric names the CI serve
+// job greps for.
+func TestInstrumentCounters(t *testing.T) {
+	s, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	r := rec("m", "w", 1)
+	s.Get(key(r)) // miss
+	s.Put(r)      // put
+	s.Get(key(r)) // hit
+	for name, want := range map[string]int64{
+		"expq_store_hits_total":   1,
+		"expq_store_misses_total": 1,
+		"expq_store_puts_total":   1,
+	} {
+		if v := reg.Counter(name, "").Value(); v != want {
+			t.Errorf("%s = %d, want %d", name, v, want)
+		}
+	}
+}
