@@ -503,3 +503,55 @@ func ablateExp() Experiment {
 	}
 	return e
 }
+
+// fuzzModels are the latency-tolerant designs the fuzz-corpus
+// experiment compares against the in-order baseline.
+var fuzzModels = []sim.Model{sim.Runahead, sim.SLTP, sim.ICFP}
+
+func fuzzExp() Experiment {
+	e := Experiment{
+		Name: "fuzz",
+		Desc: "adversarial fuzz-corpus cross-model comparison (workload.FuzzCorpus)",
+		// The corpus is a correctness instrument, not a paper figure:
+		// keep it out of -all so the committed -all golden stays exactly
+		// the paper's evaluation.
+		Extra: true,
+	}
+	e.Suite = func(p Params) (spec.Suite, error) {
+		b := newSuite(e, p)
+		for _, c := range workload.FuzzCorpus() {
+			wl := spec.FuzzWorkload(c.Seed, c.Knobs, p.Cfg.WarmupInsts+p.N)
+			b.add("fuzz/"+c.Label+"/base", sim.InOrder.Spec(), p.Cfg, wl)
+			for _, m := range fuzzModels {
+				b.add("fuzz/"+c.Label+"/"+m.String(), m.Spec(), p.Cfg, wl)
+			}
+		}
+		return b.done()
+	}
+	e.Print = func(w io.Writer, p Params, rs *exp.ResultSet) {
+		fmt.Fprintln(w, "== adversarial fuzz corpus: percent speedup over in-order ==")
+		fmt.Fprintf(w, "%-13s", "scenario")
+		for _, m := range fuzzModels {
+			fmt.Fprintf(w, " %9s", m.String())
+		}
+		fmt.Fprintln(w)
+		speedups := make(map[sim.Model][]float64)
+		for _, c := range workload.FuzzCorpus() {
+			fmt.Fprintf(w, "%-13s", c.Label)
+			base := "fuzz/" + c.Label + "/base"
+			for _, m := range fuzzModels {
+				name := "fuzz/" + c.Label + "/" + m.String()
+				speedups[m] = append(speedups[m], rs.Speedup(name, base))
+				fmt.Fprintf(w, " %s", spCell(rs, "%+8.1f%%", name, base))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%-13s", "geomean")
+		for _, m := range fuzzModels {
+			fmt.Fprintf(w, " %+8.1f%%", exp.GeoMeanPercent(speedups[m]))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w)
+	}
+	return e
+}

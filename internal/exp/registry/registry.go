@@ -88,6 +88,7 @@ func All() []Experiment {
 		areaExp(),
 		oooExp(),
 		ablateExp(),
+		fuzzExp(),
 	}
 }
 
@@ -164,7 +165,8 @@ func newSuite(e Experiment, p Params) *suiteBuilder {
 // add appends one job: machine m configured by cfg (whose divergence
 // from the spec base rides in the overrides; the machine's own overrides
 // win where both set a knob) over the workload. A suite-level sampling
-// policy attaches to every SPEC workload that does not pin its own.
+// policy attaches to every SPEC or fuzz workload that does not pin its
+// own (scenarios have fixed tiny traces and never sample).
 func (b *suiteBuilder) add(name string, m spec.Machine, cfg pipeline.Config, wl spec.Workload) {
 	if b.err != nil {
 		return
@@ -175,7 +177,7 @@ func (b *suiteBuilder) add(name string, m spec.Machine, cfg pipeline.Config, wl 
 		return
 	}
 	m.Overrides = spec.Merge(m.Overrides, ov)
-	if b.sampling != nil && wl.SPEC != "" && wl.Sampling == nil {
+	if b.sampling != nil && (wl.SPEC != "" || wl.Fuzz != nil) && wl.Sampling == nil {
 		s := *b.sampling
 		wl.Sampling = &s
 	}

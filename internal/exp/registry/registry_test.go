@@ -26,7 +26,7 @@ func tinyParams() registry.Params {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig5", "fig5s", "table2", "fig6", "fig7", "fig8", "hops", "poison", "area", "ooo", "ablate"}
+	want := []string{"table1", "fig5", "fig5s", "table2", "fig6", "fig7", "fig8", "hops", "poison", "area", "ooo", "ablate", "fuzz"}
 	if got := registry.Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("registry = %v, want %v", got, want)
 	}

@@ -1,0 +1,42 @@
+package runahead
+
+// Strict-vs-skip-ahead equivalence over the committed adversarial
+// corpus (see the icfp variant's comment): both the Runahead and the
+// Multipass machine must report identical Results under strict
+// one-cycle stepping on every sampled corpus pathology.
+
+import (
+	"testing"
+
+	"icfp/internal/pipeline"
+	"icfp/internal/workload"
+)
+
+var fuzzSampleLabels = []string{"sb-extreme", "bl-noisy", "mc-extreme", "rs-extreme", "all-d"}
+
+func TestStrictEquivalenceFuzzCorpus(t *testing.T) {
+	for _, label := range fuzzSampleLabels {
+		c, ok := workload.FuzzCorpusMember(label)
+		if !ok {
+			t.Fatalf("corpus member %q missing (corpus edited instead of appended?)", label)
+		}
+		for _, mp := range []bool{false, true} {
+			name := c.Label
+			if mp {
+				name = "mp-" + name
+			}
+			tc := strictCase{
+				name: name, cfg: pipeline.DefaultConfig, mp: mp,
+				w: func() *workload.Workload { return workload.Fuzz(c.Seed, c.Knobs, 6000) },
+			}
+			t.Run(name, func(t *testing.T) {
+				want := runOnce(tc, true)
+				got := runOnce(tc, false)
+				if got != want {
+					t.Errorf("skip-ahead diverged from strict stepping on %s:\nstrict: %+v\nskip:   %+v",
+						c.Name(), want, got)
+				}
+			})
+		}
+	}
+}

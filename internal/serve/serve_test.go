@@ -275,3 +275,47 @@ func TestSubmissionsShareStoreAcrossSuites(t *testing.T) {
 		t.Errorf("fig8 after fig7 hit the store 0 times; shared in-order baselines must be reused (plan %+v)", plan)
 	}
 }
+
+// TestFuzzSuiteIsFullStoreCitizen pins the fuzz family's service-level
+// citizenship: a suite of fuzz-family scenarios (the registry's fuzz
+// corpus experiment) renders remotely byte-identical to the local run,
+// persists to the store, and an immediate resubmission is answered
+// 100% from store hits with nothing dispatched — same seed and knobs,
+// same canonical key, exactly like named workloads.
+func TestFuzzSuiteIsFullStoreCitizen(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, hs, st := localServer(t, reg)
+	c, err := serve.NewClient(hs.URL, "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := localRender(t, "fuzz")
+	var events []serve.Event
+	out, err := c.Submit(describe(t, "fuzz"), func(e serve.Event) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Errorf("remote fuzz output differs from local:\n--- local ---\n%s\n--- remote ---\n%s", want, out)
+	}
+	if st.Len() == 0 {
+		t.Error("store is empty after a completed fuzz submission")
+	}
+
+	dispatchedBefore := reg.Counter("expq_dispatched_jobs_total", "").Value()
+	var events2 []serve.Event
+	out2, err := c.Submit(describe(t, "fuzz"), func(e serve.Event) { events2 = append(events2, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out2, want) {
+		t.Error("fuzz resubmission output differs")
+	}
+	if events2[0].Dispatched != 0 || events2[0].StoreHits != events2[0].Jobs {
+		t.Errorf("fuzz resubmission plan event = %+v, want 100%% store hits", events2[0])
+	}
+	if got := reg.Counter("expq_dispatched_jobs_total", "").Value(); got != dispatchedBefore {
+		t.Errorf("fuzz resubmission dispatched %d jobs, want 0", got-dispatchedBefore)
+	}
+}

@@ -1,47 +1,18 @@
 package sim
 
 import (
-	"fmt"
 	"testing"
 
 	"icfp/internal/pipeline"
 	"icfp/internal/workload"
 )
 
-// randomProfile derives a structurally valid random profile from a seed.
-// It spans the whole behaviour space: miss-heavy and miss-free, chases,
-// streams, poisoned-address stores, noisy branches.
+// randomProfile is the unbiased fuzz-family member for a seed — the
+// generator these tests originated lives in internal/workload now
+// (workload.FuzzProfile), promoted to a first-class, spec-addressable
+// scenario family.
 func randomProfile(seed int64) workload.Profile {
-	r := func(k int64, mod int64) float64 {
-		x := (seed*2654435761 + k*40503) % mod
-		if x < 0 {
-			x += mod
-		}
-		return float64(x) / float64(mod)
-	}
-	p := workload.Profile{
-		Name:           fmt.Sprintf("fuzz-%d", seed),
-		FP:             r(1, 2) < 0.5,
-		LoadFrac:       0.15 + 0.2*r(2, 97),
-		StoreFrac:      0.05 + 0.1*r(3, 89),
-		BranchFrac:     0.05 + 0.15*r(4, 83),
-		StreamFrac:     0.3 * r(5, 79),
-		RandFrac:       0.3 * r(6, 73),
-		ChaseFrac:      0.1 * r(7, 71),
-		Chase2Frac:     0.2 * r(8, 67),
-		StreamStride:   []uint64{8, 16, 32, 64}[int(4*r(9, 61))%4],
-		RandBytes:      64<<10 + uint64(r(10, 59)*float64(2<<20)),
-		ChaseBytes:     1<<20 + uint64(r(11, 53)*float64(3<<20)),
-		Chase2Bytes:    64<<10 + uint64(r(12, 47)*float64(512<<10)),
-		BranchNoise:    0.2 * r(13, 43),
-		BranchOnLoad:   0.5 * r(14, 41),
-		StoreToLoadFwd: 0.3 * r(15, 37),
-		PoisonAddrFrac: 0.05 * r(16, 31),
-		ILP:            1 + int(7*r(17, 29)),
-		MulFrac:        0.4 * r(18, 23),
-		ConsumeLag:     int(16 * r(19, 19)),
-	}
-	return p
+	return workload.FuzzProfile(seed, workload.FuzzKnobs{})
 }
 
 // TestFuzzAllMachines runs every machine over a spread of random

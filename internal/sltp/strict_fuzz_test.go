@@ -1,0 +1,36 @@
+package sltp
+
+// Strict-vs-skip-ahead equivalence over the committed adversarial
+// corpus (see the icfp variant's comment): SLTP's slice re-execution
+// must survive the same corpus pathologies the cross-model oracle
+// gates.
+
+import (
+	"testing"
+
+	"icfp/internal/pipeline"
+	"icfp/internal/workload"
+)
+
+var fuzzSampleLabels = []string{"sb-extreme", "bl-noisy", "mc-extreme", "rs-extreme", "all-d"}
+
+func TestStrictEquivalenceFuzzCorpus(t *testing.T) {
+	for _, label := range fuzzSampleLabels {
+		c, ok := workload.FuzzCorpusMember(label)
+		if !ok {
+			t.Fatalf("corpus member %q missing (corpus edited instead of appended?)", label)
+		}
+		tc := strictCase{
+			name: c.Label, cfg: pipeline.DefaultConfig,
+			w: func() *workload.Workload { return workload.Fuzz(c.Seed, c.Knobs, 6000) },
+		}
+		t.Run(c.Label, func(t *testing.T) {
+			want := runOnce(tc, true)
+			got := runOnce(tc, false)
+			if got != want {
+				t.Errorf("skip-ahead diverged from strict stepping on %s:\nstrict: %+v\nskip:   %+v",
+					c.Name(), want, got)
+			}
+		})
+	}
+}

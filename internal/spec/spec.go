@@ -151,19 +151,48 @@ func (s *Sampling) Policy() pipeline.SamplePolicy {
 	return pipeline.SamplePolicy{Interval: s.Interval, Period: s.Period, Warmup: s.Warmup, Ramp: s.Ramp, Seed: s.Seed}
 }
 
+// Fuzz declares a member of the seeded adversarial scenario family
+// (workload.Fuzz): the seed plus the four pathology knobs, each an
+// integer intensity in 0..100. The (seed, knobs) pair fully determines
+// the generated trace, so a fuzz workload is as much a first-class
+// cache/store/wire citizen as a named SPEC benchmark. Zero knobs are
+// canonically omitted: explicit-zero and absent spellings are the same
+// scenario and share one identity.
+type Fuzz struct {
+	Seed         int64 `json:"seed"`
+	SBPressure   int   `json:"sb_pressure,omitempty"`
+	BranchOnLoad int   `json:"branch_on_load,omitempty"`
+	MissCluster  int   `json:"miss_cluster,omitempty"`
+	RallyStarve  int   `json:"rally_starve,omitempty"`
+}
+
+// Knobs converts the declaration to the workload generator's knobs.
+func (f *Fuzz) Knobs() workload.FuzzKnobs {
+	return workload.FuzzKnobs{
+		SBPressure:   f.SBPressure,
+		BranchOnLoad: f.BranchOnLoad,
+		MissCluster:  f.MissCluster,
+		RallyStarve:  f.RallyStarve,
+	}
+}
+
 // Workload declares one workload: exactly one of a SPEC2000-profile
-// benchmark (with its total dynamic instruction count, warmup included)
-// or a Figure 1 micro-scenario, plus an optional sampling policy.
+// benchmark (with its total dynamic instruction count, warmup included),
+// a Figure 1 micro-scenario, or a fuzz-family scenario, plus an optional
+// sampling policy.
 type Workload struct {
 	// SPEC names a SPEC2000-profile benchmark (workload.AllSPECNames).
 	SPEC string `json:"spec,omitempty"`
 	// Scenario names a Figure 1 micro-scenario (workload.AllScenarios).
 	Scenario string `json:"scenario,omitempty"`
-	// N is the total dynamic instruction count of a SPEC workload,
-	// warmup included. Scenarios have fixed traces and must leave it 0.
+	// Fuzz names a seeded adversarial scenario-family member.
+	Fuzz *Fuzz `json:"fuzz,omitempty"`
+	// N is the total dynamic instruction count of a SPEC or fuzz
+	// workload, warmup included. Scenarios have fixed traces and must
+	// leave it 0.
 	N int `json:"n,omitempty"`
 	// Sampling selects how much of the workload is simulated in detail
-	// (SPEC only). Nil means full simulation.
+	// (SPEC and fuzz only). Nil means full simulation.
 	Sampling *Sampling `json:"sampling,omitempty"`
 }
 
@@ -226,6 +255,18 @@ func SPECWorkload(name string, n int) Workload {
 // ScenarioWorkload names one of the Figure 1 micro-scenarios.
 func ScenarioWorkload(sc workload.Scenario) Workload {
 	return Workload{Scenario: string(sc)}
+}
+
+// FuzzWorkload names the fuzz-family scenario (seed, knobs) with n
+// total dynamic instructions (warmup included).
+func FuzzWorkload(seed int64, k workload.FuzzKnobs, n int) Workload {
+	return Workload{Fuzz: &Fuzz{
+		Seed:         seed,
+		SBPressure:   k.SBPressure,
+		BranchOnLoad: k.BranchOnLoad,
+		MissCluster:  k.MissCluster,
+		RallyStarve:  k.RallyStarve,
+	}, N: n}
 }
 
 // Canonical returns the canonical encoding of v: compact JSON with
@@ -349,12 +390,23 @@ func (m Machine) Validate() error {
 // own documented bound.
 const maxInsts = workload.MaxInsts
 
-// Validate checks the workload names a known benchmark or scenario with
-// a sane instruction count.
+// Validate checks the workload names exactly one known benchmark,
+// scenario, or fuzz-family member with a sane instruction count. It is
+// the panic barrier in front of workload generation: everything the
+// generator would reject (out-of-range n, out-of-range fuzz knobs) is
+// an error here, so a user-authored suite reaching a daemon can never
+// panic it.
 func (w Workload) Validate() error {
+	kinds := 0
+	for _, set := range []bool{w.SPEC != "", w.Scenario != "", w.Fuzz != nil} {
+		if set {
+			kinds++
+		}
+	}
+	if kinds > 1 {
+		return fmt.Errorf("spec: workload names %d of SPEC/scenario/fuzz; want exactly one", kinds)
+	}
 	switch {
-	case w.SPEC != "" && w.Scenario != "":
-		return fmt.Errorf("spec: workload names both a SPEC benchmark %q and a scenario %q; want exactly one", w.SPEC, w.Scenario)
 	case w.SPEC != "":
 		if !slices.Contains(workload.AllSPECNames, w.SPEC) {
 			return fmt.Errorf("spec: unknown SPEC benchmark %q (want one of %v)", w.SPEC, workload.AllSPECNames)
@@ -369,12 +421,19 @@ func (w Workload) Validate() error {
 		if w.N != 0 {
 			return fmt.Errorf("spec: scenario %q has fixed length; n=%d must be omitted", w.Scenario, w.N)
 		}
+	case w.Fuzz != nil:
+		if err := w.Fuzz.Knobs().Validate(); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+		if w.N < 1 || w.N > maxInsts {
+			return fmt.Errorf("spec: fuzz workload seed=%d has n=%d, want 1..%d (total dynamic instructions, warmup included)", w.Fuzz.Seed, w.N, maxInsts)
+		}
 	default:
-		return fmt.Errorf("spec: workload names neither a SPEC benchmark nor a scenario")
+		return fmt.Errorf("spec: workload names neither a SPEC benchmark, a scenario, nor a fuzz scenario")
 	}
 	if s := w.Sampling; s != nil {
-		if w.SPEC == "" {
-			return fmt.Errorf("spec: sampling applies only to SPEC workloads, not scenario %q", w.Scenario)
+		if w.Scenario != "" {
+			return fmt.Errorf("spec: sampling applies only to SPEC and fuzz workloads, not scenario %q", w.Scenario)
 		}
 		switch s.Mode {
 		case ModeFull:
@@ -404,10 +463,14 @@ func (w Workload) Validate() error {
 	return nil
 }
 
-// New generates the declared workload. The spec must be valid.
+// New generates the declared workload. The spec must be valid
+// (Validate is the panic barrier: every input it accepts generates).
 func (w Workload) New() *workload.Workload {
-	if w.Scenario != "" {
+	switch {
+	case w.Scenario != "":
 		return workload.NewScenario(workload.Scenario(w.Scenario))
+	case w.Fuzz != nil:
+		return workload.Fuzz(w.Fuzz.Seed, w.Fuzz.Knobs(), w.N)
 	}
 	return workload.SPEC(w.SPEC, w.N)
 }

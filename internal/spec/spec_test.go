@@ -208,6 +208,11 @@ func TestValidateActionableErrors(t *testing.T) {
 		"scenario with n":      spec.Workload{Scenario: string(workload.ScenarioLoneL2), N: 5},
 		"both spec & scenario": spec.Workload{SPEC: "mcf", N: 10, Scenario: string(workload.ScenarioLoneL2)},
 		"empty workload":       spec.Workload{},
+		"fuzz & spec":          spec.Workload{SPEC: "mcf", Fuzz: &spec.Fuzz{Seed: 1}, N: 10},
+		"fuzz & scenario":      spec.Workload{Scenario: string(workload.ScenarioLoneL2), Fuzz: &spec.Fuzz{Seed: 1}},
+		"fuzz knob too high":   spec.Workload{Fuzz: &spec.Fuzz{Seed: 1, SBPressure: 101}, N: 10},
+		"fuzz knob negative":   spec.Workload{Fuzz: &spec.Fuzz{Seed: 1, MissCluster: -1}, N: 10},
+		"fuzz zero n":          spec.Workload{Fuzz: &spec.Fuzz{Seed: 1}},
 	}
 	for name, v := range cases {
 		if err := v.Validate(); err == nil {
@@ -255,6 +260,45 @@ func TestUnmarshalSuiteStrict(t *testing.T) {
 		if _, err := spec.UnmarshalSuite([]byte(doc)); err == nil {
 			t.Errorf("%s: UnmarshalSuite accepted:\n%s", name, doc)
 		}
+	}
+}
+
+// TestFuzzWorkloadDecodesToError pins the daemon's panic barrier for
+// the fuzz family: a user-authored suite with hostile fuzz knobs is
+// rejected at UnmarshalSuite with a named error — it never reaches the
+// generator, whose contract assumes a validated profile. A valid fuzz
+// job decodes, canonicalizes (explicit zero knobs collapse to the
+// omitted spelling) and generates.
+func TestFuzzWorkloadDecodesToError(t *testing.T) {
+	tmpl := `{
+  "name": "f",
+  "n": 1000,
+  "jobs": [
+    {"name": "j", "machine": {"model": "icfp"}, "workload": {"fuzz": %s, "n": 1000}}
+  ]
+}`
+	for name, fz := range map[string]string{
+		"knob above range": `{"seed": 3, "sb_pressure": 400}`,
+		"knob below range": `{"seed": 3, "rally_starve": -2}`,
+		"typo'd knob":      `{"seed": 3, "sb_presure": 50}`,
+	} {
+		doc := strings.Replace(tmpl, "%s", fz, 1)
+		if _, err := spec.UnmarshalSuite([]byte(doc)); err == nil {
+			t.Errorf("%s: UnmarshalSuite accepted hostile fuzz spec:\n%s", name, doc)
+		}
+	}
+
+	good := strings.Replace(tmpl, "%s", `{"seed": 3, "branch_on_load": 90, "miss_cluster": 0}`, 1)
+	s, err := spec.UnmarshalSuite([]byte(good))
+	if err != nil {
+		t.Fatalf("valid fuzz suite rejected: %v", err)
+	}
+	wl := s.Jobs[0].Workload
+	if want := spec.FuzzWorkload(3, workload.FuzzKnobs{BranchOnLoad: 90}, 1000).Canonical(); wl.Canonical() != want {
+		t.Errorf("explicit zero knob leaked into identity: %s vs %s", wl.Canonical(), want)
+	}
+	if w := wl.New(); w.Trace.Len() == 0 {
+		t.Error("generated fuzz workload is empty")
 	}
 }
 

@@ -158,8 +158,13 @@ func ReadTrace(r io.Reader) (*Workload, error) {
 	if n > 1<<28 {
 		return nil, fmt.Errorf("workload: implausible trace length %d", n)
 	}
-	insts := make([]isa.Inst, n)
-	for i := range insts {
+	// Grow in bounded chunks rather than trusting the length field with a
+	// single up-front allocation: a corrupt or hostile header can claim up
+	// to 2^28 instructions (multi-GB) while supplying only a few bytes, and
+	// the allocation must stay proportional to data actually read.
+	const chunk = 1 << 16
+	insts := make([]isa.Inst, 0, min(n, chunk))
+	for i := uint64(0); i < n; i++ {
 		var vals [5]uint64
 		for k := range vals {
 			if vals[k], err = readU64(); err != nil {
@@ -167,7 +172,7 @@ func ReadTrace(r io.Reader) (*Workload, error) {
 			}
 		}
 		flags := vals[0]
-		insts[i] = isa.Inst{
+		insts = append(insts, isa.Inst{
 			Op:     isa.Op(flags & 0xFF),
 			Taken:  flags&(1<<8) != 0,
 			Dst:    isa.Reg(flags >> 16),
@@ -178,7 +183,7 @@ func ReadTrace(r io.Reader) (*Workload, error) {
 			Addr:   vals[2],
 			Val:    vals[3],
 			Target: vals[4],
-		}
+		})
 	}
 	return &Workload{
 		Name:  string(name),

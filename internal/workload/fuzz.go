@@ -1,0 +1,228 @@
+// The fuzz scenario family: seeded, spec-addressable random workloads.
+// Each member is identified by (seed, knobs) — the same pair always
+// derives the same Profile and therefore the same trace — so fuzzed
+// scenarios carry a canonical identity just like the named SPEC
+// profiles, and can participate in suites, the memo cache, the result
+// store, and distributed dispatch (spec.Workload.Fuzz). The unbiased
+// family (zero knobs) spans the whole behaviour space: miss-heavy and
+// miss-free, chases, streams, poisoned-address stores, noisy branches.
+// The knobs then push a member toward one of the pathologies the
+// paper's iCFP claims rest on: store-buffer pressure, branch-on-load
+// chains, miss clustering, and rally starvation.
+package workload
+
+import "fmt"
+
+// FuzzKnobs bias a fuzz-family member toward an adversarial pathology.
+// Each knob is an integer intensity in 0..100: 0 leaves the seed's
+// unbiased random profile untouched, 100 pulls the relevant profile
+// fields all the way to their pathological extreme. Integers (not
+// floats) keep the canonical JSON encoding exact and the identity
+// story trivial.
+type FuzzKnobs struct {
+	// SBPressure raises store density, store-to-load forwarding and
+	// poisoned-address stores until drains, chained-buffer overflows
+	// and simple-runahead transitions dominate.
+	SBPressure int
+	// BranchOnLoad keys branches on freshly loaded (often missing)
+	// values: advance-mode branch resolution, squashes and re-poisoning.
+	BranchOnLoad int
+	// MissCluster concentrates loads into dependent chase chains and
+	// random misses with zero consume lag — back-to-back miss bursts
+	// instead of an even spread.
+	MissCluster int
+	// RallyStarve combines deep memory-miss chains with forwarding and
+	// poisoned stores so rallies keep re-missing and never settle.
+	RallyStarve int
+}
+
+// Validate checks every knob is an intensity in 0..100. It is the
+// guard the spec layer invokes on decode, so an out-of-range knob in a
+// user-authored suite is an error, never a generator panic.
+func (k FuzzKnobs) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"sb_pressure", k.SBPressure},
+		{"branch_on_load", k.BranchOnLoad},
+		{"miss_cluster", k.MissCluster},
+		{"rally_starve", k.RallyStarve},
+	} {
+		if f.v < 0 || f.v > 100 {
+			return fmt.Errorf("workload: fuzz knob %s=%d out of range 0..100", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// zero reports whether every knob is at its neutral setting.
+func (k FuzzKnobs) zero() bool { return k == FuzzKnobs{} }
+
+// FuzzName returns the family member's name — the display form of its
+// (seed, knobs) identity. Unbiased members keep the short historical
+// "fuzz-s<seed>" spelling.
+func FuzzName(seed int64, k FuzzKnobs) string {
+	if k.zero() {
+		return fmt.Sprintf("fuzz-s%d", seed)
+	}
+	return fmt.Sprintf("fuzz-s%d-sb%d-bl%d-mc%d-rs%d",
+		seed, k.SBPressure, k.BranchOnLoad, k.MissCluster, k.RallyStarve)
+}
+
+// lerp moves a toward b by t in [0,1].
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// FuzzProfile derives the family member's structurally valid Profile.
+// The base is a pure function of the seed (a multiplicative-hash draw
+// per field, spanning the whole behaviour space); each nonzero knob
+// then lerps its pathology's fields toward their extremes. The load
+// population is renormalized afterwards so the fractions stay a valid
+// partition whatever the knobs do — by construction the result can
+// always be generated, never panicking Generate.
+func FuzzProfile(seed int64, k FuzzKnobs) Profile {
+	r := func(key int64, mod int64) float64 {
+		x := (seed*2654435761 + key*40503) % mod
+		if x < 0 {
+			x += mod
+		}
+		return float64(x) / float64(mod)
+	}
+	p := Profile{
+		Name:           FuzzName(seed, k),
+		FP:             r(1, 2) < 0.5,
+		LoadFrac:       0.15 + 0.2*r(2, 97),
+		StoreFrac:      0.05 + 0.1*r(3, 89),
+		BranchFrac:     0.05 + 0.15*r(4, 83),
+		StreamFrac:     0.3 * r(5, 79),
+		RandFrac:       0.3 * r(6, 73),
+		ChaseFrac:      0.1 * r(7, 71),
+		Chase2Frac:     0.2 * r(8, 67),
+		StreamStride:   []uint64{8, 16, 32, 64}[int(4*r(9, 61))%4],
+		RandBytes:      64<<10 + uint64(r(10, 59)*float64(2<<20)),
+		ChaseBytes:     1<<20 + uint64(r(11, 53)*float64(3<<20)),
+		Chase2Bytes:    64<<10 + uint64(r(12, 47)*float64(512<<10)),
+		BranchNoise:    0.2 * r(13, 43),
+		BranchOnLoad:   0.5 * r(14, 41),
+		StoreToLoadFwd: 0.3 * r(15, 37),
+		PoisonAddrFrac: 0.05 * r(16, 31),
+		ILP:            1 + int(7*r(17, 29)),
+		MulFrac:        0.4 * r(18, 23),
+		ConsumeLag:     int(16 * r(19, 19)),
+	}
+
+	if t := float64(k.SBPressure) / 100; t > 0 {
+		p.StoreFrac = lerp(p.StoreFrac, 0.30, t)
+		p.StoreToLoadFwd = lerp(p.StoreToLoadFwd, 0.90, t)
+		p.PoisonAddrFrac = lerp(p.PoisonAddrFrac, 0.25, t)
+	}
+	if t := float64(k.BranchOnLoad) / 100; t > 0 {
+		p.BranchFrac = lerp(p.BranchFrac, 0.30, t)
+		p.BranchOnLoad = lerp(p.BranchOnLoad, 1.0, t)
+		p.BranchNoise = lerp(p.BranchNoise, 0.40, t)
+		// Branch chains need missing values to chain on.
+		p.ChaseFrac = lerp(p.ChaseFrac, 0.15, t)
+	}
+	if t := float64(k.MissCluster) / 100; t > 0 {
+		p.ChaseFrac = lerp(p.ChaseFrac, 0.30, t)
+		p.Chase2Frac = lerp(p.Chase2Frac, 0.40, t)
+		p.RandFrac = lerp(p.RandFrac, 0.35, t)
+		p.ConsumeLag = int(lerp(float64(p.ConsumeLag), 0, t))
+		p.ILP = 1 + int(lerp(float64(p.ILP-1), 0, t))
+	}
+	if t := float64(k.RallyStarve) / 100; t > 0 {
+		p.ChaseFrac = lerp(p.ChaseFrac, 0.25, t)
+		p.ChaseBytes = uint64(lerp(float64(p.ChaseBytes), float64(6<<20), t))
+		p.BranchOnLoad = lerp(p.BranchOnLoad, 0.80, t)
+		p.StoreToLoadFwd = lerp(p.StoreToLoadFwd, 0.70, t)
+		p.PoisonAddrFrac = lerp(p.PoisonAddrFrac, 0.30, t)
+		p.ConsumeLag = int(lerp(float64(p.ConsumeLag), 0, t))
+	}
+
+	// Keep the load population a valid partition: the biased fractions
+	// are of loads and must leave room for the hot remainder.
+	if sum := p.StreamFrac + p.RandFrac + p.ChaseFrac + p.Chase2Frac; sum > 0.95 {
+		scale := 0.95 / sum
+		p.StreamFrac *= scale
+		p.RandFrac *= scale
+		p.ChaseFrac *= scale
+		p.Chase2Frac *= scale
+	}
+	return p
+}
+
+// Fuzz generates the fuzz-family member (seed, knobs) with n dynamic
+// instructions. The trace seed is the family seed, so the member's
+// identity fully determines its trace, exactly as SPEC's does.
+func Fuzz(seed int64, k FuzzKnobs, n int) *Workload {
+	return Generate(FuzzProfile(seed, k), n, seed)
+}
+
+// FuzzCase is one curated member of the committed adversarial corpus.
+type FuzzCase struct {
+	// Label names the pathology the case was curated for (reports and
+	// test names); the simulation identity is (Seed, Knobs) alone.
+	Label string
+	Seed  int64
+	Knobs FuzzKnobs
+}
+
+// Name returns the case's family-member name.
+func (c FuzzCase) Name() string { return FuzzName(c.Seed, c.Knobs) }
+
+// FuzzCorpusMember returns the corpus member with the given label —
+// the lookup the equivalence suites use to sample the corpus without
+// depending on its ordering.
+func FuzzCorpusMember(label string) (FuzzCase, bool) {
+	for _, c := range FuzzCorpus() {
+		if c.Label == label {
+			return c, true
+		}
+	}
+	return FuzzCase{}, false
+}
+
+// FuzzCorpus returns the curated adversarial corpus: twenty fuzz-family
+// members chosen to concentrate on the miss patterns the paper's claims
+// rest on. The corpus is committed behaviour: cmd/fuzzgate pins every
+// member's cross-model stats against a golden file, and the strict
+// equivalence suites sample it. Grow it by appending — reordering or
+// editing existing members invalidates the golden.
+func FuzzCorpus() []FuzzCase {
+	return []FuzzCase{
+		// Store-buffer pressure: drain stalls, chained-SB overflows,
+		// forced simple-runahead transitions.
+		{"sb-moderate", 101, FuzzKnobs{SBPressure: 50}},
+		{"sb-heavy", 102, FuzzKnobs{SBPressure: 85}},
+		{"sb-extreme", 103, FuzzKnobs{SBPressure: 100}},
+		{"sb-poisoned", 104, FuzzKnobs{SBPressure: 70, MissCluster: 30}},
+
+		// Branch-on-load chains: advance-mode branches keyed on missing
+		// values, squash storms, re-poisoning.
+		{"bl-moderate", 201, FuzzKnobs{BranchOnLoad: 50}},
+		{"bl-heavy", 202, FuzzKnobs{BranchOnLoad: 90}},
+		{"bl-noisy", 203, FuzzKnobs{BranchOnLoad: 100}},
+		{"bl-under-sb", 204, FuzzKnobs{BranchOnLoad: 60, SBPressure: 60}},
+
+		// Miss clustering: dependent chase bursts with no consume lag —
+		// the mcf-like serialization that differentiates the models.
+		{"mc-moderate", 301, FuzzKnobs{MissCluster: 50}},
+		{"mc-heavy", 302, FuzzKnobs{MissCluster: 85}},
+		{"mc-extreme", 303, FuzzKnobs{MissCluster: 100}},
+		{"mc-branchy", 304, FuzzKnobs{MissCluster: 70, BranchOnLoad: 40}},
+
+		// Rally starvation: rallies that keep re-missing under deep
+		// chains, heavy forwarding and poisoned-address stores.
+		{"rs-moderate", 401, FuzzKnobs{RallyStarve: 50}},
+		{"rs-heavy", 402, FuzzKnobs{RallyStarve: 85}},
+		{"rs-extreme", 403, FuzzKnobs{RallyStarve: 100}},
+		{"rs-clustered", 404, FuzzKnobs{RallyStarve: 70, MissCluster: 50}},
+
+		// Everything at once, across distinct seeds: the maximally
+		// adversarial corner of the family.
+		{"all-a", 501, FuzzKnobs{SBPressure: 60, BranchOnLoad: 60, MissCluster: 60, RallyStarve: 60}},
+		{"all-b", 502, FuzzKnobs{SBPressure: 80, BranchOnLoad: 40, MissCluster: 90, RallyStarve: 30}},
+		{"all-c", 503, FuzzKnobs{SBPressure: 30, BranchOnLoad: 90, MissCluster: 40, RallyStarve: 80}},
+		{"all-d", 504, FuzzKnobs{SBPressure: 100, BranchOnLoad: 100, MissCluster: 100, RallyStarve: 100}},
+	}
+}

@@ -337,7 +337,24 @@ func (b *builder) iteration(p Profile) {
 	chase2 := round(float64(loads) * p.Chase2Frac)
 	randLoads := round(float64(loads) * p.RandFrac)
 	stream := round(float64(loads) * p.StreamFrac)
+	// Profiles reach this generator from user-authored suites (the fuzz
+	// family decodes via spec), so degenerate shapes must fall back, not
+	// panic: a load class without a backing region becomes hot loads,
+	// and probabilistic rounding that oversubscribes the load budget
+	// clamps the hot remainder at zero.
+	if len(b.far.ring) == 0 {
+		chase = 0
+	}
+	if len(b.near.ring) == 0 {
+		chase2 = 0
+	}
+	if p.RandBytes < 8 {
+		randLoads = 0
+	}
 	hot := loads - chase - chase2 - randLoads - stream
+	if hot < 0 {
+		hot = 0
+	}
 	compute := 64 - loads - stores - branches
 	if compute < 0 {
 		compute = 0
@@ -460,9 +477,11 @@ func (b *builder) iteration(p Profile) {
 			// when the chase is miss-dependent.
 			addr = b.vals[regChase] + 8
 			addrReg = regChase
-		case b.rng.Float64() < p.RandFrac:
+		case b.rng.Float64() < p.RandFrac && p.RandBytes >= 8:
 			// Stores follow the same cold/hot split as loads so store
-			// misses track the profile's miss-rate targets.
+			// misses track the profile's miss-rate targets. (The random
+			// draw happens unconditionally, so the degenerate-region
+			// guard never shifts the rng stream of a valid profile.)
 			addr = randBase + uint64(b.rng.Int63n(int64(p.RandBytes/8)))*8
 		default:
 			addr = hotBase + uint64(b.rng.Int63n(hotBytes/8))*8
